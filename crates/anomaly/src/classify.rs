@@ -1,0 +1,182 @@
+//! Traffic-composition drift monitoring (paper Table 1: "traffic
+//! classification — correctness, packets by type").
+//!
+//! The paper cites in-network ML classifiers whose models go stale when
+//! the traffic mix shifts. The Stat4 angle: per packet kind, track the
+//! *count per interval* in a windowed distribution and flag intervals
+//! where a kind's count is an outlier of its own history — composition
+//! drift — using only the mean ± k·σ machinery.
+
+use crate::alerts::Alert;
+use stat4_core::window::WindowedDist;
+
+/// Configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DriftConfig {
+    /// Number of packet kinds monitored.
+    pub kinds: usize,
+    /// Interval length (ns).
+    pub interval_ns: u64,
+    /// Window capacity in intervals.
+    pub window: usize,
+    /// σ multiplier.
+    pub k: u32,
+    /// Minimum closed intervals before alerts.
+    pub min_intervals: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            kinds: 4,
+            interval_ns: 50_000_000, // 50 ms
+            window: 40,
+            k: 3,
+            min_intervals: 10,
+        }
+    }
+}
+
+/// Streaming composition-drift monitor.
+#[derive(Debug)]
+pub struct DriftMonitor {
+    cfg: DriftConfig,
+    per_kind: Vec<WindowedDist>,
+    current_interval: Option<u64>,
+    /// Alerts raised.
+    pub alerts: Vec<Alert>,
+    /// First alert time.
+    pub detected_at: Option<u64>,
+}
+
+impl DriftMonitor {
+    /// Creates a monitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero kinds or window.
+    #[must_use]
+    pub fn new(cfg: DriftConfig) -> Self {
+        assert!(cfg.kinds > 0);
+        Self {
+            per_kind: (0..cfg.kinds)
+                .map(|_| WindowedDist::new(cfg.window).expect("non-empty window"))
+                .collect(),
+            current_interval: None,
+            alerts: Vec::new(),
+            detected_at: None,
+            cfg,
+        }
+    }
+
+    /// Feeds one packet of `kind` at time `at`; returns the first alert
+    /// raised by the interval roll-over, if any.
+    pub fn observe(&mut self, at: u64, kind: usize) -> Option<Alert> {
+        let ivl = at / self.cfg.interval_ns;
+        let mut raised = None;
+        match self.current_interval {
+            None => self.current_interval = Some(ivl),
+            Some(cur) if cur != ivl => {
+                for (k, w) in self.per_kind.iter_mut().enumerate() {
+                    let closed = w.current();
+                    let drift = w.is_spike_margined(closed, self.cfg.k, self.cfg.min_intervals, 3, 4)
+                        || w.is_drop_margined(closed, self.cfg.k, self.cfg.min_intervals, 3, 4);
+                    w.close_interval();
+                    if drift {
+                        let alert = Alert::CompositionDrift { at, kind: k };
+                        self.detected_at.get_or_insert(at);
+                        self.alerts.push(alert.clone());
+                        if raised.is_none() {
+                            raised = Some(alert);
+                        }
+                    }
+                }
+                self.current_interval = Some(ivl);
+            }
+            _ => {}
+        }
+        if let Some(w) = self.per_kind.get_mut(kind) {
+            w.accumulate(1);
+        }
+        raised
+    }
+
+    /// The drifting kinds seen so far (deduplicated, in first-seen
+    /// order).
+    #[must_use]
+    pub fn drifted_kinds(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for a in &self.alerts {
+            if let Alert::CompositionDrift { kind, .. } = a {
+                if !out.contains(kind) {
+                    out.push(*kind);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{PacketKind, PacketMixWorkload};
+
+    #[test]
+    fn detects_quic_surge() {
+        let w = PacketMixWorkload {
+            packets: 40_000,
+            gap_ns: 10_000,
+            shift_at: 200_000_000, // halfway through 400 ms
+            ..PacketMixWorkload::default()
+        };
+        let (schedule, kinds) = w.generate();
+        let mut mon = DriftMonitor::new(DriftConfig {
+            interval_ns: 10_000_000,
+            window: 16,
+            k: 4,
+            min_intervals: 8,
+            kinds: 4,
+        });
+        for ((t, _), kind) in schedule.iter().zip(&kinds) {
+            mon.observe(*t, kind.index());
+        }
+        let at = mon.detected_at.expect("drift detected");
+        assert!(at >= w.shift_at, "no false positive, detected at {at}");
+        assert!(at < w.shift_at + 50_000_000, "prompt detection: {at}");
+        assert!(
+            mon.drifted_kinds().contains(&PacketKind::Quic.index())
+                || mon.drifted_kinds().contains(&PacketKind::TcpData.index()),
+            "the shifted kinds flagged: {:?}",
+            mon.drifted_kinds()
+        );
+    }
+
+    #[test]
+    fn stable_mix_is_quiet() {
+        let w = PacketMixWorkload {
+            packets: 40_000,
+            gap_ns: 10_000,
+            shift_at: u64::MAX,
+            ..PacketMixWorkload::default()
+        };
+        let (schedule, kinds) = w.generate();
+        let mut mon = DriftMonitor::new(DriftConfig {
+            interval_ns: 10_000_000,
+            window: 16,
+            k: 4,
+            min_intervals: 8,
+            kinds: 4,
+        });
+        for ((t, _), kind) in schedule.iter().zip(&kinds) {
+            mon.observe(*t, kind.index());
+        }
+        assert!(mon.detected_at.is_none(), "alerts: {:?}", mon.alerts);
+    }
+
+    #[test]
+    fn unknown_kind_ignored() {
+        let mut mon = DriftMonitor::new(DriftConfig::default());
+        assert!(mon.observe(0, 99).is_none());
+    }
+}

@@ -1,0 +1,198 @@
+//! Percentile-shift detection (paper Sec. 2: "we can track values and
+//! change rates of percentiles, which may be indicative of anomalies").
+//!
+//! The marker of a [`stat4_core::percentile::PercentileTracker`] moves
+//! at most one cell per packet; on a stable distribution it jitters
+//! around the true quantile, so its *movement count per interval* is a
+//! small, steady value. A distribution shift (a latency regression, a
+//! load imbalance changing the shape rather than the volume of traffic)
+//! sends the marker on a long walk — the per-interval movement count
+//! spikes. Tracking that count in a [`WindowedDist`] with the standard
+//! margined band turns "the median is on the move" into an alert using
+//! only machinery the paper already has.
+
+use crate::alerts::Alert;
+use stat4_core::percentile::{PercentileTracker, Quantile};
+use stat4_core::window::WindowedDist;
+
+/// Configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ShiftConfig {
+    /// Tracked quantile.
+    pub quantile: Quantile,
+    /// Value domain (inclusive).
+    pub domain: (i64, i64),
+    /// Interval length (ns) for the movement-rate window.
+    pub interval_ns: u64,
+    /// Window capacity in intervals.
+    pub window: usize,
+    /// σ multiplier for the movement-rate band.
+    pub k: u32,
+    /// Minimum closed intervals before alerts.
+    pub min_intervals: usize,
+}
+
+impl Default for ShiftConfig {
+    fn default() -> Self {
+        Self {
+            quantile: Quantile::median(),
+            domain: (0, 1023),
+            interval_ns: 10_000_000,
+            window: 32,
+            k: 2,
+            min_intervals: 10,
+        }
+    }
+}
+
+/// Streaming percentile-shift detector.
+#[derive(Debug)]
+pub struct PercentileShiftDetector {
+    cfg: ShiftConfig,
+    tracker: PercentileTracker,
+    moves_window: WindowedDist,
+    last_moves: u64,
+    current_interval: Option<u64>,
+    /// Alerts raised.
+    pub alerts: Vec<Alert>,
+    /// First alert time.
+    pub detected_at: Option<u64>,
+}
+
+impl PercentileShiftDetector {
+    /// Creates a detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate domain or window.
+    #[must_use]
+    pub fn new(cfg: ShiftConfig) -> Self {
+        Self {
+            tracker: PercentileTracker::new(cfg.domain.0, cfg.domain.1, cfg.quantile)
+                .expect("valid domain"),
+            moves_window: WindowedDist::new(cfg.window).expect("non-empty window"),
+            last_moves: 0,
+            current_interval: None,
+            alerts: Vec::new(),
+            detected_at: None,
+            cfg,
+        }
+    }
+
+    /// Feeds one observed value at time `at`; returns an alert when the
+    /// interval that just closed saw an outlying amount of marker
+    /// movement.
+    pub fn observe(&mut self, at: u64, value: i64) -> Option<Alert> {
+        let mut raised = None;
+        let ivl = at / self.cfg.interval_ns;
+        match self.current_interval {
+            None => self.current_interval = Some(ivl),
+            Some(cur) if cur != ivl => {
+                let moved = self.moves_window.current();
+                let shift = self.moves_window.is_spike_margined(
+                    moved,
+                    self.cfg.k,
+                    self.cfg.min_intervals,
+                    3,
+                    4,
+                );
+                self.moves_window.close_interval();
+                self.current_interval = Some(ivl);
+                if shift {
+                    let alert = Alert::CompositionDrift {
+                        at,
+                        // Report the marker's landing cell as the "kind".
+                        kind: usize::try_from(self.tracker.estimate().unwrap_or(0))
+                            .unwrap_or(0),
+                    };
+                    self.detected_at.get_or_insert(at);
+                    self.alerts.push(alert.clone());
+                    raised = Some(alert);
+                }
+            }
+            _ => {}
+        }
+        if self.tracker.observe(value).is_ok() {
+            let moves = self.tracker.moves();
+            self.moves_window
+                .accumulate((moves - self.last_moves) as i64);
+            self.last_moves = moves;
+        }
+        raised
+    }
+
+    /// The current quantile estimate.
+    #[must_use]
+    pub fn estimate(&self) -> Option<i64> {
+        self.tracker.estimate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn cfg() -> ShiftConfig {
+        ShiftConfig {
+            interval_ns: 1_000_000,
+            window: 24,
+            min_intervals: 8,
+            ..ShiftConfig::default()
+        }
+    }
+
+    /// A stable latency distribution, then a regression shifting the
+    /// median by 60 cells: the movement rate spikes within a couple of
+    /// intervals.
+    #[test]
+    fn detects_distribution_shift() {
+        let mut rng = workloads::rng(8);
+        let mut det = PercentileShiftDetector::new(cfg());
+        let mut t = 0u64;
+        // Healthy: values ~ uniform(90..110), ~100 per interval.
+        for _ in 0..3_000 {
+            det.observe(t, rng.random_range(90..110));
+            t += 10_000;
+        }
+        assert!(det.detected_at.is_none(), "stable phase clean: {:?}", det.alerts);
+        let shift_at = t;
+        // Regression: values ~ uniform(150..170). Enough samples that
+        // the combined median genuinely crosses into the new cluster
+        // (the old 3000 samples anchor it until the new ones outnumber
+        // them).
+        for _ in 0..5_000 {
+            det.observe(t, rng.random_range(150..170));
+            t += 10_000;
+        }
+        let at = det.detected_at.expect("shift detected");
+        assert!(at >= shift_at);
+        assert!(
+            at <= shift_at + 8_000_000,
+            "detected within 8 intervals: +{} ns",
+            at - shift_at
+        );
+        // The marker itself has migrated to the new median.
+        let est = det.estimate().unwrap();
+        assert!((150..170).contains(&est), "marker followed: {est}");
+    }
+
+    /// Volume changes without shape changes do not alert (the rate
+    /// detector's job, not this one's).
+    #[test]
+    fn volume_change_alone_is_quiet() {
+        let mut rng = workloads::rng(9);
+        let mut det = PercentileShiftDetector::new(cfg());
+        let mut t = 0u64;
+        for _ in 0..2_000 {
+            det.observe(t, rng.random_range(90..110));
+            t += 10_000;
+        }
+        // 5x the packet rate, same value distribution.
+        for _ in 0..5_000 {
+            det.observe(t, rng.random_range(90..110));
+            t += 2_000;
+        }
+        assert!(det.detected_at.is_none(), "alerts: {:?}", det.alerts);
+    }
+}

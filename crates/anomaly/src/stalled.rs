@@ -1,0 +1,194 @@
+//! Remote-failure detection via stalled flows (paper Table 1: "remote
+//! failure — satisfy uptime SLAs, stalled flows over time").
+//!
+//! The value of interest is *flow activity per interval*: how many
+//! tracked flows made progress. A remote failure (link cut, blackholed
+//! prefix) makes many flows stall at once, so the per-interval activity
+//! collapses — a **lower-tail** outlier of the windowed distribution,
+//! the mirror image of the spike check (`N·x < Xsum − k·σ(NX)`).
+
+use crate::alerts::Alert;
+use stat4_core::window::WindowedDist;
+
+/// Configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StalledFlowConfig {
+    /// Interval length (ns).
+    pub interval_ns: u64,
+    /// Window capacity in intervals.
+    pub window: usize,
+    /// σ multiplier.
+    pub k: u32,
+    /// Minimum closed intervals before alerts.
+    pub min_intervals: usize,
+}
+
+impl Default for StalledFlowConfig {
+    fn default() -> Self {
+        Self {
+            interval_ns: 100_000_000, // 100 ms
+            window: 50,
+            k: 2,
+            min_intervals: 10,
+        }
+    }
+}
+
+/// Streaming detector over per-interval activity counts.
+#[derive(Debug)]
+pub struct StalledFlowDetector {
+    cfg: StalledFlowConfig,
+    window: WindowedDist,
+    current_interval: Option<u64>,
+    /// Alerts raised.
+    pub alerts: Vec<Alert>,
+    /// First alert time.
+    pub detected_at: Option<u64>,
+}
+
+impl StalledFlowDetector {
+    /// Creates a detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-interval window.
+    #[must_use]
+    pub fn new(cfg: StalledFlowConfig) -> Self {
+        Self {
+            window: WindowedDist::new(cfg.window).expect("non-empty window"),
+            current_interval: None,
+            alerts: Vec::new(),
+            detected_at: None,
+            cfg,
+        }
+    }
+
+    /// Records one unit of flow activity (e.g. an ACK advancing a flow)
+    /// at time `at`; returns an alert if the interval that just closed
+    /// was anomalously quiet.
+    pub fn observe_activity(&mut self, at: u64) -> Option<Alert> {
+        let alert = self.roll_to(at);
+        self.window.accumulate(1);
+        alert
+    }
+
+    /// Advances time without activity (call at least once per interval
+    /// when idle, e.g. from a timer); may close quiet intervals and
+    /// alert on them.
+    pub fn tick(&mut self, at: u64) -> Option<Alert> {
+        self.roll_to(at)
+    }
+
+    fn roll_to(&mut self, at: u64) -> Option<Alert> {
+        let ivl = at / self.cfg.interval_ns;
+        let cur = match self.current_interval {
+            None => {
+                self.current_interval = Some(ivl);
+                return None;
+            }
+            Some(c) => c,
+        };
+        if ivl == cur {
+            return None;
+        }
+        let mut first_alert = None;
+        // Close every elapsed interval, including fully idle ones —
+        // exactly the case a failure produces.
+        for _ in cur..ivl {
+            let closed = self.window.current();
+            let quiet = self.window.is_drop_margined(
+                closed,
+                self.cfg.k,
+                self.cfg.min_intervals,
+                3, // -12.5% of the mean
+                4,
+            );
+            self.window.close_interval();
+            if quiet {
+                let alert = Alert::ActivityDrop {
+                    at,
+                    interval_value: closed,
+                };
+                self.detected_at.get_or_insert(at);
+                self.alerts.push(alert.clone());
+                if first_alert.is_none() {
+                    first_alert = Some(alert);
+                }
+            }
+        }
+        self.current_interval = Some(ivl);
+        first_alert
+    }
+
+    /// Stats over the stored window (for reports).
+    #[must_use]
+    pub fn stats(&self) -> &stat4_core::running::RunningStats {
+        self.window.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> StalledFlowConfig {
+        StalledFlowConfig {
+            interval_ns: 1_000_000,
+            window: 32,
+            k: 2,
+            min_intervals: 8,
+        }
+    }
+
+    /// Steady activity, then a failure zeroes it: detect on the first
+    /// quiet interval.
+    #[test]
+    fn detects_activity_collapse() {
+        let mut det = StalledFlowDetector::new(cfg());
+        // ~50 activity units per 1 ms interval for 30 intervals, with
+        // deterministic variation.
+        for i in 0..30u64 {
+            let per = 48 + (i % 5);
+            for j in 0..per {
+                det.observe_activity(i * 1_000_000 + j * 10_000);
+            }
+        }
+        assert!(det.detected_at.is_none(), "healthy phase clean");
+        // Failure: silence. A tick 3 intervals later must close the
+        // quiet intervals and alert.
+        let alert = det.tick(33 * 1_000_000);
+        assert!(alert.is_some(), "collapse detected");
+        match det.alerts[0] {
+            Alert::ActivityDrop { interval_value, .. } => {
+                assert!(interval_value < 10, "quiet interval: {interval_value}");
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gradual_decline_within_band_is_quiet() {
+        let mut det = StalledFlowDetector::new(cfg());
+        for i in 0..40u64 {
+            // 50 ± small wiggle, no collapse.
+            let per = 50 + (i % 3) - 1;
+            for j in 0..per {
+                det.observe_activity(i * 1_000_000 + j * 10_000);
+            }
+        }
+        assert!(det.detected_at.is_none(), "alerts: {:?}", det.alerts);
+    }
+
+    #[test]
+    fn warmup_suppresses_alerts() {
+        let mut det = StalledFlowDetector::new(cfg());
+        // Two busy intervals then silence: window too shallow to judge.
+        for i in 0..2u64 {
+            for j in 0..50 {
+                det.observe_activity(i * 1_000_000 + j * 10_000);
+            }
+        }
+        assert!(det.tick(6 * 1_000_000).is_none());
+        assert!(det.detected_at.is_none());
+    }
+}

@@ -1,0 +1,234 @@
+//! SYN-flood detection (paper Table 1: "SYN flood — protect servers,
+//! SYN rate over time").
+//!
+//! Two complementary Stat4 checks, both integer-only:
+//!
+//! 1. **SYN share**: the frequency distribution of packet kinds; the
+//!    SYN count becoming an upper outlier among kind frequencies
+//!    signals a flood regardless of absolute rate.
+//! 2. **SYN rate**: a windowed distribution of SYNs per interval with
+//!    the mean + k·σ spike check — the same machinery as the
+//!    case-study rate monitor, bound to a different value of interest.
+//!
+//! This module is the *software-side* twin of what `stat4-p4` programs
+//! express in the pipeline; the `syn_flood` example wires the same
+//! logic in-switch.
+
+use crate::alerts::Alert;
+use stat4_core::freq::FrequencyDist;
+use stat4_core::window::WindowedDist;
+
+/// Configuration of the detector.
+#[derive(Debug, Clone, Copy)]
+pub struct SynFloodConfig {
+    /// Interval length (ns) for the rate check.
+    pub interval_ns: u64,
+    /// Window capacity in intervals.
+    pub window: usize,
+    /// σ multiplier.
+    pub k: u32,
+    /// Minimum closed intervals before rate alerts.
+    pub min_intervals: usize,
+    /// Number of packet kinds tracked by the share check.
+    pub kinds: i64,
+    /// Extra absolute margin for the share check (see the case-study
+    /// `imbalance_margin` rationale).
+    pub share_margin: u64,
+}
+
+impl Default for SynFloodConfig {
+    fn default() -> Self {
+        Self {
+            interval_ns: 10_000_000, // 10 ms
+            window: 64,
+            k: 2,
+            min_intervals: 10,
+            kinds: 8,
+            share_margin: 16,
+        }
+    }
+}
+
+/// Streaming SYN-flood detector.
+#[derive(Debug)]
+pub struct SynFloodDetector {
+    cfg: SynFloodConfig,
+    kind_freq: FrequencyDist,
+    syn_rate: WindowedDist,
+    current_interval: Option<u64>,
+    /// Alerts raised so far.
+    pub alerts: Vec<Alert>,
+    /// Set once the first alert fires (detection time).
+    pub detected_at: Option<u64>,
+}
+
+/// Kind cell used for SYN packets in the share distribution.
+pub const KIND_SYN: i64 = 1;
+
+impl SynFloodDetector {
+    /// Creates a detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero window/kinds).
+    #[must_use]
+    pub fn new(cfg: SynFloodConfig) -> Self {
+        Self {
+            kind_freq: FrequencyDist::new(0, cfg.kinds - 1).expect("valid kind domain"),
+            syn_rate: WindowedDist::new(cfg.window).expect("non-empty window"),
+            current_interval: None,
+            alerts: Vec::new(),
+            detected_at: None,
+            cfg,
+        }
+    }
+
+    /// Feeds one packet: its arrival time, kind cell (0-based,
+    /// [`KIND_SYN`] for pure SYNs) — returns any alert raised by this
+    /// packet.
+    pub fn observe(&mut self, at: u64, kind: i64) -> Option<Alert> {
+        // --- interval roll-over for the rate check -------------------
+        let ivl = at / self.cfg.interval_ns;
+        match self.current_interval {
+            None => self.current_interval = Some(ivl),
+            Some(cur) if cur != ivl => {
+                let closed = self.syn_rate.current();
+                let spike = self.syn_rate.is_spike_margined(
+                    closed,
+                    self.cfg.k,
+                    self.cfg.min_intervals,
+                    3, // +12.5% of the mean
+                    4,
+                );
+                self.syn_rate.close_interval();
+                self.current_interval = Some(ivl);
+                if spike {
+                    let alert = Alert::SynFlood {
+                        at,
+                        syn_count: closed as u64,
+                    };
+                    self.detected_at.get_or_insert(at);
+                    self.alerts.push(alert.clone());
+                    // Also record the packet below, but report now.
+                    self.record(kind);
+                    return Some(alert);
+                }
+            }
+            _ => {}
+        }
+        self.record(kind);
+
+        // --- share check ---------------------------------------------
+        if kind == KIND_SYN && self.share_outlier() {
+            let alert = Alert::SynFlood {
+                at,
+                syn_count: self.kind_freq.frequency(KIND_SYN),
+            };
+            self.detected_at.get_or_insert(at);
+            self.alerts.push(alert.clone());
+            return Some(alert);
+        }
+        None
+    }
+
+    fn record(&mut self, kind: i64) {
+        let _ = self.kind_freq.observe(kind.clamp(0, self.cfg.kinds - 1));
+        if kind == KIND_SYN {
+            self.syn_rate.accumulate(1);
+        }
+    }
+
+    fn share_outlier(&self) -> bool {
+        let f = self.kind_freq.frequency(KIND_SYN);
+        let n = self.kind_freq.n_distinct();
+        if n < 4 {
+            return false;
+        }
+        let nf = u128::from(n) * u128::from(f);
+        let bound = u128::from(self.kind_freq.xsum())
+            + u128::from(self.cfg.k) * u128::from(self.kind_freq.sd_nx())
+            + u128::from(self.cfg.share_margin) * u128::from(n);
+        nf > bound
+    }
+
+    /// The tracked SYN-per-interval statistics (for reports).
+    #[must_use]
+    pub fn rate_stats(&self) -> &stat4_core::running::RunningStats {
+        self.syn_rate.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use packet::{EthernetFrame, Ipv4Packet, TcpSegment};
+    use workloads::SynFloodWorkload;
+
+    fn kind_of(frame: &[u8]) -> i64 {
+        let eth = EthernetFrame::new_checked(frame).unwrap();
+        let ip = Ipv4Packet::new_checked(eth.payload()).unwrap();
+        match TcpSegment::new_checked(ip.payload()) {
+            Ok(t) if t.syn() && !t.ack() => KIND_SYN,
+            Ok(_) => 0,
+            Err(_) => 2,
+        }
+    }
+
+    #[test]
+    fn detects_flood_not_background() {
+        let w = SynFloodWorkload {
+            background_cps: 500,
+            flood_pps: 50_000,
+            flood_start: 400_000_000,
+            duration: 900_000_000,
+            seed: 4,
+            ..SynFloodWorkload::default()
+        };
+        let (schedule, _victim) = w.generate();
+        let mut det = SynFloodDetector::new(SynFloodConfig::default());
+        for (t, frame) in &schedule {
+            det.observe(*t, kind_of(frame));
+        }
+        let at = det.detected_at.expect("flood must be detected");
+        assert!(
+            at >= w.flood_start,
+            "no false positive before the flood: {at}"
+        );
+        assert!(
+            at < w.flood_start + 100_000_000,
+            "detected within 100 ms of onset, got +{} ms",
+            (at - w.flood_start) / 1_000_000
+        );
+    }
+
+    #[test]
+    fn quiet_traffic_never_alerts() {
+        let w = SynFloodWorkload {
+            background_cps: 500,
+            flood_pps: 50_000,
+            flood_start: 2_000_000_000, // after the end
+            duration: 900_000_000,
+            seed: 4,
+            ..SynFloodWorkload::default()
+        };
+        let (schedule, _) = w.generate();
+        let mut det = SynFloodDetector::new(SynFloodConfig::default());
+        for (t, frame) in &schedule {
+            det.observe(*t, kind_of(frame));
+        }
+        assert!(det.detected_at.is_none(), "alerts: {:?}", det.alerts);
+    }
+
+    #[test]
+    fn rate_stats_populated() {
+        let mut det = SynFloodDetector::new(SynFloodConfig {
+            interval_ns: 1_000,
+            min_intervals: 2,
+            ..SynFloodConfig::default()
+        });
+        for i in 0..100u64 {
+            det.observe(i * 100, if i % 3 == 0 { KIND_SYN } else { 0 });
+        }
+        assert!(det.rate_stats().n() > 0);
+    }
+}

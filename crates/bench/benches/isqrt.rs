@@ -1,0 +1,86 @@
+//! Microbenchmarks of the square-root primitives: the paper's
+//! shift-based approximation against the exact integer root and the
+//! hardware float root, plus the full pipeline-IR realisation (whose
+//! cost includes the 7-step MSB if-cascade the paper worries about and
+//! amortises with lazy evaluation).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_isqrt(c: &mut Criterion) {
+    let inputs: Vec<u64> = (0..1024u64).map(|i| i.wrapping_mul(0x9e37_79b9) % 1_000_000).collect();
+
+    let mut g = c.benchmark_group("isqrt");
+    g.bench_function("approx_shift_based", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &x in &inputs {
+                acc = acc.wrapping_add(stat4_core::isqrt::approx_isqrt(black_box(x)));
+            }
+            acc
+        });
+    });
+    g.bench_function("exact_digit_by_digit", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &x in &inputs {
+                acc = acc.wrapping_add(stat4_core::isqrt::exact_isqrt(black_box(x)));
+            }
+            acc
+        });
+    });
+    g.bench_function("f64_sqrt_floor", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &x in &inputs {
+                acc = acc.wrapping_add((black_box(x) as f64).sqrt() as u64);
+            }
+            acc
+        });
+    });
+    g.finish();
+
+    // The IR realisation on the simulated pipeline.
+    let mut b = p4sim::ProgramBuilder::new();
+    let frag = stat4_p4::fragments::isqrt_fragment(
+        &mut b,
+        p4sim::phv::fields::PAYLOAD_VALUE,
+        stat4_p4::scratch::SD,
+    );
+    b.set_control(frag);
+    let pipe = b.build(p4sim::TargetModel::bmv2()).expect("valid program");
+
+    c.bench_function("isqrt/pipeline_ir", |bch| {
+        bch.iter_batched_ref(
+            || pipe.clone(),
+            |pipe| {
+                let mut acc = 0u64;
+                for &x in &inputs[..64] {
+                    let mut phv = p4sim::Phv::new();
+                    phv.set(p4sim::phv::fields::PAYLOAD_VALUE, x);
+                    pipe.process_phv(&mut phv).expect("ok");
+                    acc = acc.wrapping_add(phv.get(stat4_p4::scratch::SD));
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+/// Short measurement windows: the suite covers many benchmarks and is
+/// run wholesale by `cargo bench --workspace`; per-benchmark precision
+/// matters less than overall coverage.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_isqrt
+}
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Microbenchmarks of the moment trackers, including the paper's
+//! lazy-vs-eager standard-deviation ablation (Sec. 3: "our library
+//! updates the statistical measures only when a new value is added",
+//! amortising the MSB scan).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stat4_core::freq::FrequencyDist;
+use stat4_core::running::RunningStats;
+use stat4_core::window::WindowedDist;
+use std::hint::black_box;
+
+fn bench_moments(c: &mut Criterion) {
+    let values: Vec<i64> = (0..1024i64).map(|i| (i * 37) % 1000).collect();
+
+    let mut g = c.benchmark_group("moments");
+    g.bench_function("running_stats_push", |b| {
+        b.iter(|| {
+            let mut s = RunningStats::new();
+            for &v in &values {
+                s.push(black_box(v));
+            }
+            s.xsum()
+        });
+    });
+    g.bench_function("freq_dist_observe", |b| {
+        b.iter(|| {
+            let mut d = FrequencyDist::new(0, 999).expect("domain");
+            for &v in &values {
+                d.observe(black_box(v)).expect("in domain");
+            }
+            d.xsum()
+        });
+    });
+    g.bench_function("windowed_close_interval", |b| {
+        b.iter(|| {
+            let mut w = WindowedDist::new(100).expect("window");
+            for &v in &values {
+                w.accumulate(black_box(v));
+                w.close_interval();
+            }
+            w.stats().xsum()
+        });
+    });
+    g.finish();
+
+    // Lazy vs eager sigma: push 1024 values; eager recomputes sd on
+    // every push, lazy only at the end (the paper's design point: reads
+    // are far rarer than updates).
+    let mut g = c.benchmark_group("sigma_ablation");
+    g.bench_function("eager_sd_every_push", |b| {
+        b.iter(|| {
+            let mut s = RunningStats::new();
+            let mut acc = 0u64;
+            for &v in &values {
+                s.push(black_box(v));
+                acc = acc.wrapping_add(s.sd_nx());
+            }
+            acc
+        });
+    });
+    g.bench_function("lazy_sd_on_read", |b| {
+        b.iter(|| {
+            let mut s = RunningStats::new();
+            for &v in &values {
+                s.push(black_box(v));
+            }
+            s.sd_nx()
+        });
+    });
+    g.bench_function("cached_sd_mixed_reads", |b| {
+        b.iter(|| {
+            let mut s = RunningStats::new();
+            let mut acc = 0u64;
+            for (i, &v) in values.iter().enumerate() {
+                s.push(black_box(v));
+                if i % 16 == 0 {
+                    acc = acc.wrapping_add(s.sd_cached());
+                }
+            }
+            acc
+        });
+    });
+    g.finish();
+}
+
+/// Short measurement windows: the suite covers many benchmarks and is
+/// run wholesale by `cargo bench --workspace`; per-benchmark precision
+/// matters less than overall coverage.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_moments
+}
+criterion_main!(benches);

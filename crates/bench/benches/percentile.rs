@@ -1,0 +1,70 @@
+//! Microbenchmarks of the percentile tracker, including the
+//! step-size ablation: the paper's one-step-per-packet rebalance (the
+//! P4-feasible variant) against an unconstrained rebalance loop (what a
+//! loop-capable target could do), quantifying what the restriction
+//! costs in work per packet.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stat4_core::percentile::{PercentileSet, PercentileTracker, Quantile};
+use std::hint::black_box;
+
+fn inputs() -> Vec<i64> {
+    (0..4096i64).map(|i| (i * 131) % 1000).collect()
+}
+
+fn bench_percentile(c: &mut Criterion) {
+    let values = inputs();
+
+    let mut g = c.benchmark_group("percentile");
+    g.bench_function("median_one_step_per_packet", |b| {
+        b.iter(|| {
+            let mut t = PercentileTracker::median(0, 999).expect("domain");
+            for &v in &values {
+                t.observe(black_box(v)).expect("in domain");
+            }
+            t.estimate()
+        });
+    });
+    g.bench_function("median_full_rebalance_per_packet", |b| {
+        b.iter(|| {
+            let mut s = PercentileSet::new(0, 999, &[Quantile::median()]).expect("domain");
+            for &v in &values {
+                s.observe(black_box(v)).expect("in domain");
+                s.rebalance_full();
+            }
+            s.estimate(0)
+        });
+    });
+    g.bench_function("three_markers_shared_counts", |b| {
+        let qs = [
+            Quantile::percentile(10).expect("valid"),
+            Quantile::median(),
+            Quantile::percentile(90).expect("valid"),
+        ];
+        b.iter(|| {
+            let mut s = PercentileSet::new(0, 999, &qs).expect("domain");
+            for &v in &values {
+                s.observe(black_box(v)).expect("in domain");
+            }
+            (s.estimate(0), s.estimate(1), s.estimate(2))
+        });
+    });
+    g.finish();
+}
+
+/// Short measurement windows: the suite covers many benchmarks and is
+/// run wholesale by `cargo bench --workspace`; per-benchmark precision
+/// matters less than overall coverage.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_percentile
+}
+criterion_main!(benches);

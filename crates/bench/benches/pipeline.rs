@@ -1,0 +1,96 @@
+//! End-to-end per-packet cost of the emitted pipeline programs: frame
+//! parsing, the echo application, and the case-study application (its
+//! two paths: mid-interval counting vs the interval-close path that
+//! runs the variance + square-root chain).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use p4sim::phv::fields;
+use p4sim::Phv;
+use packet::builder::PacketBuilder;
+use stat4_p4::{CaseStudyApp, CaseStudyParams, EchoApp, Stat4Config};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let frame = PacketBuilder::udp(
+        Ipv4Addr::new(192, 0, 2, 1),
+        Ipv4Addr::new(10, 0, 3, 4),
+        4242,
+        80,
+    )
+    .payload(&42u64.to_be_bytes())
+    .build();
+
+    c.bench_function("pipeline/parse_frame", |b| {
+        b.iter(|| p4sim::parse_frame(black_box(&frame), 1, 99));
+    });
+
+    let echo = EchoApp::build(&Stat4Config::default()).expect("builds");
+    c.bench_function("pipeline/echo_per_packet", |b| {
+        b.iter_batched_ref(
+            || echo.pipeline.clone(),
+            |pipe| {
+                for i in 0..64u64 {
+                    let mut phv = Phv::new();
+                    phv.set(fields::PAYLOAD_VALUE, i % 511);
+                    pipe.process_phv(&mut phv).expect("ok");
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    let params = CaseStudyParams::default();
+    let app = CaseStudyApp::build(params).expect("builds");
+    c.bench_function("pipeline/casestudy_mid_interval", |b| {
+        b.iter_batched_ref(
+            || app.pipeline.clone(),
+            |pipe| {
+                // All packets in one interval: the cheap count path.
+                for i in 0..64u64 {
+                    let mut phv = Phv::new();
+                    phv.set(fields::TIMESTAMP_NS, 1_000_000 + i);
+                    phv.set(fields::IPV4_DST, 0x0a00_0001);
+                    phv.set(fields::IPV4_VALID, 1);
+                    pipe.process_phv(&mut phv).expect("ok");
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("pipeline/casestudy_interval_close", |b| {
+        b.iter_batched_ref(
+            || app.pipeline.clone(),
+            |pipe| {
+                // Every packet lands in a new interval: the close path
+                // (variance + sqrt + window update) runs each time.
+                let ivl = 1u64 << CaseStudyParams::default().interval_log2;
+                for i in 0..64u64 {
+                    let mut phv = Phv::new();
+                    phv.set(fields::TIMESTAMP_NS, (i + 1) * ivl);
+                    phv.set(fields::IPV4_DST, 0x0a00_0001);
+                    phv.set(fields::IPV4_VALID, 1);
+                    pipe.process_phv(&mut phv).expect("ok");
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+/// Short measurement windows: the suite covers many benchmarks and is
+/// run wholesale by `cargo bench --workspace`; per-benchmark precision
+/// matters less than overall coverage.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Microbenchmarks of the sparse-domain primitives: count-min update
+//! policies (portable and in-pipeline) and the EWMA/CUSUM streaming
+//! detectors.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use p4sim::phv::fields;
+use p4sim::Phv;
+use stat4_core::cusum::CusumDetector;
+use stat4_core::ewma::Ewma;
+use stat4_core::sketch::CountMinSketch;
+use stat4_p4::{SketchApp, SketchAppParams};
+use std::hint::black_box;
+
+fn bench_sketch(c: &mut Criterion) {
+    let keys: Vec<u64> = (0..1024u64).map(|i| i.wrapping_mul(2654435761) % 4096).collect();
+
+    let mut g = c.benchmark_group("sketch");
+    g.bench_function("plain_update", |b| {
+        b.iter(|| {
+            let mut s = CountMinSketch::new(4, 10);
+            for &k in &keys {
+                s.update(black_box(k), 1);
+            }
+            s.total()
+        });
+    });
+    g.bench_function("conservative_update", |b| {
+        b.iter(|| {
+            let mut s = CountMinSketch::new(4, 10);
+            for &k in &keys {
+                s.update_conservative(black_box(k), 1);
+            }
+            s.total()
+        });
+    });
+    g.bench_function("estimate", |b| {
+        let mut s = CountMinSketch::new(4, 10);
+        for &k in &keys {
+            s.update(k, 1);
+        }
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &k in &keys {
+                acc = acc.wrapping_add(s.estimate(black_box(k)));
+            }
+            acc
+        });
+    });
+    g.finish();
+
+    let app = SketchApp::build(SketchAppParams::default()).expect("builds");
+    c.bench_function("sketch/pipeline_per_packet", |b| {
+        b.iter_batched_ref(
+            || app.pipeline.clone(),
+            |pipe| {
+                for &k in &keys[..64] {
+                    let mut phv = Phv::new();
+                    phv.set(fields::IPV4_DST, k);
+                    pipe.process_phv(&mut phv).expect("ok");
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    let mut g = c.benchmark_group("streaming_detectors");
+    g.bench_function("ewma_update", |b| {
+        b.iter(|| {
+            let mut e = Ewma::new(4);
+            for &k in &keys {
+                e.update(black_box(k as i64));
+            }
+            e.value()
+        });
+    });
+    g.bench_function("cusum_observe", |b| {
+        b.iter(|| {
+            let mut d = CusumDetector::new(2048, 64, 10_000);
+            let mut alarms = 0u64;
+            for &k in &keys {
+                alarms += u64::from(d.observe(black_box(k as i64)));
+            }
+            alarms
+        });
+    });
+    g.finish();
+}
+
+/// Short measurement windows: the suite covers many benchmarks and is
+/// run wholesale by `cargo bench --workspace`; per-benchmark precision
+/// matters less than overall coverage.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_sketch
+}
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! The squaring ablation (paper Sec. 2: "some hardware switches do not
+//! support the squaring of values unknown at compile time … we can
+//! approximate squaring by using shifting operations"): exact runtime
+//! multiplication vs the one-term and refined shift approximations vs
+//! the exact unrolled shift-add multiplier, plus their accuracy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_squaring(c: &mut Criterion) {
+    let inputs: Vec<u64> = (1..1025u64).map(|i| i.wrapping_mul(2654435761) % 60_000).collect();
+
+    let mut g = c.benchmark_group("squaring");
+    g.bench_function("exact_mul", |b| {
+        b.iter(|| {
+            let mut acc = 0u128;
+            for &x in &inputs {
+                let x = black_box(x);
+                acc = acc.wrapping_add((x as u128) * (x as u128));
+            }
+            acc
+        });
+    });
+    g.bench_function("approx_shift_one_term", |b| {
+        b.iter(|| {
+            let mut acc = 0u128;
+            for &x in &inputs {
+                acc = acc.wrapping_add(stat4_core::square::approx_square(black_box(x)));
+            }
+            acc
+        });
+    });
+    g.bench_function("approx_shift_refined", |b| {
+        b.iter(|| {
+            let mut acc = 0u128;
+            for &x in &inputs {
+                acc = acc.wrapping_add(stat4_core::square::approx_square_refined(black_box(x)));
+            }
+            acc
+        });
+    });
+    g.finish();
+
+    // IR-level: exact Mul (bmv2) vs the unrolled shift-add multiplier
+    // (hardware-legal). 16-bit unroll = 80 primitives.
+    let mul_pipe = {
+        let mut b = p4sim::ProgramBuilder::new();
+        let a = b.add_action(p4sim::ActionDef::new(
+            "mul",
+            vec![p4sim::Primitive::Mul {
+                dst: stat4_p4::scratch::SD,
+                a: p4sim::Operand::Field(p4sim::phv::fields::PAYLOAD_VALUE),
+                b: p4sim::Operand::Field(p4sim::phv::fields::PAYLOAD_VALUE),
+            }],
+        ));
+        b.set_control(p4sim::Control::ApplyAction(a));
+        b.build(p4sim::TargetModel::bmv2()).expect("valid")
+    };
+    let unrolled_pipe = {
+        let mut b = p4sim::ProgramBuilder::new();
+        let a = b.add_action(p4sim::ActionDef::new(
+            "mul_unrolled",
+            stat4_p4::fragments::mul_unrolled_primitives(
+                p4sim::phv::fields::PAYLOAD_VALUE,
+                p4sim::phv::fields::PAYLOAD_VALUE,
+                stat4_p4::scratch::SD,
+                16,
+            ),
+        ));
+        b.set_control(p4sim::Control::ApplyAction(a));
+        b.build(p4sim::TargetModel::tofino_like()).expect("valid")
+    };
+
+    let mut g = c.benchmark_group("squaring_ir");
+    for (name, pipe) in [("runtime_mul", &mul_pipe), ("unrolled_16bit", &unrolled_pipe)] {
+        g.bench_function(name, |bch| {
+            let mut pipe = pipe.clone();
+            bch.iter(|| {
+                let mut acc = 0u64;
+                for &x in &inputs[..64] {
+                    let mut phv = p4sim::Phv::new();
+                    phv.set(p4sim::phv::fields::PAYLOAD_VALUE, x);
+                    pipe.process_phv(&mut phv).expect("ok");
+                    acc = acc.wrapping_add(phv.get(stat4_p4::scratch::SD));
+                }
+                acc
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Short measurement windows: the suite covers many benchmarks and is
+/// run wholesale by `cargo bench --workspace`; per-benchmark precision
+/// matters less than overall coverage.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_squaring
+}
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! Ablation: the paper's mean + k·σ band vs an integer CUSUM — the
+//! "larger exploration of in-switch statistical primitives" the paper's
+//! future-work section calls for, quantified.
+//!
+//! ```text
+//! cargo run -p bench --bin ablation_cusum --release
+//! ```
+//!
+//! Three regimes over per-interval counts (window 100, margined band as
+//! deployed in the case study, CUSUM calibrated from the same tracked
+//! moments):
+//!
+//! 1. clean noise — false alarms per 10 000 intervals;
+//! 2. a 10× volumetric spike — detection latency in intervals;
+//! 3. a sustained +20% shift (a low-and-slow attack) — detection
+//!    latency in intervals, where the band is structurally blind but
+//!    CUSUM accumulates.
+
+use rand::Rng;
+use stat4_core::cusum::CusumDetector;
+use stat4_core::window::WindowedDist;
+
+const BASE: i64 = 200;
+const WINDOW: usize = 100;
+const WARMUP: usize = 200;
+
+fn noise(rng: &mut impl Rng) -> i64 {
+    // Poisson-ish: base +- ~sqrt(base) of jitter.
+    BASE + rng.random_range(-30..=30) + rng.random_range(-14..=14)
+}
+
+/// Returns (band_latency, cusum_latency) in intervals after onset, or
+/// None if undetected within the horizon.
+fn detection_latency(shift: impl Fn(i64) -> i64, seed: u64) -> (Option<usize>, Option<usize>) {
+    let mut rng = workloads::rng(seed);
+    let mut window = WindowedDist::new(WINDOW).expect("window");
+    for _ in 0..WARMUP {
+        window.accumulate(noise(&mut rng));
+        window.close_interval();
+    }
+    let mut cusum = CusumDetector::from_stats(window.stats(), 1, 8);
+
+    let mut band_at = None;
+    let mut cusum_at = None;
+    for i in 0..2_000usize {
+        let x = shift(noise(&mut rng));
+        if band_at.is_none() && window.is_spike_margined(x, 2, 10, 3, 4) {
+            band_at = Some(i);
+        }
+        if cusum_at.is_none() && cusum.observe(x) {
+            cusum_at = Some(i);
+        }
+        window.accumulate(x);
+        window.close_interval();
+        if band_at.is_some() && cusum_at.is_some() {
+            break;
+        }
+    }
+    (band_at, cusum_at)
+}
+
+fn false_alarms(seed: u64) -> (u64, u64) {
+    let mut rng = workloads::rng(seed);
+    let mut window = WindowedDist::new(WINDOW).expect("window");
+    for _ in 0..WARMUP {
+        window.accumulate(noise(&mut rng));
+        window.close_interval();
+    }
+    let mut cusum = CusumDetector::from_stats(window.stats(), 1, 8);
+    let mut band = 0u64;
+    let mut cus = 0u64;
+    for _ in 0..10_000 {
+        let x = noise(&mut rng);
+        if window.is_spike_margined(x, 2, 10, 3, 4) {
+            band += 1;
+        }
+        if cusum.observe(x) {
+            cus += 1;
+        }
+        window.accumulate(x);
+        window.close_interval();
+    }
+    (band, cus)
+}
+
+fn fmt(x: Option<usize>) -> String {
+    x.map_or("miss".into(), |v| format!("{v}"))
+}
+
+fn main() {
+    println!("Ablation: margined mean+2σ band vs integer CUSUM (per-interval counts, base {BASE})");
+    println!("{:-<76}", "");
+
+    let (fb, fc) = false_alarms(11);
+    println!("clean noise, 10 000 intervals: band false alarms = {fb}, CUSUM false alarms = {fc}");
+
+    println!("\n{:<28} {:>16} {:>16}", "scenario", "band latency", "CUSUM latency");
+    println!("{:-<62}", "");
+    let mut band_sum = 0usize;
+    let mut cusum_sum = 0usize;
+    for seed in 1..=5u64 {
+        let (b, c) = detection_latency(|x| x * 10, seed);
+        band_sum += b.unwrap_or(9999);
+        cusum_sum += c.unwrap_or(9999);
+        println!("{:<28} {:>16} {:>16}", format!("10x spike (seed {seed})"), fmt(b), fmt(c));
+    }
+    println!("{:-<62}", "");
+    let mut misses_band = 0;
+    for seed in 1..=5u64 {
+        let (b, c) = detection_latency(|x| x + BASE / 5, seed);
+        if b.is_none() {
+            misses_band += 1;
+        }
+        println!(
+            "{:<28} {:>16} {:>16}",
+            format!("+20% sustained (seed {seed})"),
+            fmt(b),
+            fmt(c)
+        );
+    }
+    println!("{:-<62}", "");
+    println!(
+        "takeaway: on abrupt spikes both fire within ~1 interval (band {band_sum}, cusum {cusum_sum} \
+         summed over 5 runs);"
+    );
+    println!(
+        "on a low-and-slow +20% shift the band misses in {misses_band}/5 runs while CUSUM \
+         accumulates the drift within tens of intervals — complementary primitives, both \
+         P4-expressible."
+    );
+}

@@ -1,0 +1,94 @@
+//! Ablation: the alarm margin (DESIGN.md "Known deviations").
+//!
+//! ```text
+//! cargo run -p bench --bin ablation_margin --release
+//! ```
+//!
+//! The paper's check is a bare `mean + 2σ`; our deployment adds a
+//! relative margin `max(Xsum >> shift, 4)`. This sweep quantifies the
+//! trade on per-interval counts: the false-alarm probability on clean
+//! (Poisson-ish) traffic vs the smallest detectable spike multiplier,
+//! as the margin widens from "off" to 50% of the mean.
+
+use rand::Rng;
+use stat4_core::window::WindowedDist;
+
+const BASE: i64 = 200;
+const WINDOW: usize = 100;
+
+fn noise(rng: &mut impl Rng) -> i64 {
+    BASE + rng.random_range(-30..=30) + rng.random_range(-14..=14)
+}
+
+/// False alarms on clean traffic, per 10 000 intervals (margin off =
+/// shift 63, floor 0).
+fn fp_rate(shift: u32, floor: u64, seed: u64) -> u64 {
+    let mut rng = workloads::rng(seed);
+    let mut w = WindowedDist::new(WINDOW).expect("window");
+    for _ in 0..WINDOW {
+        w.accumulate(noise(&mut rng));
+        w.close_interval();
+    }
+    let mut alarms = 0;
+    for _ in 0..10_000 {
+        let x = noise(&mut rng);
+        if w.is_spike_margined(x, 2, 10, shift, floor) {
+            alarms += 1;
+        }
+        w.accumulate(x);
+        w.close_interval();
+    }
+    alarms
+}
+
+/// Smallest spike multiplier (in 5% steps) that is detected within one
+/// interval of onset.
+fn min_detectable(shift: u32, floor: u64, seed: u64) -> f64 {
+    let mut mult = 1.05f64;
+    loop {
+        let mut rng = workloads::rng(seed);
+        let mut w = WindowedDist::new(WINDOW).expect("window");
+        for _ in 0..WINDOW {
+            w.accumulate(noise(&mut rng));
+            w.close_interval();
+        }
+        let spike = (BASE as f64 * mult) as i64;
+        if w.is_spike_margined(spike, 2, 10, shift, floor) {
+            return mult;
+        }
+        mult += 0.05;
+        if mult > 20.0 {
+            return f64::INFINITY;
+        }
+    }
+}
+
+fn main() {
+    println!("Ablation: relative alarm margin max(Xsum >> shift, floor) on the spike check");
+    println!("(base rate {BASE}/interval, window {WINDOW}, k = 2; 10 000 clean intervals)");
+    println!("{:-<78}", "");
+    println!(
+        "{:<26} {:>18} {:>24}",
+        "margin", "false alarms", "min detectable spike"
+    );
+    println!("{:-<78}", "");
+    // (label, shift, floor)
+    let configs: [(&str, u32, u64); 5] = [
+        ("off (paper's bare 2σ)", 63, 0),
+        ("1/32 of mean (shift 5)", 5, 4),
+        ("1/8 of mean (shift 3)", 3, 4),
+        ("1/4 of mean (shift 2)", 2, 4),
+        ("1/2 of mean (shift 1)", 1, 4),
+    ];
+    for (label, shift, floor) in configs {
+        let fp: u64 = (1..=3).map(|s| fp_rate(shift, floor, s)).sum::<u64>() / 3;
+        let md = min_detectable(shift, floor, 1);
+        println!("{label:<26} {fp:>13} /10k {md:>22.2}x");
+    }
+    println!("{:-<78}", "");
+    println!(
+        "takeaway: the bare band false-alarms continuously on stochastic counts; 1/8 of the \
+         mean (one shift + one max, P4-legal) silences it while still catching sub-2x spikes — \
+         the deployment default."
+    );
+}

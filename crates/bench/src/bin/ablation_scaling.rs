@@ -1,0 +1,83 @@
+//! Ablation: order-of-magnitude value scaling (paper Sec. 2).
+//!
+//! ```text
+//! cargo run -p bench --bin ablation_scaling --release
+//! ```
+//!
+//! The paper: "we can further reduce memory consumption by storing the
+//! order of magnitude of the values … if we keep 100ms-long counters
+//! and a switch forwards 10Gb of traffic in most of the 100ms
+//! intervals, we can track values in Gb units". This sweep tracks byte
+//! volumes of ~1.25 GB/interval (10 Gb) through [`Scale`]s of
+//! increasing coarseness and reports the register bits needed per
+//! counter vs the smallest byte-volume spike the scaled mean + 2σ check
+//! still detects.
+
+use rand::Rng;
+use stat4_core::scale::Scale;
+use stat4_core::window::WindowedDist;
+
+const BYTES_PER_INTERVAL: i64 = 1_250_000_000; // 10 Gb in 100 ms
+const WINDOW: usize = 100;
+
+fn interval_bytes(rng: &mut impl Rng) -> i64 {
+    BYTES_PER_INTERVAL + rng.random_range(-BYTES_PER_INTERVAL / 20..=BYTES_PER_INTERVAL / 20)
+}
+
+/// Bits needed to store the largest scaled value seen.
+fn bits_needed(max_scaled: i64) -> u32 {
+    64 - (max_scaled.max(1) as u64).leading_zeros()
+}
+
+fn main() {
+    println!("Ablation: order-of-magnitude scaling of tracked byte volumes");
+    println!(
+        "(~{:.2} GB per interval ±5%, window {WINDOW}, margined 2σ check on scaled units)",
+        BYTES_PER_INTERVAL as f64 / 1e9
+    );
+    println!("{:-<86}", "");
+    println!(
+        "{:<12} {:>16} {:>14} {:>18} {:>20}",
+        "shift", "scaled typical", "counter bits", "min detectable", "quantisation err"
+    );
+    println!("{:-<86}", "");
+
+    for shift in [0u32, 10, 20, 24, 27, 30] {
+        let scale = Scale::new(0, shift, i64::MAX >> 2).expect("valid");
+        let mut rng = workloads::rng(42);
+        let mut w = WindowedDist::new(WINDOW).expect("window");
+        let mut max_scaled = 0i64;
+        for _ in 0..WINDOW {
+            let s = scale.apply(interval_bytes(&mut rng));
+            max_scaled = max_scaled.max(s);
+            w.accumulate(s);
+            w.close_interval();
+        }
+        // Smallest spike multiplier detected on the scaled values.
+        let mut mult = 1.05f64;
+        let detected = loop {
+            let spike = scale.apply((BYTES_PER_INTERVAL as f64 * mult) as i64);
+            if w.is_spike_margined(spike, 2, 10, 3, 4) {
+                break mult;
+            }
+            mult += 0.05;
+            if mult > 50.0 {
+                break f64::INFINITY;
+            }
+        };
+        println!(
+            "{:<12} {:>16} {:>14} {:>17.2}x {:>17} B",
+            shift,
+            scale.apply(BYTES_PER_INTERVAL),
+            bits_needed(max_scaled),
+            detected,
+            scale.quantisation_error()
+        );
+    }
+    println!("{:-<86}", "");
+    println!(
+        "takeaway: shifting 27 bits stores ~10 Gb intervals in 4-bit counters and still \
+         detects a ~2x spike; past that the quantisation floor swallows the 2σ band — \
+         the paper's \"values much bigger than 100 are unnecessary\" claim, quantified."
+    );
+}

@@ -1,0 +1,181 @@
+//! Reproduces the paper's **Figure 1 argument** quantitatively: the
+//! sketch-only pull architecture (Fig. 1b) vs in-switch detection with
+//! pushed alerts (Fig. 1c), on identical traffic, identical detection
+//! logic, identical control-channel latency — only the *placement* of
+//! the check differs.
+//!
+//! ```text
+//! cargo run -p bench --bin repro_architecture --release
+//! ```
+//!
+//! The paper: "for any sketch-only system, a delay is inevitable
+//! between when a traffic change is theoretically detectable and when
+//! the system is actually able to detect the change: this delay is
+//! inversely proportional to the generated overhead." The sweep below
+//! measures exactly that curve (pull period → detection latency +
+//! messages + register cells transferred) and the push architecture's
+//! single point (one digest, ~zero standing overhead).
+
+use anomaly::drilldown::{DrilldownController, DrilldownTopology};
+use anomaly::polling::PollingController;
+use netsim::host::{SinkHost, TraceGen, TrafficSource};
+use netsim::{P4SwitchNode, Simulation, MICROS, MILLIS};
+use stat4_p4::{CaseStudyApp, CaseStudyParams, Stat4Config};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use workloads::SpikeWorkload;
+
+const CTRL_DELAY: u64 = 2 * MILLIS;
+
+fn params() -> CaseStudyParams {
+    CaseStudyParams {
+        interval_log2: 23, // ~8.4 ms, the paper's default interval
+        window_size: 100,
+        min_intervals: 16,
+        config: Stat4Config {
+            counter_num: 2,
+            counter_size: 64,
+            width_bits: 64,
+        },
+        ..CaseStudyParams::default()
+    }
+}
+
+fn workload() -> (workloads::Schedule, workloads::SpikeGroundTruth, u64) {
+    let p = params();
+    let interval_ns = 1u64 << p.interval_log2;
+    let w = SpikeWorkload {
+        background_pps: 20_000,
+        spike_multiplier: 10,
+        spike_start_range: (25 * interval_ns, 26 * interval_ns),
+        duration: 80 * interval_ns,
+        seed: 21,
+        ..SpikeWorkload::default()
+    };
+    let (s, t) = w.generate();
+    (s, t, w.duration)
+}
+
+struct Run {
+    detect_latency_ms: f64,
+    messages: u64,
+    cells: u64,
+    msgs_per_sec: f64,
+}
+
+fn run_pull(period: u64) -> Run {
+    let (schedule, truth, duration) = workload();
+    let app = CaseStudyApp::build(params()).expect("builds");
+    let handles = app.handles();
+    let mut sim = Simulation::new();
+    let source = sim.add_node(Box::new(TrafficSource::new(Box::new(TraceGen::new(
+        schedule,
+    )))));
+    let sink = sim.add_node(Box::new(SinkHost::new(Arc::new(AtomicU64::new(0)))));
+    let switch = sim.add_node(Box::new(P4SwitchNode::new(app.pipeline)));
+    let poller = sim.add_node(Box::new(PollingController::new(handles, switch, period)));
+    sim.connect(source, 0, switch, 0, 20 * MICROS);
+    sim.connect(switch, 1, sink, 0, 20 * MICROS);
+    sim.connect_control(switch, poller, CTRL_DELAY);
+    // Cap the run at the workload duration so overhead normalisation is
+    // fair (the poller would otherwise poll an idle network forever).
+    sim.run_until(duration);
+    let p = sim.node_as::<PollingController>(poller).expect("poller");
+    Run {
+        detect_latency_ms: p
+            .detected_at
+            .map(|at| (at - truth.spike_start) as f64 / 1e6)
+            .unwrap_or(f64::NAN),
+        messages: p.requests_sent * 2, // request + response
+        cells: p.cells_read,
+        msgs_per_sec: (p.requests_sent * 2) as f64 / (duration as f64 / 1e9),
+    }
+}
+
+fn run_push() -> Run {
+    let (schedule, truth, duration) = workload();
+    let app = CaseStudyApp::build(params()).expect("builds");
+    let handles = app.handles();
+    let mut sim = Simulation::new();
+    let source = sim.add_node(Box::new(TrafficSource::new(Box::new(TraceGen::new(
+        schedule,
+    )))));
+    let sink = sim.add_node(Box::new(SinkHost::new(Arc::new(AtomicU64::new(0)))));
+    let switch = sim.add_node(Box::new(P4SwitchNode::new(app.pipeline)));
+    let controller = sim.add_node(Box::new(DrilldownController::new(
+        handles,
+        switch,
+        DrilldownTopology {
+            net: 10,
+            subnets: 6,
+            hosts_per_subnet: 6,
+        },
+    )));
+    sim.node_as_mut::<P4SwitchNode>(switch)
+        .expect("switch")
+        .controller = Some(controller);
+    sim.connect(source, 0, switch, 0, 20 * MICROS);
+    sim.connect(switch, 1, sink, 0, 20 * MICROS);
+    sim.connect_control(switch, controller, CTRL_DELAY);
+    sim.run_until(duration);
+    let c = sim
+        .node_as::<DrilldownController>(controller)
+        .expect("controller");
+    let digests = sim
+        .node_as::<P4SwitchNode>(switch)
+        .expect("switch")
+        .digests_sent;
+    Run {
+        detect_latency_ms: c
+            .report
+            .spike_alert_at
+            .map(|at| (at - truth.spike_start) as f64 / 1e6)
+            .unwrap_or(f64::NAN),
+        messages: digests,
+        cells: 0,
+        msgs_per_sec: digests as f64 / (duration as f64 / 1e9),
+    }
+}
+
+fn main() {
+    println!("Figure 1 architectures, quantified (same traffic, same check, 2 ms control RTT leg,");
+    println!("~8.4 ms intervals, 100-interval window; spike of 10x at a random time)");
+    println!("{:-<88}", "");
+    println!(
+        "{:<28} {:>14} {:>12} {:>14} {:>12}",
+        "architecture", "latency (ms)", "messages", "cells pulled", "msgs/sec"
+    );
+    println!("{:-<88}", "");
+    for period in [5 * MILLIS, 10 * MILLIS, 50 * MILLIS, 100 * MILLIS, 500 * MILLIS] {
+        let r = run_pull(period);
+        println!(
+            "{:<28} {:>14.1} {:>12} {:>14} {:>12.1}",
+            format!("pull every {} ms", period / MILLIS),
+            r.detect_latency_ms,
+            r.messages,
+            r.cells,
+            r.msgs_per_sec
+        );
+    }
+    let push = run_push();
+    println!(
+        "{:<28} {:>14.1} {:>12} {:>14} {:>12.1}",
+        "push (in-switch, Fig. 1c)",
+        push.detect_latency_ms,
+        push.messages,
+        push.cells,
+        push.msgs_per_sec
+    );
+    println!(
+        "{:<28} (every push message is an anomaly digest emitted *after* onset; during the",
+        ""
+    );
+    println!("{:<28} anomaly-free warm-up the push architecture sends zero messages)", "");
+    println!("{:-<88}", "");
+    println!(
+        "the paper's claim, measured: pull latency ≈ interval + poll period/1 + RTT and its \
+         overhead grows as the period shrinks (inverse proportionality), while the push \
+         architecture detects at interval close + one-way delay with zero standing overhead."
+    );
+    assert!(push.detect_latency_ms < 15.0, "push: first interval + 2 ms");
+}

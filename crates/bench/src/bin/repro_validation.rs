@@ -1,0 +1,99 @@
+//! Reproduces the **Sec. 3 validation experiment** (Figure 5): a host
+//! sends 10 000 Ethernet frames whose payload carries a random integer
+//! in `[-255, 255]`; the switch tracks the integers' frequency
+//! distribution and reports `(N, Xsum, Xsumsq, σ², σ)` for every packet;
+//! the host recomputes everything in software and compares.
+//!
+//! ```text
+//! cargo run -p bench --bin repro_validation --release
+//! ```
+//!
+//! Paper's result: "in all our experiments (with up to 10,000 packets),
+//! the values of N, Xsum, Xsumsq and σ²(NX) stored at the switch are
+//! equal to those computed at the host." The reproduction asserts
+//! exactly that, digest by digest.
+
+use netsim::host::{SinkHost, TraceGen, TrafficSource};
+use netsim::{P4SwitchNode, RecordingController, Simulation, MICROS};
+use stat4_core::freq::FrequencyDist;
+use stat4_p4::{EchoApp, Stat4Config, DIGEST_ECHO};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use workloads::EchoWorkload;
+
+fn main() {
+    let workload = EchoWorkload {
+        packets: 10_000,
+        gap_ns: 10_000,
+        seed: 20,
+    };
+    let (schedule, values) = workload.generate();
+    let app = EchoApp::build(&Stat4Config::default()).expect("echo app builds");
+    let (host, sim, controller) = run(schedule, app);
+
+    let ctl = sim
+        .node_as::<RecordingController>(controller)
+        .expect("controller present");
+    let echoes = sim
+        .node_as::<TrafficSource>(host)
+        .expect("host present")
+        .received;
+    println!("Validation experiment (Fig. 5): {} packets", values.len());
+    println!(
+        "digests received: {}, frames echoed back to host: {}",
+        ctl.digests.len(),
+        echoes
+    );
+    assert_eq!(echoes, values.len() as u64, "every frame echoed");
+    assert_eq!(ctl.digests.len(), values.len(), "one digest per packet");
+
+    // Host-side oracle: replay the same values through stat4-core.
+    let mut oracle = FrequencyDist::new(-255, 255).expect("domain fits");
+    let mut mismatches = 0u64;
+    for ((_, _, digest), v) in ctl.digests.iter().zip(&values) {
+        assert_eq!(digest.id, DIGEST_ECHO);
+        oracle.observe(*v).expect("in range");
+        let expect = [
+            oracle.n_distinct(),
+            oracle.xsum(),
+            u64::try_from(oracle.xsumsq()).expect("fits"),
+            u64::try_from(oracle.variance_nx()).expect("fits"),
+            oracle.sd_nx(),
+        ];
+        if digest.values != expect {
+            mismatches += 1;
+            if mismatches <= 3 {
+                eprintln!("MISMATCH after value {v}: switch {:?} host {expect:?}", digest.values);
+            }
+        }
+    }
+    println!(
+        "switch-vs-host comparison: {} packets checked, {} mismatches",
+        values.len(),
+        mismatches
+    );
+    assert_eq!(mismatches, 0, "paper's result: exact equality");
+    println!("RESULT: N, Xsum, Xsumsq, var(NX), sd(NX) identical on every packet — matches the paper.");
+}
+
+fn run(
+    schedule: workloads::Schedule,
+    app: EchoApp,
+) -> (netsim::NodeId, Simulation, netsim::NodeId) {
+    let mut sim = Simulation::new();
+    // The echo host sends the workload and counts the echoed replies
+    // arriving back on the same port (TrafficSource::received).
+    let host = sim.add_node(Box::new(TrafficSource::new(Box::new(TraceGen::new(
+        schedule,
+    )))));
+    let unused_sink = sim.add_node(Box::new(SinkHost::new(Arc::new(AtomicU64::new(0)))));
+    let controller = sim.add_node(Box::new(RecordingController::new()));
+    let switch = sim.add_node(Box::new(
+        P4SwitchNode::new(app.pipeline).with_controller(controller),
+    ));
+    sim.connect(host, 0, switch, 0, 10 * MICROS);
+    sim.connect(switch, 1, unused_sink, 0, 10 * MICROS);
+    sim.connect_control(switch, controller, 500 * MICROS);
+    sim.run();
+    (host, sim, controller)
+}

@@ -1,0 +1,524 @@
+//! The event queue and simulation driver.
+
+use crate::control::ControlMsg;
+use crate::node::{Emission, Node, NodeCtx, NodeId};
+use crate::SimTime;
+use bytes::Bytes;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// A queued event.
+#[derive(Debug)]
+enum EventKind {
+    Frame {
+        node: NodeId,
+        port: usize,
+        frame: Bytes,
+    },
+    Timer {
+        node: NodeId,
+        token: u64,
+    },
+    Control {
+        node: NodeId,
+        from: NodeId,
+        msg: ControlMsg,
+    },
+}
+
+/// One direction of a link.
+#[derive(Debug, Clone, Copy)]
+struct LinkDir {
+    peer: NodeId,
+    peer_port: usize,
+    /// Propagation delay.
+    delay: SimTime,
+    /// Serialisation time per byte (0 = infinite bandwidth).
+    ns_per_byte: u64,
+}
+
+/// The simulation: nodes, links, control channels and the event queue.
+pub struct Simulation {
+    nodes: Vec<Box<dyn Node>>,
+    /// `(node, port) -> outgoing link`.
+    links: HashMap<(NodeId, usize), LinkDir>,
+    /// FIFO transmit occupancy per directed link (queueing model).
+    busy_until: HashMap<(NodeId, usize), SimTime>,
+    /// `(a, b) -> delay` for control messages (directional; `connect_control`
+    /// installs both directions).
+    control_delays: HashMap<(NodeId, NodeId), SimTime>,
+    queue: BinaryHeap<Reverse<(SimTime, u64)>>,
+    payloads: HashMap<u64, EventKind>,
+    seq: u64,
+    now: SimTime,
+    /// Frames delivered, for stats.
+    pub frames_delivered: u64,
+    /// Events processed, for stats.
+    pub events_processed: u64,
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulation {
+    /// An empty simulation at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            nodes: Vec::new(),
+            links: HashMap::new(),
+            busy_until: HashMap::new(),
+            control_delays: HashMap::new(),
+            queue: BinaryHeap::new(),
+            payloads: HashMap::new(),
+            seq: 0,
+            now: 0,
+            frames_delivered: 0,
+            events_processed: 0,
+        }
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Connects `(a, pa)` and `(b, pb)` with a symmetric link of the
+    /// given one-way `delay`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is already connected.
+    pub fn connect(&mut self, a: NodeId, pa: usize, b: NodeId, pb: usize, delay: SimTime) {
+        self.connect_with_bandwidth(a, pa, b, pb, delay, 0);
+    }
+
+    /// Like [`Self::connect`] but with finite bandwidth: frames occupy
+    /// the transmitter for `len × ns_per_byte` and queue FIFO behind
+    /// each other (`ns_per_byte` 0 = infinite bandwidth). 1 Gb/s ≈ 8
+    /// ns/byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is already connected.
+    pub fn connect_with_bandwidth(
+        &mut self,
+        a: NodeId,
+        pa: usize,
+        b: NodeId,
+        pb: usize,
+        delay: SimTime,
+        ns_per_byte: u64,
+    ) {
+        let prev = self.links.insert(
+            (a, pa),
+            LinkDir {
+                peer: b,
+                peer_port: pb,
+                delay,
+                ns_per_byte,
+            },
+        );
+        assert!(prev.is_none(), "port ({a}, {pa}) already connected");
+        let prev = self.links.insert(
+            (b, pb),
+            LinkDir {
+                peer: a,
+                peer_port: pa,
+                delay,
+                ns_per_byte,
+            },
+        );
+        assert!(prev.is_none(), "port ({b}, {pb}) already connected");
+    }
+
+    /// Configures the control channel between two nodes (both
+    /// directions) with a one-way `delay`.
+    pub fn connect_control(&mut self, a: NodeId, b: NodeId, delay: SimTime) {
+        self.control_delays.insert((a, b), delay);
+        self.control_delays.insert((b, a), delay);
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Mutable access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is invalid.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut dyn Node {
+        self.nodes[id].as_mut()
+    }
+
+    /// Downcasts a node to its concrete type for inspection.
+    #[must_use]
+    pub fn node_as<T: 'static>(&self, id: NodeId) -> Option<&T> {
+        self.nodes.get(id).and_then(|n| n.as_any().downcast_ref())
+    }
+
+    /// Mutable downcast.
+    pub fn node_as_mut<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
+        self.nodes
+            .get_mut(id)
+            .and_then(|n| n.as_any_mut().downcast_mut())
+    }
+
+    fn push(&mut self, at: SimTime, kind: EventKind) {
+        let id = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse((at, id)));
+        self.payloads.insert(id, kind);
+    }
+
+    /// Schedules a frame arrival directly (used by tests and traffic
+    /// injection).
+    pub fn inject_frame(&mut self, at: SimTime, node: NodeId, port: usize, frame: Bytes) {
+        self.push(at, EventKind::Frame { node, port, frame });
+    }
+
+    /// Schedules a timer for a node.
+    pub fn inject_timer(&mut self, at: SimTime, node: NodeId, token: u64) {
+        self.push(at, EventKind::Timer { node, token });
+    }
+
+    /// Schedules a control message delivery.
+    pub fn inject_control(&mut self, at: SimTime, node: NodeId, from: NodeId, msg: ControlMsg) {
+        self.push(at, EventKind::Control { node, from, msg });
+    }
+
+    fn resolve(&mut self, source: NodeId, emissions: Vec<Emission>) {
+        for e in emissions {
+            match e {
+                Emission::SendFrame { port, frame } => {
+                    if let Some(&link) = self.links.get(&(source, port)) {
+                        // FIFO serialisation: the frame starts
+                        // transmitting when the link is free.
+                        let tx_time = link.ns_per_byte * frame.len() as u64;
+                        let start = if link.ns_per_byte == 0 {
+                            self.now
+                        } else {
+                            let busy = self
+                                .busy_until
+                                .entry((source, port))
+                                .or_insert(self.now);
+                            let start = (*busy).max(self.now);
+                            *busy = start + tx_time;
+                            start
+                        };
+                        self.push(
+                            start + tx_time + link.delay,
+                            EventKind::Frame {
+                                node: link.peer,
+                                port: link.peer_port,
+                                frame,
+                            },
+                        );
+                    }
+                    // Unconnected ports silently drop, like a real NIC
+                    // with no cable.
+                }
+                Emission::SetTimer { delay, token } => {
+                    self.push(self.now + delay, EventKind::Timer { node: source, token });
+                }
+                Emission::SendControl {
+                    dst,
+                    msg,
+                    extra_delay,
+                } => {
+                    let delay = self
+                        .control_delays
+                        .get(&(source, dst))
+                        .copied()
+                        .unwrap_or(0);
+                    self.push(
+                        self.now + delay + extra_delay,
+                        EventKind::Control {
+                            node: dst,
+                            from: source,
+                            msg,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Calls every node's `on_start` (idempotence is the node's
+    /// responsibility); then runs until the queue empties or `until` is
+    /// passed. Returns the number of events processed in this call.
+    pub fn run_until(&mut self, until: SimTime) -> u64 {
+        if self.events_processed == 0 && self.now == 0 {
+            for id in 0..self.nodes.len() {
+                let mut ctx = NodeCtx::new(self.now, id);
+                self.nodes[id].on_start(&mut ctx);
+                let emissions = std::mem::take(&mut ctx.emissions);
+                self.resolve(id, emissions);
+            }
+        }
+        let mut n = 0;
+        while let Some(&Reverse((at, id))) = self.queue.peek() {
+            if at > until {
+                break;
+            }
+            self.queue.pop();
+            let kind = self.payloads.remove(&id).expect("payload exists");
+            self.now = at;
+            self.events_processed += 1;
+            n += 1;
+            let node = match &kind {
+                EventKind::Frame { node, .. }
+                | EventKind::Timer { node, .. }
+                | EventKind::Control { node, .. } => *node,
+            };
+            let mut ctx = NodeCtx::new(self.now, node);
+            match kind {
+                EventKind::Frame { port, frame, .. } => {
+                    self.frames_delivered += 1;
+                    self.nodes[node].on_frame(&mut ctx, port, frame);
+                }
+                EventKind::Timer { token, .. } => {
+                    self.nodes[node].on_timer(&mut ctx, token);
+                }
+                EventKind::Control { from, msg, .. } => {
+                    self.nodes[node].on_control(&mut ctx, from, msg);
+                }
+            }
+            let emissions = std::mem::take(&mut ctx.emissions);
+            self.resolve(node, emissions);
+        }
+        n
+    }
+
+    /// Runs until the event queue is exhausted.
+    pub fn run(&mut self) -> u64 {
+        self.run_until(SimTime::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// A node that bounces every frame back out the same port after
+    /// recording it, and counts timer fires.
+    struct Bouncer {
+        frames: Arc<AtomicU64>,
+        timers: Arc<AtomicU64>,
+        arrival_times: Arc<parking_lot::Mutex<Vec<SimTime>>>,
+    }
+
+    impl Node for Bouncer {
+        fn on_frame(&mut self, ctx: &mut NodeCtx, port: usize, frame: Bytes) {
+            self.frames.fetch_add(1, Ordering::SeqCst);
+            self.arrival_times.lock().push(ctx.now);
+            if self.frames.load(Ordering::SeqCst) < 4 {
+                ctx.send_frame(port, frame);
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut NodeCtx, _token: u64) {
+            self.timers.fetch_add(1, Ordering::SeqCst);
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    fn bouncer() -> (Box<Bouncer>, Arc<AtomicU64>, Arc<parking_lot::Mutex<Vec<SimTime>>>) {
+        let frames = Arc::new(AtomicU64::new(0));
+        let timers = Arc::new(AtomicU64::new(0));
+        let times = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        (
+            Box::new(Bouncer {
+                frames: frames.clone(),
+                timers: timers.clone(),
+                arrival_times: times.clone(),
+            }),
+            frames,
+            times,
+        )
+    }
+
+    #[test]
+    fn frames_ping_pong_with_link_delay() {
+        let mut sim = Simulation::new();
+        let (a, fa, ta) = bouncer();
+        let (b, _fb, tb) = bouncer();
+        let a = sim.add_node(a);
+        let b_id = sim.add_node(b);
+        sim.connect(a, 0, b_id, 0, 100);
+        sim.inject_frame(0, a, 0, Bytes::from_static(b"ping"));
+        sim.run();
+        // a bounces its first three arrivals and stops at four; b sees
+        // three arrivals and bounces them all.
+        assert_eq!(ta.lock().as_slice(), &[0, 200, 400, 600]);
+        assert_eq!(tb.lock().as_slice(), &[100, 300, 500]);
+        assert_eq!(fa.load(Ordering::SeqCst), 4);
+        assert_eq!(sim.now(), 600);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerNode {
+            fired: Arc<parking_lot::Mutex<Vec<u64>>>,
+        }
+        impl Node for TimerNode {
+            fn on_frame(&mut self, _: &mut NodeCtx, _: usize, _: Bytes) {}
+            fn on_timer(&mut self, _ctx: &mut NodeCtx, token: u64) {
+                self.fired.lock().push(token);
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let fired = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut sim = Simulation::new();
+        let n = sim.add_node(Box::new(TimerNode { fired: fired.clone() }));
+        sim.inject_timer(300, n, 3);
+        sim.inject_timer(100, n, 1);
+        sim.inject_timer(200, n, 2);
+        sim.run();
+        assert_eq!(fired.lock().as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn same_time_events_fifo_by_insertion() {
+        struct T {
+            fired: Arc<parking_lot::Mutex<Vec<u64>>>,
+        }
+        impl Node for T {
+            fn on_frame(&mut self, _: &mut NodeCtx, _: usize, _: Bytes) {}
+            fn on_timer(&mut self, _ctx: &mut NodeCtx, token: u64) {
+                self.fired.lock().push(token);
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let fired = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut sim = Simulation::new();
+        let n = sim.add_node(Box::new(T { fired: fired.clone() }));
+        for t in 0..5 {
+            sim.inject_timer(50, n, t);
+        }
+        sim.run();
+        assert_eq!(fired.lock().as_slice(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let (a, fa, _) = bouncer();
+        let mut sim = Simulation::new();
+        let a = sim.add_node(a);
+        let (b, _, _) = bouncer();
+        let b = sim.add_node(b);
+        sim.connect(a, 0, b, 0, 1000);
+        sim.inject_frame(0, a, 0, Bytes::from_static(b"x"));
+        sim.run_until(500);
+        assert_eq!(fa.load(Ordering::SeqCst), 1, "only the first arrival");
+        sim.run();
+        assert!(fa.load(Ordering::SeqCst) >= 2);
+    }
+
+    #[test]
+    fn control_channel_delay_applies() {
+        struct Sender {
+            dst: NodeId,
+        }
+        impl Node for Sender {
+            fn on_frame(&mut self, _: &mut NodeCtx, _: usize, _: Bytes) {}
+            fn on_start(&mut self, ctx: &mut NodeCtx) {
+                ctx.send_control(self.dst, ControlMsg::Tick);
+                ctx.send_control_delayed(self.dst, ControlMsg::Tick, 5_000);
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        struct Receiver {
+            at: Arc<parking_lot::Mutex<Vec<SimTime>>>,
+        }
+        impl Node for Receiver {
+            fn on_frame(&mut self, _: &mut NodeCtx, _: usize, _: Bytes) {}
+            fn on_control(&mut self, ctx: &mut NodeCtx, _from: NodeId, _msg: ControlMsg) {
+                self.at.lock().push(ctx.now);
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let at = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut sim = Simulation::new();
+        let r = sim.add_node(Box::new(Receiver { at: at.clone() }));
+        let s = sim.add_node(Box::new(Sender { dst: r }));
+        sim.connect_control(s, r, 1_000);
+        sim.run();
+        assert_eq!(at.lock().as_slice(), &[1_000, 6_000]);
+    }
+
+    #[test]
+    fn bandwidth_serialises_and_queues() {
+        let counter = Arc::new(AtomicU64::new(0));
+        struct Burst;
+        impl Node for Burst {
+            fn on_frame(&mut self, _: &mut NodeCtx, _: usize, _: Bytes) {}
+            fn on_start(&mut self, ctx: &mut NodeCtx) {
+                // Three 100-byte frames back to back.
+                for _ in 0..3 {
+                    ctx.send_frame(0, Bytes::from(vec![0u8; 100]));
+                }
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut sim = Simulation::new();
+        let src = sim.add_node(Box::new(Burst));
+        let dst = sim.add_node(Box::new(crate::host::SinkHost::new(counter.clone())));
+        // 10 ns/byte -> 1000 ns serialisation per frame; 50 ns propagation.
+        sim.connect_with_bandwidth(src, 0, dst, 0, 50, 10);
+        sim.run();
+        let sink = sim.node_as::<crate::host::SinkHost>(dst).unwrap();
+        // Frame k finishes transmitting at (k+1)*1000, arrives +50.
+        assert_eq!(sink.arrivals, vec![1050, 2050, 3050]);
+    }
+
+    #[test]
+    fn unconnected_port_drops_silently() {
+        let (a, fa, _) = bouncer();
+        let mut sim = Simulation::new();
+        let a = sim.add_node(a);
+        sim.inject_frame(0, a, 7, Bytes::from_static(b"x"));
+        sim.run();
+        // Bounced out of port 7 which goes nowhere: no infinite loop,
+        // one delivery total.
+        assert_eq!(fa.load(Ordering::SeqCst), 1);
+    }
+}

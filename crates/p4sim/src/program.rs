@@ -1,0 +1,370 @@
+//! Program assembly and validation.
+//!
+//! [`ProgramBuilder`] collects registers, actions, tables and the
+//! control tree, then [`ProgramBuilder::build`] validates the program
+//! against a [`TargetModel`] and produces a runnable
+//! [`Pipeline`]. Validation is where the paper's target constraints
+//! bite: a program using runtime multiplication builds fine for bmv2 and
+//! is rejected for the Tofino-like target.
+
+use crate::action::{ActionDef, Operand, Primitive};
+use crate::control::Control;
+use crate::error::{P4Error, P4Result};
+use crate::pipeline::{Pipeline, Register};
+use crate::table::{Table, TableDef};
+use crate::target::TargetModel;
+
+/// Incrementally assembles a pipeline program.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    registers: Vec<Register>,
+    actions: Vec<ActionDef>,
+    tables: Vec<TableDef>,
+    control: Control,
+}
+
+impl ProgramBuilder {
+    /// An empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            registers: Vec::new(),
+            actions: Vec::new(),
+            tables: Vec::new(),
+            control: Control::empty(),
+        }
+    }
+
+    /// Declares a register array of `size` cells of `width_bits` each;
+    /// returns its id.
+    pub fn add_register(&mut self, name: impl Into<String>, width_bits: u32, size: usize) -> usize {
+        self.registers.push(Register {
+            name: name.into(),
+            width_bits: width_bits.min(64),
+            cells: vec![0; size],
+        });
+        self.registers.len() - 1
+    }
+
+    /// Declares an action; returns its id.
+    pub fn add_action(&mut self, action: ActionDef) -> usize {
+        self.actions.push(action);
+        self.actions.len() - 1
+    }
+
+    /// Declares a table; returns its id.
+    pub fn add_table(&mut self, def: TableDef) -> usize {
+        self.tables.push(def);
+        self.tables.len() - 1
+    }
+
+    /// Sets the control tree.
+    pub fn set_control(&mut self, control: Control) {
+        self.control = control;
+    }
+
+    /// Number of actions declared so far.
+    #[must_use]
+    pub fn action_count(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Validates against `target` and produces the runnable pipeline.
+    ///
+    /// # Errors
+    ///
+    /// - [`P4Error::UnknownId`] for dangling register/action/table
+    ///   references;
+    /// - [`P4Error::UnsupportedOnTarget`] for primitives the target
+    ///   cannot execute;
+    /// - [`P4Error::Invalid`] for structural problems (repeated table on
+    ///   a path, default action data arity).
+    pub fn build(self, target: TargetModel) -> P4Result<Pipeline> {
+        // --- reference checks ---------------------------------------
+        for a in &self.actions {
+            for p in &a.primitives {
+                if let Some((reg, _)) = p.register_access() {
+                    if reg >= self.registers.len() {
+                        return Err(P4Error::UnknownId {
+                            kind: "register",
+                            id: reg,
+                        });
+                    }
+                }
+                check_target(p, &target)?;
+            }
+        }
+        for t in self.control.tables() {
+            if t >= self.tables.len() {
+                return Err(P4Error::UnknownId {
+                    kind: "table",
+                    id: t,
+                });
+            }
+        }
+        for a in self.control.direct_actions() {
+            if a >= self.actions.len() {
+                return Err(P4Error::UnknownId {
+                    kind: "action",
+                    id: a,
+                });
+            }
+        }
+        for (tid, t) in self.tables.iter().enumerate() {
+            for &a in &t.allowed_actions {
+                if a >= self.actions.len() {
+                    return Err(P4Error::UnknownId {
+                        kind: "action",
+                        id: a,
+                    });
+                }
+            }
+            if let Some((a, data)) = &t.default_action {
+                if *a >= self.actions.len() {
+                    return Err(P4Error::UnknownId {
+                        kind: "action",
+                        id: *a,
+                    });
+                }
+                let need = self.actions[*a].data_slots_required();
+                if data.len() < need {
+                    return Err(P4Error::Invalid {
+                        what: format!(
+                            "table {tid} default action needs {need} data slots, has {}",
+                            data.len()
+                        ),
+                    });
+                }
+            }
+        }
+
+        // --- structural checks ---------------------------------------
+        if self.control.has_repeated_table_on_path() {
+            return Err(P4Error::Invalid {
+                what: "a table is applied more than once on some execution path".into(),
+            });
+        }
+
+        // Direct actions must not read action data (there is no entry).
+        for a in self.control.direct_actions() {
+            if self.actions[a].data_slots_required() > 0 {
+                return Err(P4Error::Invalid {
+                    what: format!(
+                        "action {a} ({}) reads action data but is applied without a table",
+                        self.actions[a].name
+                    ),
+                });
+            }
+        }
+
+        Ok(Pipeline::from_parts(
+            target,
+            self.registers,
+            self.actions,
+            self.tables.into_iter().map(Table::new).collect(),
+            self.control,
+        ))
+    }
+}
+
+fn is_runtime(o: &Operand) -> bool {
+    !matches!(o, Operand::Const(_))
+}
+
+fn check_target(p: &Primitive, target: &TargetModel) -> P4Result<()> {
+    match p {
+        Primitive::Mul { a, b, .. } => {
+            let runtime_operands = usize::from(is_runtime(a)) + usize::from(is_runtime(b));
+            if runtime_operands == 2 && !target.allow_runtime_mul {
+                return Err(P4Error::UnsupportedOnTarget {
+                    what: "multiplication of two runtime values",
+                    target: target.name,
+                });
+            }
+            if runtime_operands >= 1 && !target.allow_runtime_mul && !target.allow_const_mul {
+                return Err(P4Error::UnsupportedOnTarget {
+                    what: "multiplication",
+                    target: target.name,
+                });
+            }
+            Ok(())
+        }
+        Primitive::Shl { amount, .. } | Primitive::Shr { amount, .. } => {
+            if is_runtime(amount) && !target.allow_dynamic_shift {
+                return Err(P4Error::UnsupportedOnTarget {
+                    what: "shift by a runtime distance",
+                    target: target.name,
+                });
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phv::fields;
+    use crate::table::MatchKind;
+
+    fn mul_action(a: Operand, b: Operand) -> ActionDef {
+        ActionDef::new(
+            "mul",
+            vec![Primitive::Mul {
+                dst: fields::M0,
+                a,
+                b,
+            }],
+        )
+    }
+
+    #[test]
+    fn runtime_mul_rejected_on_hardware() {
+        let mut b = ProgramBuilder::new();
+        let a = b.add_action(mul_action(
+            Operand::Field(fields::PKT_LEN),
+            Operand::Field(fields::PKT_LEN),
+        ));
+        b.set_control(Control::ApplyAction(a));
+        assert!(matches!(
+            b.build(TargetModel::tofino_like()),
+            Err(P4Error::UnsupportedOnTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn runtime_mul_fine_on_bmv2() {
+        let mut b = ProgramBuilder::new();
+        let a = b.add_action(mul_action(
+            Operand::Field(fields::PKT_LEN),
+            Operand::Field(fields::PKT_LEN),
+        ));
+        b.set_control(Control::ApplyAction(a));
+        assert!(b.build(TargetModel::bmv2()).is_ok());
+    }
+
+    #[test]
+    fn const_mul_allowed_on_hardware() {
+        let mut b = ProgramBuilder::new();
+        let a = b.add_action(mul_action(
+            Operand::Field(fields::PKT_LEN),
+            Operand::Const(9),
+        ));
+        b.set_control(Control::ApplyAction(a));
+        assert!(b.build(TargetModel::tofino_like()).is_ok());
+    }
+
+    #[test]
+    fn dynamic_shift_gated() {
+        let mk = || {
+            let mut b = ProgramBuilder::new();
+            let a = b.add_action(ActionDef::new(
+                "sh",
+                vec![Primitive::Shr {
+                    dst: fields::M0,
+                    src: Operand::Field(fields::PKT_LEN),
+                    amount: Operand::Field(fields::IPV4_TTL),
+                }],
+            ));
+            b.set_control(Control::ApplyAction(a));
+            b
+        };
+        assert!(mk().build(TargetModel::bmv2()).is_ok());
+        assert!(matches!(
+            mk().build(TargetModel::tofino_like()),
+            Err(P4Error::UnsupportedOnTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn dangling_register_rejected() {
+        let mut b = ProgramBuilder::new();
+        let a = b.add_action(ActionDef::new(
+            "r",
+            vec![Primitive::RegRead {
+                dst: fields::M0,
+                register: 3,
+                index: Operand::Const(0),
+            }],
+        ));
+        b.set_control(Control::ApplyAction(a));
+        assert!(matches!(
+            b.build(TargetModel::bmv2()),
+            Err(P4Error::UnknownId {
+                kind: "register",
+                id: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn dangling_table_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.set_control(Control::ApplyTable(0));
+        assert!(matches!(
+            b.build(TargetModel::bmv2()),
+            Err(P4Error::UnknownId { kind: "table", .. })
+        ));
+    }
+
+    #[test]
+    fn repeated_table_rejected() {
+        let mut b = ProgramBuilder::new();
+        let noop = b.add_action(ActionDef::new("n", vec![]));
+        let t = b.add_table(TableDef {
+            name: "t".into(),
+            keys: vec![(fields::PKT_LEN, MatchKind::Exact)],
+            max_entries: 1,
+            allowed_actions: vec![noop],
+            default_action: None,
+        });
+        b.set_control(Control::Seq(vec![
+            Control::ApplyTable(t),
+            Control::ApplyTable(t),
+        ]));
+        assert!(matches!(
+            b.build(TargetModel::bmv2()),
+            Err(P4Error::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn direct_action_with_data_rejected() {
+        let mut b = ProgramBuilder::new();
+        let a = b.add_action(ActionDef::new(
+            "needs_data",
+            vec![Primitive::Forward {
+                port: Operand::Data(0),
+            }],
+        ));
+        b.set_control(Control::ApplyAction(a));
+        assert!(matches!(
+            b.build(TargetModel::bmv2()),
+            Err(P4Error::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn default_action_arity_checked() {
+        let mut b = ProgramBuilder::new();
+        let a = b.add_action(ActionDef::new(
+            "fwd",
+            vec![Primitive::Forward {
+                port: Operand::Data(0),
+            }],
+        ));
+        let t = b.add_table(TableDef {
+            name: "t".into(),
+            keys: vec![(fields::PKT_LEN, MatchKind::Exact)],
+            max_entries: 1,
+            allowed_actions: vec![a],
+            default_action: Some((a, vec![])), // missing the slot
+        });
+        b.set_control(Control::ApplyTable(t));
+        assert!(matches!(
+            b.build(TargetModel::bmv2()),
+            Err(P4Error::Invalid { .. })
+        ));
+    }
+}

@@ -1,0 +1,103 @@
+//! Target capability models.
+//!
+//! The paper develops its algorithms against two implicit targets: the
+//! bmv2 behavioural model (which executes arbitrary arithmetic except
+//! division) and Tofino-class hardware (which additionally cannot
+//! multiply two runtime values or shift by a runtime distance, and
+//! bounds the number of pipeline stages). Programs are validated against
+//! a [`TargetModel`] at build time, so choosing the hardware preset
+//! forces the same design decisions the paper describes.
+
+use serde::{Deserialize, Serialize};
+
+/// Capabilities and costs of a deployment target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TargetModel {
+    /// Target name for error messages and reports.
+    pub name: &'static str,
+    /// Whether two runtime values may be multiplied (`Mul` with two
+    /// non-constant operands, or any `Mul` at all when
+    /// `allow_const_mul` is false).
+    pub allow_runtime_mul: bool,
+    /// Whether `Mul` by a compile-time constant is allowed (compilers
+    /// lower it to shift-add trees).
+    pub allow_const_mul: bool,
+    /// Whether shift distances may be runtime values.
+    pub allow_dynamic_shift: bool,
+    /// Sequential-step cost charged for an `Msb` primitive (the paper's
+    /// if-cascade; 1 when a TCAM assists).
+    pub msb_cost: u32,
+    /// Pipeline stages available (the paper cites >10 for commercial
+    /// targets).
+    pub max_stages: u32,
+    /// Hard per-packet interpreter step budget (loop backstop).
+    pub step_budget: u64,
+    /// Maximum times one packet may re-enter the pipeline
+    /// (`Control::Recirculate`). Each pass costs a full pipeline
+    /// traversal of throughput — the reason the paper avoids it.
+    pub max_recirculations: u32,
+    /// Register cell width in bits for the resource model.
+    pub register_width_bits: u32,
+}
+
+impl TargetModel {
+    /// The bmv2 behavioural model: everything except division.
+    #[must_use]
+    pub const fn bmv2() -> Self {
+        Self {
+            name: "bmv2",
+            allow_runtime_mul: true,
+            allow_const_mul: true,
+            allow_dynamic_shift: true,
+            // Software if-cascade over a 64-bit value.
+            msb_cost: 7,
+            max_stages: u32::MAX,
+            step_budget: 100_000,
+            max_recirculations: 16,
+            register_width_bits: 64,
+        }
+    }
+
+    /// A Tofino-like hardware model: no runtime multiply, constant
+    /// shifts only, TCAM-assisted MSB, bounded stages.
+    #[must_use]
+    pub const fn tofino_like() -> Self {
+        Self {
+            name: "tofino-like",
+            allow_runtime_mul: false,
+            allow_const_mul: true,
+            allow_dynamic_shift: false,
+            msb_cost: 1,
+            max_stages: 12,
+            step_budget: 10_000,
+            max_recirculations: 1,
+            register_width_bits: 32,
+        }
+    }
+}
+
+impl Default for TargetModel {
+    fn default() -> Self {
+        Self::bmv2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_where_expected() {
+        let b = TargetModel::bmv2();
+        let t = TargetModel::tofino_like();
+        assert!(b.allow_runtime_mul && !t.allow_runtime_mul);
+        assert!(b.allow_dynamic_shift && !t.allow_dynamic_shift);
+        assert!(t.max_stages < b.max_stages);
+        assert!(t.msb_cost < b.msb_cost, "TCAM-assisted MSB is cheap");
+    }
+
+    #[test]
+    fn default_is_bmv2() {
+        assert_eq!(TargetModel::default().name, "bmv2");
+    }
+}

@@ -1,0 +1,98 @@
+//! RFC 1071 Internet checksum.
+
+use std::net::Ipv4Addr;
+
+/// Computes the one's-complement sum of `data`, folding carries.
+#[must_use]
+pub fn sum(data: &[u8]) -> u32 {
+    let mut acc = 0u32;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        acc += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        acc += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    acc
+}
+
+/// Folds a 32-bit accumulator into the final 16-bit checksum.
+#[must_use]
+pub fn finish(mut acc: u32) -> u16 {
+    while acc > 0xffff {
+        acc = (acc & 0xffff) + (acc >> 16);
+    }
+    !(acc as u16)
+}
+
+/// Checksum of a single contiguous buffer.
+#[must_use]
+pub fn checksum(data: &[u8]) -> u16 {
+    finish(sum(data))
+}
+
+/// The TCP/UDP pseudo-header contribution.
+#[must_use]
+pub fn pseudo_header(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, length: u16) -> u32 {
+    sum(&src.octets()) + sum(&dst.octets()) + u32::from(protocol) + u32::from(length)
+}
+
+/// True if `data` (whose checksum field is included) verifies.
+#[must_use]
+pub fn verify(data: &[u8]) -> bool {
+    finish(sum(data)) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Worked example in the style of RFC 1071 Sec. 3: the words 0x0001,
+    /// 0xf203, 0xf4f5, 0xf5f6 sum to 0x2dcef, which folds to 0xdcf1.
+    #[test]
+    fn rfc1071_example() {
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf5, 0xf6];
+        let s = sum(&data);
+        assert_eq!(s, 0x2dcef);
+        let mut folded = s;
+        while folded > 0xffff {
+            folded = (folded & 0xffff) + (folded >> 16);
+        }
+        assert_eq!(folded, 0xdcf1);
+        assert_eq!(checksum(&data), !0xdcf1u16);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(checksum(&[0xab]), checksum(&[0xab, 0x00]));
+    }
+
+    #[test]
+    fn empty_buffer() {
+        assert_eq!(checksum(&[]), 0xffff);
+    }
+
+    #[test]
+    fn verify_roundtrip() {
+        // Build a buffer with a checksum field at offset 2 and verify.
+        let mut data = vec![0x45, 0x00, 0x00, 0x00, 0x12, 0x34, 0xab, 0xcd];
+        let c = checksum(&data);
+        data[2] = (c >> 8) as u8;
+        data[3] = (c & 0xff) as u8;
+        assert!(verify(&data));
+        data[4] ^= 0xff;
+        assert!(!verify(&data));
+    }
+
+    #[test]
+    fn pseudo_header_contribution() {
+        let p = pseudo_header(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            6,
+            20,
+        );
+        // 0x0a00 + 0x0001 + 0x0a00 + 0x0002 + 6 + 20
+        assert_eq!(p, 0x0a00 + 0x0001 + 0x0a00 + 0x0002 + 6 + 20);
+    }
+}

@@ -1,0 +1,197 @@
+//! Reusable anomaly-check predicates over the tracked statistics.
+//!
+//! The paper's detection applications all reduce to integer comparisons
+//! in the `NX` domain; this module packages the recurring ones as small
+//! config structs so applications (and the `p4sim` program generator,
+//! which mirrors them as action code) share one definition of each test.
+
+use crate::running::RunningStats;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a check against one observed value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The value is consistent with the tracked distribution.
+    Normal,
+    /// Upper-tail outlier (`N·x > Xsum + k·σ(NX)`).
+    High,
+    /// Lower-tail outlier (`N·x < Xsum − k·σ(NX)`).
+    Low,
+    /// Not enough history to judge (warm-up).
+    Warmup,
+}
+
+impl Verdict {
+    /// True for either outlier direction.
+    #[must_use]
+    pub fn is_anomalous(self) -> bool {
+        matches!(self, Verdict::High | Verdict::Low)
+    }
+}
+
+/// A mean ± k·σ outlier check with a warm-up threshold — the paper's
+/// case-study detector ("rate higher than the mean of the stored
+/// distribution plus two standard deviations").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutlierCheck {
+    /// Number of standard deviations for the band (paper default: 2).
+    pub k: u32,
+    /// Minimum `N` before verdicts other than [`Verdict::Warmup`].
+    pub min_n: u64,
+    /// Whether to alarm on the lower tail too (the paper's failure /
+    /// stalled-flows use case watches for *drops* in activity).
+    pub two_sided: bool,
+}
+
+impl Default for OutlierCheck {
+    fn default() -> Self {
+        Self {
+            k: 2,
+            min_n: 10,
+            two_sided: false,
+        }
+    }
+}
+
+impl OutlierCheck {
+    /// Judges value `x` against the tracked distribution.
+    #[must_use]
+    pub fn judge(&self, stats: &RunningStats, x: i64) -> Verdict {
+        if stats.n() < self.min_n {
+            return Verdict::Warmup;
+        }
+        if stats.is_upper_outlier(x, self.k) {
+            return Verdict::High;
+        }
+        if self.two_sided && stats.is_lower_outlier(x, self.k) {
+            return Verdict::Low;
+        }
+        Verdict::Normal
+    }
+}
+
+/// A fixed-target rate check: does the tracked mean match `target`
+/// within `k` standard deviations (`|Xsum − N·T| ≤ k·σ(NX)`)?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RateCheck {
+    /// The expected per-interval value `T`.
+    pub target: i64,
+    /// Allowed deviation in σ units.
+    pub k: u32,
+    /// Minimum `N` before a verdict.
+    pub min_n: u64,
+}
+
+impl RateCheck {
+    /// Judges the *distribution itself* (not a single value) against the
+    /// target mean.
+    #[must_use]
+    pub fn judge(&self, stats: &RunningStats) -> Verdict {
+        if stats.n() < self.min_n {
+            return Verdict::Warmup;
+        }
+        if stats.mean_matches(self.target, self.k) {
+            Verdict::Normal
+        } else {
+            // Direction of the mismatch.
+            let actual = stats.xsum() as i128;
+            let expect = (stats.n() as i128) * (self.target as i128);
+            if actual > expect {
+                Verdict::High
+            } else {
+                Verdict::Low
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn warm_stats() -> RunningStats {
+        let mut s = RunningStats::new();
+        for v in [100, 101, 99, 100, 102, 98, 100, 101, 99, 100, 100, 97] {
+            s.push(v);
+        }
+        s
+    }
+
+    #[test]
+    fn warmup_gate() {
+        let mut s = RunningStats::new();
+        s.push(100);
+        let c = OutlierCheck::default();
+        assert_eq!(c.judge(&s, 100_000), Verdict::Warmup);
+        assert!(!c.judge(&s, 100_000).is_anomalous());
+    }
+
+    #[test]
+    fn one_sided_default_ignores_low() {
+        let s = warm_stats();
+        let c = OutlierCheck::default();
+        assert_eq!(c.judge(&s, 400), Verdict::High);
+        assert_eq!(c.judge(&s, 100), Verdict::Normal);
+        assert_eq!(c.judge(&s, 1), Verdict::Normal, "one-sided");
+    }
+
+    #[test]
+    fn two_sided_flags_low() {
+        let s = warm_stats();
+        let c = OutlierCheck {
+            two_sided: true,
+            ..OutlierCheck::default()
+        };
+        assert_eq!(c.judge(&s, 1), Verdict::Low);
+        assert!(c.judge(&s, 1).is_anomalous());
+    }
+
+    #[test]
+    fn wider_band_tolerates_more() {
+        let s = warm_stats();
+        let tight = OutlierCheck {
+            k: 1,
+            ..OutlierCheck::default()
+        };
+        let loose = OutlierCheck {
+            k: 30,
+            ..OutlierCheck::default()
+        };
+        assert_eq!(tight.judge(&s, 110), Verdict::High);
+        assert_eq!(loose.judge(&s, 110), Verdict::Normal);
+    }
+
+    #[test]
+    fn rate_check_directions() {
+        let s = warm_stats();
+        let ok = RateCheck {
+            target: 100,
+            k: 2,
+            min_n: 5,
+        };
+        assert_eq!(ok.judge(&s), Verdict::Normal);
+        let low_target = RateCheck {
+            target: 10,
+            k: 2,
+            min_n: 5,
+        };
+        assert_eq!(low_target.judge(&s), Verdict::High, "actual above target");
+        let high_target = RateCheck {
+            target: 500,
+            k: 2,
+            min_n: 5,
+        };
+        assert_eq!(high_target.judge(&s), Verdict::Low, "actual below target");
+    }
+
+    #[test]
+    fn rate_check_warmup() {
+        let s = RunningStats::new();
+        let c = RateCheck {
+            target: 100,
+            k: 2,
+            min_n: 1,
+        };
+        assert_eq!(c.judge(&s), Verdict::Warmup);
+    }
+}

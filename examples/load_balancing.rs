@@ -1,0 +1,90 @@
+//! Load-balance monitoring (paper Table 1: "avoid imbalances, traffic
+//! rate across IPs"): traffic is supposed to be spread evenly over a
+//! server pool; the frequency-outlier check flags a server drawing a
+//! disproportionate share.
+//!
+//! ```text
+//! cargo run --example load_balancing --release
+//! ```
+
+use packet::{EthernetFrame, Ipv4Packet};
+use stat4_core::freq::FrequencyDist;
+use std::net::Ipv4Addr;
+use workloads::SpikeWorkload;
+
+fn main() {
+    // Reuse the spike workload: uniform background over 36 servers,
+    // then one server starts absorbing 10x traffic — exactly a broken
+    // load balancer.
+    let workload = SpikeWorkload {
+        background_pps: 50_000,
+        spike_multiplier: 10,
+        spike_start_range: (400_000_000, 500_000_000),
+        duration: 1_000_000_000,
+        seed: 13,
+        ..SpikeWorkload::default()
+    };
+    let (schedule, truth) = workload.generate();
+    let servers = workload.destinations();
+    println!(
+        "workload: {} packets over {} servers; imbalance toward {} from t = {:.2}s",
+        schedule.len(),
+        servers.len(),
+        truth.spike_dest,
+        truth.spike_start as f64 / 1e9
+    );
+
+    // One frequency cell per server.
+    let mut shares = FrequencyDist::new(0, servers.len() as i64 - 1).expect("domain");
+    let index_of = |ip: Ipv4Addr| servers.iter().position(|s| *s == ip);
+
+    let mut detected: Option<(u64, usize)> = None;
+    for (t, frame) in &schedule {
+        let eth = EthernetFrame::new_checked(&frame[..]).expect("frame");
+        let ip = Ipv4Packet::new_checked(eth.payload()).expect("ip");
+        let Some(idx) = index_of(ip.dst()) else {
+            continue;
+        };
+        shares.observe(idx as i64).expect("in domain");
+        // The integer imbalance test with a relative margin (an eighth
+        // of the total), mirroring the in-switch check.
+        let f = shares.frequency(idx as i64);
+        let n = shares.n_distinct();
+        // Warm-up gate: Poisson noise on per-server counts shrinks as
+        // 1/sqrt(mean), so judge only once the pool has ~300 packets per
+        // server on average; below that the 2-sigma + 12.5% band is
+        // narrower than the natural noise.
+        if n >= 30 && shares.xsum() >= 10_000 {
+            let margin = (shares.xsum() >> 3).max(4);
+            let bound =
+                u128::from(shares.xsum()) + 2 * u128::from(shares.sd_nx()) + u128::from(margin);
+            if u128::from(n) * u128::from(f) > bound {
+                detected = Some((*t, idx));
+                break;
+            }
+        }
+    }
+
+    match detected {
+        Some((t, idx)) => {
+            let guilty = servers[idx];
+            println!(
+                "imbalance detected at t = {:.3}s toward {guilty} — {}",
+                t as f64 / 1e9,
+                if guilty == truth.spike_dest {
+                    "CORRECT server identified"
+                } else {
+                    "wrong server"
+                }
+            );
+            assert!(t >= truth.spike_start, "no false positive before the skew");
+            assert_eq!(guilty, truth.spike_dest);
+            let lag_ms = (t - truth.spike_start) as f64 / 1e6;
+            println!("detection lag after the skew began: {lag_ms:.1} ms");
+        }
+        None => {
+            println!("no imbalance detected");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Network-wide monitoring with two switches (paper future work:
+//! "possibly performing statistical analyses across multiple
+//! switches"): each switch runs the case-study rate monitor for its own
+//! half of the address space and pushes alerts to one shared
+//! controller, which localises the anomaly to a switch without polling
+//! either.
+//!
+//! ```text
+//! cargo run --example multi_switch --release
+//! ```
+
+use netsim::host::{SinkHost, TraceGen, TrafficSource};
+use netsim::{P4SwitchNode, RecordingController, Simulation, MICROS, MILLIS};
+use stat4_p4::{CaseStudyApp, CaseStudyParams, Stat4Config, DIGEST_SPIKE};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use workloads::SpikeWorkload;
+
+fn main() {
+    let params = CaseStudyParams {
+        interval_log2: 21, // ~2.1 ms
+        window_size: 32,
+        min_intervals: 8,
+        config: Stat4Config {
+            counter_num: 2,
+            counter_size: 256,
+            width_bits: 64,
+        },
+        // Switch A monitors 10/8, switch B monitors 11/8.
+        ..CaseStudyParams::default()
+    };
+    let interval_ns = 1u64 << params.interval_log2;
+
+    // Two workloads: quiet traffic through switch A, a spike through B.
+    let quiet = SpikeWorkload {
+        net: 10,
+        background_pps: 20_000,
+        spike_start_range: (u64::MAX - 2, u64::MAX - 1), // never
+        duration: 60 * interval_ns,
+        seed: 2,
+        ..SpikeWorkload::default()
+    };
+    let spiky = SpikeWorkload {
+        net: 11,
+        background_pps: 20_000,
+        spike_multiplier: 10,
+        spike_start_range: (30 * interval_ns, 31 * interval_ns),
+        duration: 60 * interval_ns,
+        seed: 3,
+        ..SpikeWorkload::default()
+    };
+    let (sched_a, _) = quiet.generate();
+    let (sched_b, truth_b) = spiky.generate();
+
+    let app_a = CaseStudyApp::build(CaseStudyParams {
+        monitored_prefix: (0x0a00_0000, 8),
+        ..params
+    })
+    .expect("builds");
+    let app_b = CaseStudyApp::build(CaseStudyParams {
+        monitored_prefix: (0x0b00_0000, 8),
+        ..params
+    })
+    .expect("builds");
+
+    let mut sim = Simulation::new();
+    let controller = sim.add_node(Box::new(RecordingController::new()));
+    let src_a = sim.add_node(Box::new(TrafficSource::new(Box::new(TraceGen::new(
+        sched_a,
+    )))));
+    let src_b = sim.add_node(Box::new(TrafficSource::new(Box::new(TraceGen::new(
+        sched_b,
+    )))));
+    let sink = sim.add_node(Box::new(SinkHost::new(Arc::new(AtomicU64::new(0)))));
+    let sw_a = sim.add_node(Box::new(
+        P4SwitchNode::new(app_a.pipeline).with_controller(controller),
+    ));
+    let sw_b = sim.add_node(Box::new(
+        P4SwitchNode::new(app_b.pipeline).with_controller(controller),
+    ));
+    sim.connect(src_a, 0, sw_a, 0, 20 * MICROS);
+    sim.connect(src_b, 0, sw_b, 0, 20 * MICROS);
+    sim.connect(sw_a, 1, sink, 0, 20 * MICROS);
+    sim.connect(sw_b, 1, sink, 1, 20 * MICROS);
+    sim.connect_control(sw_a, controller, 2 * MILLIS);
+    sim.connect_control(sw_b, controller, 2 * MILLIS);
+    sim.run();
+
+    let rec = sim
+        .node_as::<RecordingController>(controller)
+        .expect("controller");
+    let spikes: Vec<_> = rec
+        .digests
+        .iter()
+        .filter(|(_, _, d)| d.id == DIGEST_SPIKE)
+        .collect();
+    println!(
+        "controller received {} digests total, {} spike alerts",
+        rec.digests.len(),
+        spikes.len()
+    );
+    for (at, from, d) in &spikes {
+        println!(
+            "  t = {:.3}s  from switch node {}  interval_count = {}",
+            *at as f64 / 1e9,
+            from,
+            d.values[0]
+        );
+    }
+    assert!(!spikes.is_empty(), "the spike must surface");
+    assert!(
+        spikes.iter().all(|(_, from, _)| *from == sw_b),
+        "every spike alert names the spiky switch"
+    );
+    println!(
+        "\nanomaly localised to switch {} (the one fronting 11/8, spiked at t = {:.3}s) — \
+         network-wide view without polling.",
+        sw_b,
+        truth_b.spike_start as f64 / 1e9
+    );
+}

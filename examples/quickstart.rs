@@ -1,0 +1,91 @@
+//! Quickstart: the Stat4 primitives in five minutes.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Walks through the paper's core ideas with the portable API: the
+//! division-free `NX`-domain statistics, the shift-based square root,
+//! constant-work frequency moments, and the one-step-per-packet median.
+
+use stat4_core::freq::FrequencyDist;
+use stat4_core::isqrt::{approx_isqrt, exact_isqrt};
+use stat4_core::percentile::{PercentileTracker, Quantile};
+use stat4_core::running::RunningStats;
+use stat4_core::window::WindowedDist;
+
+fn main() {
+    println!("== 1. mean/variance without division: track NX instead of X ==");
+    let mut stats = RunningStats::new();
+    for rate in [100i64, 104, 98, 101, 99, 102, 97, 103] {
+        stats.push(rate);
+    }
+    println!(
+        "N = {}, Xsum = {} (the exact mean of NX), Xsumsq = {}",
+        stats.n(),
+        stats.xsum(),
+        stats.xsumsq()
+    );
+    println!(
+        "var(NX) = N*Xsumsq - Xsum^2 = {}, sd(NX) ~ {}",
+        stats.variance_nx(),
+        stats.sd_nx()
+    );
+    println!(
+        "is 250 an outlier (N*x > Xsum + 2*sd)? {}",
+        stats.is_upper_outlier(250, 2)
+    );
+    println!(
+        "is 103 an outlier?                     {}",
+        stats.is_upper_outlier(103, 2)
+    );
+
+    println!("\n== 2. the shift-based square root (paper Fig. 2) ==");
+    for y in [106u64, 3, 1000, 99_980_001] {
+        println!(
+            "approx_isqrt({y}) = {} (exact {})",
+            approx_isqrt(y),
+            exact_isqrt(y)
+        );
+    }
+
+    println!("\n== 3. frequency distributions with O(1) moment updates ==");
+    let mut kinds = FrequencyDist::new(0, 3).expect("domain");
+    // 0 = TCP data, 1 = SYN, 2 = UDP, 3 = QUIC.
+    for k in [0i64, 0, 0, 2, 0, 1, 0, 3, 0, 0, 2, 0] {
+        kinds.observe(k).expect("in domain");
+    }
+    println!(
+        "distinct kinds N = {}, total Xsum = {}, Xsumsq = {} (updated as 2f+1 per packet)",
+        kinds.n_distinct(),
+        kinds.xsum(),
+        kinds.xsumsq()
+    );
+
+    println!("\n== 4. online median, one marker step per packet (paper Fig. 3) ==");
+    let mut median = PercentileTracker::median(1, 100).expect("domain");
+    let mut p90 = PercentileTracker::new(1, 100, Quantile::percentile(90).expect("valid"))
+        .expect("domain");
+    for i in 0..500 {
+        let v = 1 + (i * 37) % 100;
+        median.observe(v).expect("in domain");
+        p90.observe(v).expect("in domain");
+    }
+    println!(
+        "median estimate = {:?} (true 50), p90 estimate = {:?} (true 90)",
+        median.estimate(),
+        p90.estimate()
+    );
+
+    println!("\n== 5. windowed rates: the case-study detector's state ==");
+    let mut window = WindowedDist::new(100).expect("window");
+    for i in 0..60 {
+        window.accumulate(100 + (i % 5));
+        window.close_interval();
+    }
+    println!(
+        "after 60 intervals around 100 pkts: spike at 500? {} | at 103? {}",
+        window.is_spike(500, 2, 10),
+        window.is_spike(103, 2, 10)
+    );
+}

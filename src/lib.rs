@@ -1,0 +1,28 @@
+//! # stat4-suite
+//!
+//! Umbrella crate for the Rust reproduction of *Stats 101 in P4: Towards
+//! In-Switch Anomaly Detection* (Gao, Handley, Vissicchio — HotNets '21).
+//!
+//! This crate only re-exports the workspace members so the repository-level
+//! `examples/` and `tests/` can exercise the whole system through one
+//! dependency. The interesting code lives in the member crates:
+//!
+//! - [`stat4_core`] — the paper's contribution: integer-only online
+//!   statistics (mean/variance/stddev via the *NX* trick, approximate
+//!   square root, one-step-per-packet percentiles).
+//! - [`p4sim`] — a P4-like match-action pipeline simulator enforcing the
+//!   data-plane restrictions the paper works around.
+//! - [`stat4_p4`] — Stat4 expressed as pipeline programs (the P4 library),
+//!   including the echo validation app and the case-study app.
+//! - [`packet`] — Ethernet/IPv4/TCP/UDP header views and builders.
+//! - [`netsim`] — deterministic discrete-event network simulator.
+//! - [`workloads`] — seeded synthetic traffic generators.
+//! - [`anomaly`] — detection applications and the drill-down controller.
+
+pub use anomaly;
+pub use netsim;
+pub use p4sim;
+pub use packet;
+pub use stat4_core;
+pub use stat4_p4;
+pub use workloads;

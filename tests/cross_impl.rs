@@ -1,0 +1,112 @@
+//! Cross-implementation equivalence: the pipeline-IR programs emitted
+//! by `stat4-p4` must agree with the portable `stat4-core`
+//! implementations — the reproduction's strongest internal consistency
+//! check, run here with property-based inputs.
+
+use p4sim::phv::fields;
+use p4sim::{Phv, ProgramBuilder, TargetModel};
+use proptest::prelude::*;
+use stat4_suite::stat4_core::freq::FrequencyDist;
+use stat4_suite::stat4_core::isqrt::approx_isqrt;
+use stat4_suite::stat4_core::percentile::PercentileTracker;
+use stat4_suite::stat4_p4::fragments::{isqrt_fragment, isqrt_fragment_const_shifts};
+use stat4_suite::stat4_p4::{scratch, EchoApp, MedianApp, MedianAppParams, Stat4Config};
+
+fn isqrt_pipe(const_shifts: bool) -> p4sim::Pipeline {
+    let mut b = ProgramBuilder::new();
+    let frag = if const_shifts {
+        isqrt_fragment_const_shifts(&mut b, fields::PAYLOAD_VALUE, scratch::SD)
+    } else {
+        isqrt_fragment(&mut b, fields::PAYLOAD_VALUE, scratch::SD)
+    };
+    b.set_control(frag);
+    let target = if const_shifts {
+        TargetModel::tofino_like()
+    } else {
+        TargetModel::bmv2()
+    };
+    b.build(target).expect("valid program")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Both IR square-root variants equal the portable one on random
+    /// 64-bit inputs.
+    #[test]
+    fn ir_isqrt_variants_match_core(x in any::<u64>()) {
+        for const_shifts in [false, true] {
+            let mut p = isqrt_pipe(const_shifts);
+            let mut phv = Phv::new();
+            phv.set(fields::PAYLOAD_VALUE, x);
+            p.process_phv(&mut phv).expect("ok");
+            prop_assert_eq!(phv.get(scratch::SD), approx_isqrt(x));
+        }
+    }
+
+    /// The echo app's digests equal the portable frequency distribution
+    /// for arbitrary value streams.
+    #[test]
+    fn echo_app_matches_core_freq(values in proptest::collection::vec(-255i64..=255, 1..120)) {
+        let mut app = EchoApp::build(&Stat4Config::default()).expect("builds");
+        let mut oracle = FrequencyDist::new(-255, 255).expect("domain");
+        for &v in &values {
+            let mut phv = Phv::new();
+            phv.set(fields::PAYLOAD_VALUE, v as u64);
+            phv.set(fields::INGRESS_PORT, 1);
+            let out = app.pipeline.process_phv(&mut phv).expect("ok");
+            oracle.observe(v).expect("in range");
+            let d = &out.digests[0].values;
+            prop_assert_eq!(d[0], oracle.n_distinct());
+            prop_assert_eq!(d[1], oracle.xsum());
+            prop_assert_eq!(u128::from(d[2]), oracle.xsumsq());
+            prop_assert_eq!(u128::from(d[3]), oracle.variance_nx());
+            prop_assert_eq!(d[4], oracle.sd_nx());
+        }
+    }
+
+    /// The pipeline median tracker equals the portable tracker on
+    /// arbitrary streams.
+    #[test]
+    fn median_app_matches_core_tracker(values in proptest::collection::vec(0u64..48, 1..250)) {
+        let mut app = MedianApp::build(MedianAppParams {
+            domain: 48,
+            ..MedianAppParams::default()
+        })
+        .expect("builds");
+        let mut oracle = PercentileTracker::median(0, 47).expect("domain");
+        for &v in &values {
+            let mut phv = Phv::new();
+            phv.set(fields::PAYLOAD_VALUE, v);
+            app.pipeline.process_phv(&mut phv).expect("ok");
+            oracle.observe(v as i64).expect("in domain");
+            prop_assert_eq!(app.estimate(), oracle.estimate().map(|e| e as u64));
+        }
+    }
+}
+
+/// Deterministic exhaustive sweep near interesting boundaries.
+#[test]
+fn ir_isqrt_boundary_sweep() {
+    let mut dynamic = isqrt_pipe(false);
+    let mut constant = isqrt_pipe(true);
+    let mut run = |x: u64| {
+        let mut phv = Phv::new();
+        phv.set(fields::PAYLOAD_VALUE, x);
+        dynamic.process_phv(&mut phv).expect("ok");
+        let d = phv.get(scratch::SD);
+        let mut phv2 = Phv::new();
+        phv2.set(fields::PAYLOAD_VALUE, x);
+        constant.process_phv(&mut phv2).expect("ok");
+        let c = phv2.get(scratch::SD);
+        assert_eq!(d, approx_isqrt(x), "dynamic at {x}");
+        assert_eq!(c, approx_isqrt(x), "const-shift at {x}");
+    };
+    for e in 0..64u32 {
+        let p = 1u64 << e;
+        for delta in [0i64, 1, -1] {
+            let x = p.wrapping_add_signed(delta);
+            run(x);
+        }
+    }
+}

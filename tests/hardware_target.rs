@@ -1,0 +1,74 @@
+//! Integration: the echo application built for the multiply-less,
+//! dynamic-shift-less hardware target, run through the full simulator
+//! loop — proving the paper's claim that the statistics survive real
+//! hardware restrictions, not just bmv2.
+
+use netsim::host::{TraceGen, TrafficSource};
+use netsim::{P4SwitchNode, RecordingController, Simulation, MICROS};
+use p4sim::TargetModel;
+use stat4_suite::stat4_core::freq::FrequencyDist;
+use stat4_suite::stat4_p4::echo::VarianceMode;
+use stat4_suite::stat4_p4::{EchoApp, Stat4Config, DIGEST_ECHO};
+use workloads::EchoWorkload;
+
+#[test]
+fn echo_app_exact_on_hardware_target() {
+    let (schedule, values) = EchoWorkload {
+        packets: 1_500,
+        gap_ns: 5_000,
+        seed: 55,
+    }
+    .generate();
+
+    let app = EchoApp::build_with(
+        &Stat4Config::default(),
+        TargetModel::tofino_like(),
+        VarianceMode::UnrolledShiftAdd { bits: 16 },
+    )
+    .expect("hardware-legal build");
+    assert_eq!(app.pipeline.target().name, "tofino-like");
+
+    let mut sim = Simulation::new();
+    let host = sim.add_node(Box::new(TrafficSource::new(Box::new(TraceGen::new(
+        schedule,
+    )))));
+    let controller = sim.add_node(Box::new(RecordingController::new()));
+    let switch = sim.add_node(Box::new(
+        P4SwitchNode::new(app.pipeline).with_controller(controller),
+    ));
+    sim.connect(host, 0, switch, 0, 10 * MICROS);
+    sim.connect_control(switch, controller, 200 * MICROS);
+    sim.run();
+
+    let digests = &sim
+        .node_as::<RecordingController>(controller)
+        .expect("controller")
+        .digests;
+    assert_eq!(digests.len(), values.len());
+
+    let mut oracle = FrequencyDist::new(-255, 255).expect("domain");
+    for ((_, _, d), v) in digests.iter().zip(&values) {
+        assert_eq!(d.id, DIGEST_ECHO);
+        oracle.observe(*v).expect("in range");
+        assert_eq!(d.values[0], oracle.n_distinct(), "N after {v}");
+        assert_eq!(d.values[1], oracle.xsum(), "Xsum after {v}");
+        assert_eq!(u128::from(d.values[2]), oracle.xsumsq(), "Xsumsq after {v}");
+        assert_eq!(
+            u128::from(d.values[3]),
+            oracle.variance_nx(),
+            "variance after {v} (exact despite the unrolled multiplier)"
+        );
+        assert_eq!(d.values[4], oracle.sd_nx(), "sd after {v}");
+    }
+}
+
+/// The hardware build must reject the bmv2-only constructs.
+#[test]
+fn hardware_target_rejects_runtime_multiplication() {
+    assert!(EchoApp::build_with(
+        &Stat4Config::default(),
+        TargetModel::tofino_like(),
+        VarianceMode::ExactMul,
+    )
+    .is_err());
+}
