@@ -1,0 +1,233 @@
+//! Epoch-granularity SYN-flood detection for the sharded replay engine.
+//!
+//! The streaming [`SynFloodDetector`](crate::synflood::SynFloodDetector)
+//! evaluates its share check on every packet, which requires a single
+//! totally-ordered packet stream. The sharded replay engine has no such
+//! stream: packets are processed by N independent shard pipelines and
+//! only the *merged* statistics exist at the epoch barrier.
+//!
+//! [`EpochSynFloodDetector`] is the epoch-side twin: it consumes one
+//! observation per closed interval — the merged SYN count of the
+//! interval and the merged cumulative kind distribution — and runs the
+//! same two Stat4 checks at that granularity:
+//!
+//! 1. **SYN rate**: the merged per-interval SYN count feeds a
+//!    [`WindowedDist`] with the mean + k·σ spike test.
+//! 2. **SYN share**: the merged [`FrequencyDist`] of packet kinds is
+//!    tested for the SYN cell being an upper outlier
+//!    (`n·f > Xsum + k·σ(NX) + margin·n`).
+//!
+//! Because every input is a pure function of merged (order-free) shard
+//! state, the detector's verdicts are *shard-count invariant by
+//! construction*: a 1-shard and an 8-shard replay hand it bit-identical
+//! aggregates and therefore produce identical alert sequences. That is
+//! the property the cross-shard conformance suite asserts.
+
+use crate::alerts::Alert;
+use crate::synflood::{SynFloodConfig, KIND_SYN};
+use stat4_core::freq::FrequencyDist;
+use stat4_core::window::WindowedDist;
+
+/// SYN-flood detector driven by per-interval merged aggregates.
+#[derive(Debug)]
+pub struct EpochSynFloodDetector {
+    cfg: SynFloodConfig,
+    syn_rate: WindowedDist,
+    /// Alerts raised so far, in interval order.
+    pub alerts: Vec<Alert>,
+    /// Set once the first alert fires (detection time).
+    pub detected_at: Option<u64>,
+}
+
+impl EpochSynFloodDetector {
+    /// Creates a detector sharing the streaming detector's config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero window).
+    #[must_use]
+    pub fn new(cfg: SynFloodConfig) -> Self {
+        Self {
+            syn_rate: WindowedDist::new(cfg.window).expect("non-empty window"),
+            alerts: Vec::new(),
+            detected_at: None,
+            cfg,
+        }
+    }
+
+    /// Feeds one closed interval: its end time, the merged SYN count of
+    /// the interval, and the merged cumulative kind distribution.
+    /// Returns the alerts raised by this interval (at most one per
+    /// check).
+    pub fn observe_interval(
+        &mut self,
+        at: u64,
+        syn_in_interval: i64,
+        kind_freq: &FrequencyDist,
+    ) -> Vec<Alert> {
+        let mut raised = Vec::new();
+
+        // --- rate check ----------------------------------------------
+        self.syn_rate.accumulate(syn_in_interval);
+        let spike = self.syn_rate.is_spike_margined(
+            syn_in_interval,
+            self.cfg.k,
+            self.cfg.min_intervals,
+            3, // +12.5% of the mean
+            4,
+        );
+        self.syn_rate.close_interval();
+        if spike {
+            raised.push(Alert::SynFlood {
+                at,
+                syn_count: syn_in_interval as u64,
+            });
+        }
+
+        // --- share check ---------------------------------------------
+        if self.share_outlier(kind_freq) {
+            raised.push(Alert::SynFlood {
+                at,
+                syn_count: kind_freq.frequency(KIND_SYN),
+            });
+        }
+
+        if !raised.is_empty() {
+            self.detected_at.get_or_insert(at);
+            self.alerts.extend(raised.iter().cloned());
+        }
+        raised
+    }
+
+    fn share_outlier(&self, kind_freq: &FrequencyDist) -> bool {
+        let f = kind_freq.frequency(KIND_SYN);
+        let n = kind_freq.n_distinct();
+        if n < 4 {
+            return false;
+        }
+        let nf = u128::from(n) * u128::from(f);
+        let bound = u128::from(kind_freq.xsum())
+            + u128::from(self.cfg.k) * u128::from(kind_freq.sd_nx())
+            + u128::from(self.cfg.share_margin) * u128::from(n);
+        nf > bound
+    }
+
+    /// The tracked SYN-per-interval statistics (for reports).
+    #[must_use]
+    pub fn rate_stats(&self) -> &stat4_core::running::RunningStats {
+        self.syn_rate.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use packet::{EthernetFrame, Ipv4Packet, TcpSegment};
+    use workloads::SynFloodWorkload;
+
+    fn kind_of(frame: &[u8]) -> i64 {
+        let eth = EthernetFrame::new_checked(frame).unwrap();
+        let ip = Ipv4Packet::new_checked(eth.payload()).unwrap();
+        match TcpSegment::new_checked(ip.payload()) {
+            Ok(t) if t.syn() && !t.ack() => KIND_SYN,
+            Ok(_) => 0,
+            Err(_) => 2,
+        }
+    }
+
+    /// Replays a schedule through the epoch detector exactly as the
+    /// replay engine does: aggregate per interval, observe at each
+    /// interval close.
+    fn run_epoch(schedule: &workloads::Schedule, cfg: SynFloodConfig) -> EpochSynFloodDetector {
+        let mut det = EpochSynFloodDetector::new(cfg);
+        let mut kinds = FrequencyDist::new(0, cfg.kinds - 1).unwrap();
+        let mut cur: Option<u64> = None;
+        let mut syns: i64 = 0;
+        for (t, frame) in schedule {
+            let ivl = t / cfg.interval_ns;
+            if let Some(c) = cur {
+                if c != ivl {
+                    det.observe_interval((c + 1) * cfg.interval_ns, syns, &kinds);
+                    syns = 0;
+                    cur = Some(ivl);
+                }
+            } else {
+                cur = Some(ivl);
+            }
+            let k = kind_of(frame);
+            let _ = kinds.observe(k.clamp(0, cfg.kinds - 1));
+            if k == KIND_SYN {
+                syns += 1;
+            }
+        }
+        det
+    }
+
+    #[test]
+    fn detects_flood_not_background() {
+        let w = SynFloodWorkload {
+            background_cps: 500,
+            flood_pps: 50_000,
+            flood_start: 400_000_000,
+            duration: 900_000_000,
+            seed: 4,
+            ..SynFloodWorkload::default()
+        };
+        let (schedule, _victim) = w.generate();
+        let det = run_epoch(&schedule, SynFloodConfig::default());
+        let at = det.detected_at.expect("flood must be detected");
+        assert!(
+            at >= w.flood_start,
+            "no false positive before the flood: {at}"
+        );
+        assert!(
+            at < w.flood_start + 100_000_000,
+            "detected within 100 ms of onset, got +{} ms",
+            (at - w.flood_start) / 1_000_000
+        );
+    }
+
+    #[test]
+    fn quiet_traffic_never_alerts() {
+        let w = SynFloodWorkload {
+            background_cps: 500,
+            flood_pps: 50_000,
+            flood_start: 2_000_000_000, // after the end
+            duration: 900_000_000,
+            seed: 4,
+            ..SynFloodWorkload::default()
+        };
+        let (schedule, _) = w.generate();
+        let det = run_epoch(&schedule, SynFloodConfig::default());
+        assert!(det.detected_at.is_none(), "alerts: {:?}", det.alerts);
+    }
+
+    #[test]
+    fn identical_aggregates_identical_alerts() {
+        // The conformance property in miniature: two detectors fed the
+        // same per-interval aggregates raise the same alerts.
+        let w = SynFloodWorkload {
+            background_cps: 500,
+            flood_pps: 50_000,
+            flood_start: 300_000_000,
+            duration: 700_000_000,
+            seed: 9,
+            ..SynFloodWorkload::default()
+        };
+        let (schedule, _) = w.generate();
+        let a = run_epoch(&schedule, SynFloodConfig::default());
+        let b = run_epoch(&schedule, SynFloodConfig::default());
+        assert_eq!(a.alerts, b.alerts);
+        assert_eq!(a.detected_at, b.detected_at);
+    }
+
+    #[test]
+    fn rate_stats_populated() {
+        let mut det = EpochSynFloodDetector::new(SynFloodConfig::default());
+        let kinds = FrequencyDist::new(0, 7).unwrap();
+        for i in 0..20u64 {
+            det.observe_interval(i * 10_000_000, 5, &kinds);
+        }
+        assert!(det.rate_stats().n() > 0);
+    }
+}

@@ -25,6 +25,7 @@
 pub mod alerts;
 pub mod classify;
 pub mod drilldown;
+pub mod epoch;
 pub mod polling;
 pub mod shift;
 pub mod stalled;
@@ -33,6 +34,7 @@ pub mod synflood;
 pub use alerts::Alert;
 pub use classify::DriftMonitor;
 pub use drilldown::{DrilldownController, DrilldownPhase, DrilldownReport};
+pub use epoch::EpochSynFloodDetector;
 pub use polling::PollingController;
 pub use shift::PercentileShiftDetector;
 pub use stalled::StalledFlowDetector;

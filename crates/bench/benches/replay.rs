@@ -1,0 +1,45 @@
+//! Replay-engine throughput: the same SYN-flood trace replayed on 1,
+//! 2, 4, and 8 shards. On a multi-core machine the sharded
+//! configurations should scale toward the core count; on a single core
+//! the numbers expose the engine's barrier/merge overhead instead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use replay::{run_replay, ReplayConfig};
+use std::hint::black_box;
+use workloads::{Schedule, SynFloodWorkload};
+
+fn flood_trace() -> Schedule {
+    let (s, _) = SynFloodWorkload {
+        background_cps: 1_000,
+        flood_pps: 40_000,
+        flood_start: 100_000_000,
+        duration: 400_000_000,
+        seed: 7,
+        ..SynFloodWorkload::default()
+    }
+    .generate();
+    s
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let schedule = flood_trace();
+    let mut g = c.benchmark_group("replay");
+    for shards in [1usize, 2, 4, 8] {
+        g.bench_function(&format!("shards_{shards}"), |b| {
+            b.iter(|| {
+                let out = run_replay(
+                    black_box(&schedule),
+                    &ReplayConfig {
+                        shards,
+                        ..ReplayConfig::default()
+                    },
+                );
+                black_box(out.packets)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

@@ -26,7 +26,7 @@ const WARMUP: usize = 200;
 
 fn noise(rng: &mut impl Rng) -> i64 {
     // Poisson-ish: base +- ~sqrt(base) of jitter.
-    BASE + rng.random_range(-30..=30) + rng.random_range(-14..=14)
+    BASE + rng.random_range(-30i64..=30) + rng.random_range(-14i64..=14)
 }
 
 /// Returns (band_latency, cusum_latency) in intervals after onset, or

@@ -17,7 +17,7 @@ const BASE: i64 = 200;
 const WINDOW: usize = 100;
 
 fn noise(rng: &mut impl Rng) -> i64 {
-    BASE + rng.random_range(-30..=30) + rng.random_range(-14..=14)
+    BASE + rng.random_range(-30i64..=30) + rng.random_range(-14i64..=14)
 }
 
 /// False alarms on clean traffic, per 10 000 intervals (margin off =

@@ -48,6 +48,7 @@ pub mod parser;
 pub mod phv;
 pub mod pipeline;
 pub mod program;
+pub mod replay;
 pub mod resources;
 pub mod runtime;
 pub mod table;
@@ -60,6 +61,7 @@ pub use parser::parse_frame;
 pub use phv::{FieldId, Phv};
 pub use pipeline::{PacketOutcome, Pipeline};
 pub use program::ProgramBuilder;
+pub use replay::{merge_registers, EpochReport, ShardedPipeline};
 pub use resources::ResourceReport;
 pub use runtime::{RuntimeRequest, RuntimeResponse};
 pub use table::{Entry, MatchKind, MatchValue, TableDef};

@@ -22,7 +22,7 @@ pub struct Register {
 }
 
 impl Register {
-    fn mask(&self) -> u64 {
+    pub(crate) fn mask(&self) -> u64 {
         if self.width_bits >= 64 {
             u64::MAX
         } else {
@@ -68,7 +68,7 @@ pub struct Pipeline {
     pub(crate) actions: Vec<ActionDef>,
     pub(crate) tables: Vec<Table>,
     pub(crate) control: Control,
-    packets_processed: u64,
+    pub(crate) packets_processed: u64,
 }
 
 impl Pipeline {

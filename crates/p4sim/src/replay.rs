@@ -1,0 +1,366 @@
+//! Sharded multi-pipeline replay: N identical pipelines, each owning
+//! its own register file, fed disjoint slices of a trace in parallel
+//! and periodically reduced into a single merged register view.
+//!
+//! Real switches process packets on multiple pipes whose register files
+//! are physically separate; any whole-switch statistic is a *merge* of
+//! per-pipe state. This module makes that structure explicit for the
+//! simulator:
+//!
+//! - [`ShardedPipeline`] clones a template program into `N` shards and
+//!   processes per-shard work lists on `N` OS threads
+//!   ([`ShardedPipeline::process_epoch`]), batched to amortise
+//!   per-packet dispatch;
+//! - [`merge_registers`] reduces one shard's register file into
+//!   another's by **cellwise modular addition** (wrapping add, masked
+//!   to the register width — the arithmetic a fixed-width hardware
+//!   register performs).
+//!
+//! Cellwise addition is the correct merge exactly when register state
+//! is *additive*: counters, `Xsum`/`Xsumsq` accumulators and count-min
+//! sketch rows all commute with any traffic partition, so the merged
+//! file is bit-identical to a single pipeline having processed the
+//! whole trace (the conformance tests below assert this). State that
+//! encodes *order* — last-seen timestamps, percentile marker positions,
+//! window ring heads — is not additive, and a program holding such
+//! registers must be merged at a higher level (see `stat4_core::merge`
+//! for the per-tracker rules the replay driver uses).
+
+use crate::error::{P4Error, P4Result};
+use crate::pipeline::{DigestRecord, Pipeline};
+
+/// What one shard did during one [`ShardedPipeline::process_epoch`]
+/// call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EpochReport {
+    /// Packets processed.
+    pub packets: u64,
+    /// Packets dropped by the program.
+    pub dropped: u64,
+    /// Digests emitted, in processing order.
+    pub digests: Vec<DigestRecord>,
+}
+
+/// Adds `src`'s register file into `dst`, cell by cell, wrapping at
+/// each register's width — the reduce step of sharded replay.
+///
+/// # Errors
+///
+/// [`P4Error::Invalid`] if the two pipelines' register files differ in
+/// shape (count, name, width or size) — merging register files of
+/// different programs is always a bug.
+pub fn merge_registers(dst: &mut Pipeline, src: &Pipeline) -> P4Result<()> {
+    if dst.registers.len() != src.registers.len() {
+        return Err(P4Error::Invalid {
+            what: format!(
+                "register count mismatch: {} vs {}",
+                dst.registers.len(),
+                src.registers.len()
+            ),
+        });
+    }
+    for (d, s) in dst.registers.iter_mut().zip(&src.registers) {
+        if d.name != s.name || d.width_bits != s.width_bits || d.cells.len() != s.cells.len() {
+            return Err(P4Error::Invalid {
+                what: format!("register shape mismatch: {} vs {}", d.name, s.name),
+            });
+        }
+        let mask = d.mask();
+        for (dc, sc) in d.cells.iter_mut().zip(&s.cells) {
+            *dc = dc.wrapping_add(*sc) & mask;
+        }
+    }
+    dst.packets_processed += src.packets_processed;
+    Ok(())
+}
+
+/// `N` clones of one pipeline program, each with a private register
+/// file, processed in parallel.
+#[derive(Debug)]
+pub struct ShardedPipeline {
+    shards: Vec<Pipeline>,
+    batch: usize,
+}
+
+impl ShardedPipeline {
+    /// Default packets-per-batch for [`Self::process_epoch`].
+    pub const DEFAULT_BATCH: usize = 256;
+
+    /// Clones `template` into `shards` independent pipelines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn new(template: &Pipeline, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        Self {
+            shards: vec![template.clone(); shards],
+            batch: Self::DEFAULT_BATCH,
+        }
+    }
+
+    /// Overrides the batch size (packets processed per inner loop
+    /// iteration before the per-batch bookkeeping).
+    #[must_use]
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Read access to shard `i`'s pipeline.
+    #[must_use]
+    pub fn shard(&self, i: usize) -> Option<&Pipeline> {
+        self.shards.get(i)
+    }
+
+    /// Mutable access to shard `i`'s pipeline (e.g. for per-shard table
+    /// programming before replay).
+    pub fn shard_mut(&mut self, i: usize) -> Option<&mut Pipeline> {
+        self.shards.get_mut(i)
+    }
+
+    /// Processes one epoch of pre-split work: `work[i]` is shard `i`'s
+    /// time-ordered `(timestamp_ns, frame)` list for this epoch. Each
+    /// shard runs on its own OS thread against its own register file;
+    /// the call returns when every shard has drained its list (the
+    /// barrier after which state may be merged).
+    ///
+    /// Frames enter at ingress port 0, mirroring a single-port replay
+    /// tap.
+    ///
+    /// # Errors
+    ///
+    /// [`P4Error::Invalid`] if `work.len() != num_shards()`; otherwise
+    /// the first interpreter error any shard hit.
+    pub fn process_epoch(&mut self, work: &[Vec<(u64, &[u8])>]) -> P4Result<Vec<EpochReport>> {
+        if work.len() != self.shards.len() {
+            return Err(P4Error::Invalid {
+                what: format!(
+                    "epoch work lists ({}) != shards ({})",
+                    work.len(),
+                    self.shards.len()
+                ),
+            });
+        }
+        let batch = self.batch;
+        let mut results: Vec<P4Result<EpochReport>> = Vec::with_capacity(work.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .zip(work)
+                .map(|(pipe, list)| {
+                    scope.spawn(move || -> P4Result<EpochReport> {
+                        let mut report = EpochReport::default();
+                        for chunk in list.chunks(batch) {
+                            for (ts, frame) in chunk {
+                                let (_, outcome) = pipe.process_frame(frame, 0, *ts)?;
+                                report.packets += 1;
+                                report.dropped += u64::from(outcome.dropped);
+                                report.digests.extend(outcome.digests);
+                            }
+                        }
+                        Ok(report)
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("shard thread must not panic"));
+            }
+        });
+        results.into_iter().collect()
+    }
+
+    /// The merged register view: shard 0's pipeline with every other
+    /// shard's register file added in ([`merge_registers`]). Correct
+    /// for additive register state; see the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`merge_registers`] errors (impossible for shards
+    /// cloned from one template unless a caller reshaped a register).
+    pub fn merged(&self) -> P4Result<Pipeline> {
+        let mut merged = self.shards[0].clone();
+        for shard in &self.shards[1..] {
+            merge_registers(&mut merged, shard)?;
+        }
+        Ok(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{ActionDef, Operand, Primitive};
+    use crate::control::Control;
+    use crate::phv::fields;
+    use crate::program::ProgramBuilder;
+    use crate::target::TargetModel;
+    use packet::builder::PacketBuilder;
+    use std::net::Ipv4Addr;
+
+    /// A program with additive state: counts packets and bytes per
+    /// dst-IP low byte in two registers (one narrow, to exercise width
+    /// wrapping).
+    fn counting_pipeline() -> Pipeline {
+        let mut b = ProgramBuilder::new();
+        let pkts = b.add_register("pkts", 16, 256);
+        let bytes = b.add_register("bytes", 64, 256);
+        let count = b.add_action(ActionDef::new(
+            "count",
+            vec![
+                Primitive::And {
+                    dst: fields::M0,
+                    a: Operand::Field(fields::IPV4_DST),
+                    b: Operand::Const(0xff),
+                },
+                Primitive::RegRead {
+                    dst: fields::scratch(1),
+                    register: pkts,
+                    index: Operand::Field(fields::M0),
+                },
+                Primitive::Add {
+                    dst: fields::scratch(1),
+                    a: Operand::Field(fields::scratch(1)),
+                    b: Operand::Const(1),
+                },
+                Primitive::RegWrite {
+                    register: pkts,
+                    index: Operand::Field(fields::M0),
+                    src: Operand::Field(fields::scratch(1)),
+                },
+                Primitive::RegRead {
+                    dst: fields::scratch(1),
+                    register: bytes,
+                    index: Operand::Field(fields::M0),
+                },
+                Primitive::Add {
+                    dst: fields::scratch(1),
+                    a: Operand::Field(fields::scratch(1)),
+                    b: Operand::Field(fields::PKT_LEN),
+                },
+                Primitive::RegWrite {
+                    register: bytes,
+                    index: Operand::Field(fields::M0),
+                    src: Operand::Field(fields::scratch(1)),
+                },
+                Primitive::Forward {
+                    port: Operand::Const(1),
+                },
+            ],
+        ));
+        b.set_control(Control::ApplyAction(count));
+        b.build(TargetModel::bmv2()).unwrap()
+    }
+
+    fn frames(n: usize) -> Vec<(u64, bytes::Bytes)> {
+        (0..n)
+            .map(|i| {
+                let dst = Ipv4Addr::new(10, 0, 0, (i % 13) as u8 + 1);
+                let src = Ipv4Addr::new(192, 0, 2, (i % 7) as u8 + 1);
+                (
+                    i as u64 * 1_000,
+                    PacketBuilder::udp(src, dst, 4000 + (i % 5) as u16, 53)
+                        .payload(&vec![0u8; i % 32])
+                        .build_bytes(),
+                )
+            })
+            .collect()
+    }
+
+    fn split(trace: &[(u64, bytes::Bytes)], shards: usize) -> Vec<Vec<(u64, &[u8])>> {
+        let mut work: Vec<Vec<(u64, &[u8])>> = vec![Vec::new(); shards];
+        for (i, (t, f)) in trace.iter().enumerate() {
+            work[i % shards].push((*t, &f[..]));
+        }
+        work
+    }
+
+    #[test]
+    fn sharded_registers_merge_to_sequential() {
+        let trace = frames(500);
+        // Sequential baseline.
+        let mut seq = ShardedPipeline::new(&counting_pipeline(), 1);
+        seq.process_epoch(&split(&trace, 1)).unwrap();
+        let seq_regs = seq.merged().unwrap();
+
+        for shards in [2usize, 4, 8] {
+            let mut sharded = ShardedPipeline::new(&counting_pipeline(), shards);
+            let reports = sharded.process_epoch(&split(&trace, shards)).unwrap();
+            assert_eq!(
+                reports.iter().map(|r| r.packets).sum::<u64>(),
+                trace.len() as u64
+            );
+            let merged = sharded.merged().unwrap();
+            assert_eq!(
+                merged.registers(),
+                seq_regs.registers(),
+                "{shards} shards: merged register file must equal sequential"
+            );
+            assert_eq!(merged.packets_processed(), trace.len() as u64);
+        }
+    }
+
+    #[test]
+    fn narrow_register_wraps_like_sequential() {
+        // 16-bit pkts register: force a wrap by sending > 65536 packets
+        // to one cell — merged modular sums must equal the sequential
+        // modular sum. Use a tiny synthetic trace processed repeatedly.
+        let trace = frames(64);
+        let work1 = split(&trace, 1);
+        let work4 = split(&trace, 4);
+        let mut seq = ShardedPipeline::new(&counting_pipeline(), 1);
+        let mut sharded = ShardedPipeline::new(&counting_pipeline(), 4);
+        for _ in 0..40 {
+            seq.process_epoch(&work1).unwrap();
+            sharded.process_epoch(&work4).unwrap();
+        }
+        assert_eq!(
+            sharded.merged().unwrap().registers(),
+            seq.merged().unwrap().registers()
+        );
+    }
+
+    #[test]
+    fn epoch_work_shape_checked() {
+        let mut s = ShardedPipeline::new(&counting_pipeline(), 2);
+        assert!(matches!(
+            s.process_epoch(&[Vec::new()]),
+            Err(P4Error::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_programs() {
+        let mut a = counting_pipeline();
+        let mut b = ProgramBuilder::new();
+        b.add_register("other", 64, 8);
+        b.set_control(Control::Nop);
+        let b = b.build(TargetModel::bmv2()).unwrap();
+        assert!(matches!(
+            merge_registers(&mut a, &b),
+            Err(P4Error::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_size_does_not_change_state() {
+        let trace = frames(300);
+        let work = split(&trace, 4);
+        let mut small = ShardedPipeline::new(&counting_pipeline(), 4).with_batch(1);
+        let mut large = ShardedPipeline::new(&counting_pipeline(), 4).with_batch(4096);
+        small.process_epoch(&work).unwrap();
+        large.process_epoch(&work).unwrap();
+        assert_eq!(
+            small.merged().unwrap().registers(),
+            large.merged().unwrap().registers()
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! RFC 1071 checksum edge cases, exercised end to end through built
+//! frames: odd-length payloads, the UDP zero-checksum conventions, and
+//! accumulator wraparound carries.
+
+use packet::builder::PacketBuilder;
+use packet::{checksum, EthernetFrame, Ipv4Packet, TcpSegment, UdpDatagram};
+use std::net::Ipv4Addr;
+
+const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const DST: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+/// Reference one's-complement checksum with a wide accumulator — no
+/// intermediate folding, so it cannot share a carry bug with the
+/// implementation under test.
+fn reference_checksum(data: &[u8]) -> u16 {
+    let mut acc: u64 = 0;
+    for c in data.chunks(2) {
+        let w = if c.len() == 2 {
+            u16::from_be_bytes([c[0], c[1]])
+        } else {
+            u16::from_be_bytes([c[0], 0])
+        };
+        acc += u64::from(w);
+    }
+    while acc > 0xffff {
+        acc = (acc & 0xffff) + (acc >> 16);
+    }
+    !(acc as u16)
+}
+
+// ------------------------------------------------------- odd payloads
+
+#[test]
+fn udp_odd_length_payloads_verify_end_to_end() {
+    // 1..=9-byte payloads cover every odd/even boundary around the
+    // virtual zero pad byte.
+    for n in 1usize..=9 {
+        let payload: Vec<u8> = (0..n).map(|i| 0xa0 | i as u8).collect();
+        let frame = PacketBuilder::udp(SRC, DST, 4000, 5000)
+            .payload(&payload)
+            .build();
+        let eth = EthernetFrame::new_checked(frame.as_slice()).unwrap();
+        let ip = Ipv4Packet::new_checked(eth.payload()).unwrap();
+        let udp = UdpDatagram::new_checked(ip.payload()).unwrap();
+        assert!(
+            udp.verify_checksum(ip.src(), ip.dst()),
+            "{n}-byte payload must verify"
+        );
+        assert_eq!(udp.payload(), payload.as_slice());
+    }
+}
+
+#[test]
+fn tcp_odd_length_payload_verifies() {
+    let frame = PacketBuilder::tcp(SRC, DST, 1234, 80, packet::TcpFlags::ack())
+        .payload(&[0xde, 0xad, 0xbe])
+        .build();
+    let eth = EthernetFrame::new_checked(frame.as_slice()).unwrap();
+    let ip = Ipv4Packet::new_checked(eth.payload()).unwrap();
+    let tcp = TcpSegment::new_checked(ip.payload()).unwrap();
+    assert!(tcp.verify_checksum(ip.src(), ip.dst()));
+}
+
+#[test]
+fn odd_pad_byte_is_virtual_not_part_of_the_message() {
+    // Padding applies to the checksum only: [ab] and [ab, 00] checksum
+    // identically, but corrupting the would-be pad position of a longer
+    // buffer must still be detected.
+    assert_eq!(checksum::checksum(&[0xab]), checksum::checksum(&[0xab, 0]));
+    assert_ne!(
+        checksum::checksum(&[0xab, 0x01]),
+        checksum::checksum(&[0xab])
+    );
+}
+
+// --------------------------------------------------- zero UDP checksum
+
+#[test]
+fn udp_zero_checksum_means_unverified() {
+    // RFC 768: an all-zero checksum field means "no checksum computed";
+    // receivers must accept the datagram.
+    let frame = PacketBuilder::udp(SRC, DST, 4000, 5000)
+        .payload(b"hello")
+        .build();
+    let eth = EthernetFrame::new_checked(frame.as_slice()).unwrap();
+    let ip = Ipv4Packet::new_checked(eth.payload()).unwrap();
+    let ip_header_len = ip.payload().as_ptr() as usize - eth.payload().as_ptr() as usize;
+    let udp_off = 14 + ip_header_len + 6; // eth + ip header + checksum offset
+    let mut raw = frame.clone();
+    raw[udp_off] = 0;
+    raw[udp_off + 1] = 0;
+    let eth = EthernetFrame::new_checked(raw.as_slice()).unwrap();
+    let ip = Ipv4Packet::new_checked(eth.payload()).unwrap();
+    let udp = UdpDatagram::new_checked(ip.payload()).unwrap();
+    assert!(
+        udp.verify_checksum(ip.src(), ip.dst()),
+        "zero checksum field = not computed = accepted"
+    );
+}
+
+#[test]
+fn udp_computed_zero_transmits_as_ffff() {
+    // RFC 768's other half: a datagram whose checksum *computes* to
+    // zero must be sent as 0xffff (zero is reserved for "none"), and
+    // 0xffff must verify. Search for a payload byte that makes the sum
+    // come out to 0xffff pre-inversion.
+    let mut found = false;
+    for a in 0..=255u8 {
+        for b in 0..=255u8 {
+            let frame = PacketBuilder::udp(SRC, DST, 4000, 5000)
+                .payload(&[a, b])
+                .build();
+            let eth = EthernetFrame::new_checked(frame.as_slice()).unwrap();
+            let ip = Ipv4Packet::new_checked(eth.payload()).unwrap();
+            let udp = UdpDatagram::new_checked(ip.payload()).unwrap();
+            let stored = u16::from_be_bytes([ip.payload()[6], ip.payload()[7]]);
+            assert_ne!(stored, 0, "builder must never emit the reserved zero");
+            assert!(udp.verify_checksum(ip.src(), ip.dst()));
+            if stored == 0xffff {
+                found = true;
+            }
+        }
+    }
+    assert!(found, "some 2-byte payload must hit the 0xffff mapping");
+}
+
+// --------------------------------------------------- wraparound carries
+
+#[test]
+fn single_fold_carry() {
+    // Two 0xffff words: acc = 0x1fffe, one fold -> 0xffff, sum 0 after
+    // inversion.
+    assert_eq!(checksum::checksum(&[0xff, 0xff, 0xff, 0xff]), 0);
+}
+
+#[test]
+fn multi_fold_carry_matches_wide_reference() {
+    // Runs of 0xffff words alone never need a second fold (k·0xffff
+    // always folds straight to 0xffff), so build the accumulator up to
+    // 0xffff0002: 65536 words of 0xffff plus one word of 0x0002. The
+    // first fold yields 0xffff + 0x0002 = 0x10001 > 0xffff, forcing a
+    // second; a buggy single-fold implementation diverges here.
+    let mut data = vec![0xffu8; 131_072];
+    data.extend_from_slice(&[0x00, 0x02]);
+    let acc = checksum::sum(&data);
+    assert!(
+        (acc & 0xffff) + (acc >> 16) > 0xffff,
+        "test vector must actually need a second fold (acc = {acc:#x})"
+    );
+    assert_eq!(checksum::checksum(&data), reference_checksum(&data));
+}
+
+#[test]
+fn random_buffers_match_wide_reference() {
+    // Deterministic pseudo-random buffers of every parity, including
+    // carry-heavy high-byte runs.
+    let mut state = 0x1234_5678_9abc_def0u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for len in [1usize, 2, 3, 64, 65, 1499, 1500] {
+        let data: Vec<u8> = (0..len).map(|_| (next() >> 32) as u8).collect();
+        assert_eq!(
+            checksum::checksum(&data),
+            reference_checksum(&data),
+            "len {len}"
+        );
+        let heavy: Vec<u8> = (0..len).map(|i| 0xf0 | (i as u8 & 0xf)).collect();
+        assert_eq!(
+            checksum::checksum(&heavy),
+            reference_checksum(&heavy),
+            "heavy len {len}"
+        );
+    }
+}
+
+#[test]
+fn verify_detects_any_single_bit_flip() {
+    let mut data = PacketBuilder::udp(SRC, DST, 1, 2).payload(b"stat4").build();
+    // Take the UDP region with a valid checksum and check bit-flip
+    // detection over the whole frame tail (checksummed region).
+    let eth = EthernetFrame::new_checked(data.as_slice()).unwrap();
+    let ip = Ipv4Packet::new_checked(eth.payload()).unwrap();
+    let udp_region_start = data.len() - ip.payload().len();
+    let acc0 = checksum::pseudo_header(SRC, DST, 17, ip.payload().len() as u16);
+    assert_eq!(checksum::finish(acc0 + checksum::sum(ip.payload())), 0);
+    for byte in udp_region_start..data.len() {
+        for bit in 0..8 {
+            data[byte] ^= 1 << bit;
+            let eth = EthernetFrame::new_checked(data.as_slice()).unwrap();
+            let ip = Ipv4Packet::new_checked(eth.payload()).unwrap();
+            let ok = checksum::finish(acc0 + checksum::sum(ip.payload())) == 0;
+            // One's-complement caveat: flipping a bit can only go
+            // undetected if it turns the stored checksum 0x0000 <->
+            // 0xffff (both encode zero); the builder never stores zero.
+            assert!(!ok, "flip at byte {byte} bit {bit} undetected");
+            data[byte] ^= 1 << bit;
+        }
+    }
+}

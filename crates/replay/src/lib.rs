@@ -1,0 +1,409 @@
+//! # replay
+//!
+//! A batched, multi-threaded packet-replay engine that shards traffic
+//! across N worker pipelines — the software model of a multi-pipe
+//! switch running the paper's Stat4 programs, one pipeline per ingress
+//! pipe, with the control plane periodically folding per-pipe state
+//! into a global view.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!            ┌── shard 0: ShardState ──┐
+//! schedule ──┤   shard 1: ShardState   ├── epoch barrier ── merge ──▶
+//!   (split   │   ...                   │   (Σ sums, Σ cells,         central
+//!   by flow  └── shard N-1 ────────────┘    canonical markers)       detector
+//!   5-tuple)
+//! ```
+//!
+//! - **Sharding** — [`workloads::shard::split`] hashes each frame's
+//!   flow 5-tuple, so splitting is deterministic and flow-affine.
+//! - **Epochs** — time is cut into detector intervals; each epoch, one
+//!   OS thread per shard ingests that shard's slice of the interval in
+//!   batches, then all threads join at a barrier.
+//! - **Merge** — shard state folds into a global [`ShardState`] via
+//!   [`stat4_core::Mergeable`]: `RunningStats` / `FrequencyDist` /
+//!   `CountMinSketch` merge by summing (order-free, bit-identical to a
+//!   sequential run), while `PercentileSet` markers — which are
+//!   path-dependent and *not* mergeable — are rebuilt canonically from
+//!   the merged counts (a deterministic function of the counts alone).
+//! - **Detection** — [`anomaly::EpochSynFloodDetector`] runs only on
+//!   merged aggregates, so its verdicts are shard-count invariant *by
+//!   construction*: a 1-shard and an 8-shard replay hand it
+//!   bit-identical inputs.
+//!
+//! The conformance suite (`tests/conformance.rs`) asserts exactly that:
+//! for the `synflood` and `mix` workloads, 2/4/8-shard runs produce the
+//! same merged statistics and the same alert sequence as the
+//! single-shard run.
+
+use anomaly::epoch::EpochSynFloodDetector;
+use anomaly::synflood::{SynFloodConfig, KIND_SYN};
+use anomaly::Alert;
+use packet::{EtherType, EthernetFrame, IpProtocol, Ipv4Packet, TcpSegment, UdpDatagram};
+use stat4_core::freq::FrequencyDist;
+use stat4_core::percentile::{PercentileSet, Quantile};
+use stat4_core::running::RunningStats;
+use stat4_core::sketch::CountMinSketch;
+use stat4_core::{Mergeable, Stat4Result};
+use workloads::Schedule;
+
+/// Kind cell for non-SYN TCP segments.
+pub const KIND_TCP: i64 = 0;
+/// Kind cell for plain UDP datagrams.
+pub const KIND_UDP: i64 = 2;
+/// Kind cell for QUIC (UDP port 443).
+pub const KIND_QUIC: i64 = 3;
+/// Kind cell for everything else (non-IPv4, parse failures).
+pub const KIND_OTHER: i64 = 4;
+
+/// Largest frame length tracked by the length percentile domain.
+pub const MAX_LEN: i64 = 2047;
+
+/// Classifies a frame into the kind cells above ([`KIND_SYN`] for pure
+/// TCP SYNs). Mirrors the streaming detector's classification so both
+/// engines see the same composition.
+#[must_use]
+pub fn kind_of(frame: &[u8]) -> i64 {
+    let Ok(eth) = EthernetFrame::new_checked(frame) else {
+        return KIND_OTHER;
+    };
+    if eth.ethertype() != EtherType::Ipv4 {
+        return KIND_OTHER;
+    }
+    let Ok(ip) = Ipv4Packet::new_checked(eth.payload()) else {
+        return KIND_OTHER;
+    };
+    match ip.protocol() {
+        IpProtocol::Tcp => match TcpSegment::new_checked(ip.payload()) {
+            Ok(t) if t.syn() && !t.ack() => KIND_SYN,
+            _ => KIND_TCP,
+        },
+        IpProtocol::Udp => match UdpDatagram::new_checked(ip.payload()) {
+            Ok(u) if u.dst_port() == 443 => KIND_QUIC,
+            _ => KIND_UDP,
+        },
+        _ => KIND_OTHER,
+    }
+}
+
+fn dst_key(frame: &[u8]) -> u64 {
+    let Ok(eth) = EthernetFrame::new_checked(frame) else {
+        return 0;
+    };
+    if eth.ethertype() != EtherType::Ipv4 {
+        return 0;
+    }
+    Ipv4Packet::new_checked(eth.payload()).map_or(0, |ip| u64::from(u32::from(ip.dst())))
+}
+
+/// Replay-engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayConfig {
+    /// Number of worker shards (≥ 1).
+    pub shards: usize,
+    /// Frames per batch inside a shard thread.
+    pub batch: usize,
+    /// Detector configuration; `interval_ns` doubles as the epoch
+    /// length.
+    pub detector: SynFloodConfig,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        Self {
+            shards: 1,
+            batch: 256,
+            detector: SynFloodConfig::default(),
+        }
+    }
+}
+
+/// The full Stat4 state one shard maintains — one instance of every
+/// tracker family the paper builds, so the merge rules of all of them
+/// are exercised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardState {
+    /// Packet-kind composition (merged by cellwise count addition).
+    pub kinds: FrequencyDist,
+    /// Frame-length moments (merged by summing `N`/`Xsum`/`Xsumsq`).
+    pub len_stats: RunningStats,
+    /// Per-destination volume sketch (merged cellwise; plain —
+    /// non-conservative — updates so the merge is exact).
+    pub dst_sketch: CountMinSketch,
+    /// Median frame length (counts merge exactly; markers rebuild
+    /// canonically from the merged counts).
+    pub len_median: PercentileSet,
+    /// Frames ingested by this shard.
+    pub packets: u64,
+    /// SYNs seen in the current (open) interval.
+    pub syn_in_interval: i64,
+}
+
+impl ShardState {
+    /// Creates an empty state for the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the detector's kind domain is degenerate.
+    #[must_use]
+    pub fn new(cfg: &ReplayConfig) -> Self {
+        Self {
+            kinds: FrequencyDist::new(0, cfg.detector.kinds - 1).expect("valid kind domain"),
+            len_stats: RunningStats::new(),
+            dst_sketch: CountMinSketch::new(4, 12),
+            len_median: PercentileSet::new(0, MAX_LEN, &[Quantile::percentile(50).unwrap()])
+                .expect("valid length domain"),
+            packets: 0,
+            syn_in_interval: 0,
+        }
+    }
+
+    /// Ingests one frame.
+    pub fn ingest(&mut self, frame: &[u8]) {
+        let kind = kind_of(frame);
+        let _ = self.kinds.observe(kind);
+        let len = (frame.len() as i64).min(MAX_LEN);
+        self.len_stats.push(len);
+        let _ = self.len_median.observe(len);
+        self.dst_sketch.update(dst_key(frame), 1);
+        if kind == KIND_SYN {
+            self.syn_in_interval += 1;
+        }
+        self.packets += 1;
+    }
+
+    /// Folds `other` into `self` using each tracker's merge rule.
+    ///
+    /// # Errors
+    ///
+    /// [`stat4_core::Stat4Error::MergeMismatch`] if the two states were
+    /// built with different domains or geometries.
+    pub fn merge_from(&mut self, other: &Self) -> Stat4Result<()> {
+        self.kinds.merge_from(&other.kinds)?;
+        self.len_stats.merge_from(&other.len_stats)?;
+        self.dst_sketch.merge_from(&other.dst_sketch)?;
+        self.len_median.merge_from(&other.len_median)?;
+        self.packets += other.packets;
+        self.syn_in_interval += other.syn_in_interval;
+        Ok(())
+    }
+}
+
+/// What a replay run produced.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// The merged global state after the last epoch.
+    pub merged: ShardState,
+    /// Alerts raised by the central detector, in interval order.
+    pub alerts: Vec<Alert>,
+    /// First alert time, if any.
+    pub detected_at: Option<u64>,
+    /// Frames replayed.
+    pub packets: u64,
+    /// Closed epochs (detector intervals).
+    pub epochs: u64,
+    /// Wall-clock replay time.
+    pub elapsed: std::time::Duration,
+}
+
+impl ReplayOutcome {
+    /// Replay throughput in packets per second.
+    #[must_use]
+    pub fn throughput_pps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.packets as f64 / secs
+    }
+}
+
+/// Replays a time-sorted schedule through `cfg.shards` worker threads
+/// and returns the merged state plus the central detector's alerts.
+///
+/// Each detector interval is one *epoch*: the interval's frames are
+/// split by flow hash, every shard ingests its slice on its own thread
+/// (in `cfg.batch`-sized batches), the threads join, shard state is
+/// folded into a fresh merged view, and the detector consumes the
+/// merged aggregates. Per-shard state persists across epochs; only the
+/// merged view is rebuilt.
+///
+/// # Panics
+///
+/// Panics if `cfg.shards` is zero or a shard state merge fails (states
+/// are constructed from one config, so geometries always match).
+#[must_use]
+pub fn run_replay(schedule: &Schedule, cfg: &ReplayConfig) -> ReplayOutcome {
+    assert!(cfg.shards >= 1, "need at least one shard");
+    let interval = cfg.detector.interval_ns.max(1);
+    let batch = cfg.batch.max(1);
+
+    let mut shards: Vec<ShardState> = (0..cfg.shards).map(|_| ShardState::new(cfg)).collect();
+    let mut detector = EpochSynFloodDetector::new(cfg.detector);
+    let mut packets: u64 = 0;
+    let mut epochs: u64 = 0;
+
+    let started = std::time::Instant::now();
+
+    // Cut the schedule into epochs (one detector interval each). The
+    // schedule is time-sorted, so each epoch is a contiguous run.
+    let mut i = 0;
+    while i < schedule.len() {
+        let epoch_idx = schedule[i].0 / interval;
+        let mut j = i;
+        while j < schedule.len() && schedule[j].0 / interval == epoch_idx {
+            j += 1;
+        }
+        let epoch_frames = &schedule[i..j];
+        i = j;
+
+        // Deterministic flow-affine split of this epoch's frames.
+        let mut work: Vec<Vec<&bytes::Bytes>> = vec![Vec::new(); cfg.shards];
+        for (_, frame) in epoch_frames {
+            work[workloads::shard::shard_of(frame, cfg.shards)].push(frame);
+        }
+
+        // One thread per shard; the scope end is the epoch barrier.
+        std::thread::scope(|scope| {
+            for (state, list) in shards.iter_mut().zip(&work) {
+                scope.spawn(move || {
+                    for chunk in list.chunks(batch) {
+                        for frame in chunk {
+                            state.ingest(frame);
+                        }
+                    }
+                });
+            }
+        });
+        packets += epoch_frames.len() as u64;
+        epochs += 1;
+
+        // Barrier work: fold shard state into a fresh global view and
+        // let the central detector judge the merged aggregates.
+        let mut merged = ShardState::new(cfg);
+        for s in &shards {
+            merged.merge_from(s).expect("uniform shard geometry");
+        }
+        let at = (epoch_idx + 1) * interval;
+        detector.observe_interval(at, merged.syn_in_interval, &merged.kinds);
+        for s in &mut shards {
+            s.syn_in_interval = 0;
+        }
+    }
+
+    let elapsed = started.elapsed();
+
+    let mut merged = ShardState::new(cfg);
+    for s in &shards {
+        merged.merge_from(s).expect("uniform shard geometry");
+    }
+    ReplayOutcome {
+        merged,
+        alerts: detector.alerts.clone(),
+        detected_at: detector.detected_at,
+        packets,
+        epochs,
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::SynFloodWorkload;
+
+    fn small_flood() -> Schedule {
+        let (s, _) = SynFloodWorkload {
+            background_cps: 500,
+            flood_pps: 20_000,
+            flood_start: 150_000_000,
+            duration: 400_000_000,
+            seed: 11,
+            ..SynFloodWorkload::default()
+        }
+        .generate();
+        s
+    }
+
+    #[test]
+    fn single_shard_counts_every_packet() {
+        let s = small_flood();
+        let out = run_replay(&s, &ReplayConfig::default());
+        assert_eq!(out.packets, s.len() as u64);
+        assert_eq!(out.merged.packets, s.len() as u64);
+        assert_eq!(out.merged.len_stats.n(), s.len() as u64);
+        assert!(out.epochs > 0);
+    }
+
+    #[test]
+    fn merged_moments_match_direct_ingest() {
+        // RunningStats / FrequencyDist / sketch are order-free, so the
+        // replay's merged state must equal a plain sequential ingest.
+        let s = small_flood();
+        let cfg = ReplayConfig {
+            shards: 4,
+            ..ReplayConfig::default()
+        };
+        let out = run_replay(&s, &cfg);
+        let mut direct = ShardState::new(&cfg);
+        for (_, frame) in &s {
+            direct.ingest(frame);
+        }
+        assert_eq!(out.merged.len_stats, direct.len_stats);
+        assert_eq!(out.merged.kinds, direct.kinds);
+        assert_eq!(out.merged.dst_sketch, direct.dst_sketch);
+        // Percentile *counts* agree too; only the marker path differs.
+        assert_eq!(out.merged.len_median.total(), direct.len_median.total());
+    }
+
+    #[test]
+    fn flood_detected_on_merged_state() {
+        let s = small_flood();
+        let out = run_replay(
+            &s,
+            &ReplayConfig {
+                shards: 2,
+                ..ReplayConfig::default()
+            },
+        );
+        let at = out.detected_at.expect("flood must be detected");
+        assert!(at >= 150_000_000, "no false positive: {at}");
+    }
+
+    #[test]
+    fn batch_size_does_not_change_outcome() {
+        let s = small_flood();
+        let a = run_replay(
+            &s,
+            &ReplayConfig {
+                shards: 4,
+                batch: 1,
+                ..ReplayConfig::default()
+            },
+        );
+        let b = run_replay(
+            &s,
+            &ReplayConfig {
+                shards: 4,
+                batch: 4096,
+                ..ReplayConfig::default()
+            },
+        );
+        assert_eq!(a.merged, b.merged);
+        assert_eq!(a.alerts, b.alerts);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let s = Schedule::new();
+        let _ = run_replay(
+            &s,
+            &ReplayConfig {
+                shards: 0,
+                ..ReplayConfig::default()
+            },
+        );
+    }
+}

@@ -42,6 +42,12 @@ pub enum Stat4Error {
         /// Human-readable description of the operation that overflowed.
         op: &'static str,
     },
+    /// Two trackers with incompatible configurations (different domains,
+    /// sketch geometries or quantile sets) were asked to merge.
+    MergeMismatch {
+        /// Which configuration aspect differed.
+        what: &'static str,
+    },
 }
 
 /// Convenience alias used throughout the crate.
@@ -65,6 +71,9 @@ impl fmt::Display for Stat4Error {
             ),
             Stat4Error::EmptyWindow => write!(f, "windowed distribution needs >= 1 interval"),
             Stat4Error::Overflow { op } => write!(f, "integer overflow in {op}"),
+            Stat4Error::MergeMismatch { what } => {
+                write!(f, "cannot merge trackers with different {what}")
+            }
         }
     }
 }

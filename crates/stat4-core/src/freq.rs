@@ -231,6 +231,37 @@ impl FrequencyDist {
     }
 }
 
+impl crate::merge::Mergeable for FrequencyDist {
+    /// Cellwise count addition with the moments recomputed from the
+    /// merged cells in the same pass. The recomputation matters:
+    /// `(f_a + f_b)² ≠ f_a² + f_b²`, so `Xsumsq` cannot merge by
+    /// addition — but the merged cells determine it exactly, making the
+    /// result bit-identical to a sequential pass over both streams.
+    fn merge_from(&mut self, other: &Self) -> crate::error::Stat4Result<()> {
+        if self.min != other.min || self.max != other.max {
+            return Err(Stat4Error::MergeMismatch {
+                what: "frequency domains",
+            });
+        }
+        let mut n_distinct = 0u64;
+        let mut total = 0u64;
+        let mut sumsq = 0u128;
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            let f = c.saturating_add(*o);
+            *c = f;
+            if f != 0 {
+                n_distinct += 1;
+            }
+            total = total.saturating_add(f);
+            sumsq += u128::from(f) * u128::from(f);
+        }
+        self.n_distinct = n_distinct;
+        self.total = total;
+        self.sumsq = sumsq;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

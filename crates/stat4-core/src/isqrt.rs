@@ -122,6 +122,63 @@ pub fn approx_error_percent(y: u64) -> f64 {
     ((approx - truth) / truth).abs() * 100.0
 }
 
+/// Controller-side refined square root in Q48.16 fixed point:
+/// `refined_sqrt_q16(y) ≈ √y · 2¹⁶`.
+///
+/// The data plane can only afford [`approx_isqrt`] (shifts and masks,
+/// a few percent of error); the *control plane* is a general-purpose
+/// CPU and may divide. This routine seeds Newton's method with the
+/// data-plane approximation and runs four integer iterations of
+/// `x ← (x + y·2³²/x) / 2`, driving the error below the Q16
+/// quantisation step — comfortably inside the paper's Table 2 claims
+/// for the upper decades, which no integer-*output* variant of the
+/// Figure 2 algorithm can reach (see `repro_table2`). It models the
+/// paper's split: coarse σ in-switch for threshold checks, precise σ
+/// recomputed from the exported `N`/`Xsum`/`Xsumsq` sums when the
+/// controller investigates an alert.
+///
+/// # Examples
+///
+/// ```
+/// use stat4_core::isqrt::refined_sqrt_q16;
+/// assert_eq!(refined_sqrt_q16(0), 0);
+/// assert_eq!(refined_sqrt_q16(1), 1 << 16);
+/// assert_eq!(refined_sqrt_q16(4), 2 << 16);
+/// // √2 · 2^16 = 92681.9… (floor-Newton may land an LSB or two low)
+/// assert!((refined_sqrt_q16(2) as i64 - 92682).abs() <= 2);
+/// ```
+#[must_use]
+pub fn refined_sqrt_q16(y: u64) -> u64 {
+    if y == 0 {
+        return 0;
+    }
+    // Seed from the data-plane approximation, lifted to Q16. Worst-case
+    // seed error is ~42% (Table 2, first decade); each Newton step
+    // roughly squares the relative error, so four steps reach the
+    // fixed-point resolution from any seed.
+    let mut x = approx_isqrt(y) << 16;
+    let yq = u128::from(y) << 32;
+    for _ in 0..4 {
+        let cur = u128::from(x);
+        x = ((cur + yq / cur) / 2) as u64;
+    }
+    x
+}
+
+/// Relative error of [`refined_sqrt_q16`] against the fractional square
+/// root, in percent.
+///
+/// Returns `0.0` for `y == 0`.
+#[must_use]
+pub fn refined_error_percent(y: u64) -> f64 {
+    if y == 0 {
+        return 0.0;
+    }
+    let truth = (y as f64).sqrt();
+    let refined = refined_sqrt_q16(y) as f64 / f64::from(1u32 << 16);
+    ((refined - truth) / truth).abs() * 100.0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -55,6 +55,7 @@ pub mod error;
 pub mod ewma;
 pub mod freq;
 pub mod isqrt;
+pub mod merge;
 pub mod oracle;
 pub mod percentile;
 pub mod running;
@@ -69,6 +70,7 @@ pub use ewma::Ewma;
 pub use error::{Stat4Error, Stat4Result};
 pub use freq::FrequencyDist;
 pub use isqrt::{approx_isqrt, exact_isqrt};
+pub use merge::Mergeable;
 pub use percentile::{PercentileTracker, Quantile};
 pub use running::RunningStats;
 pub use scale::Scale;

@@ -183,6 +183,33 @@ impl Marker {
             false
         }
     }
+
+    /// Rebuilds this marker from scratch over `counts`: seed at the
+    /// lowest populated cell, then rebalance to the fixpoint. The
+    /// landing cell is the *canonical* exact quantile — a deterministic
+    /// function of the counters alone, unlike the path-dependent cell a
+    /// one-step-per-packet marker occupies. `moves` is likewise reset to
+    /// the rebuild's own step count, so the *whole* marker is a pure
+    /// function of the counters — per-shard walk histories are
+    /// partition-dependent and must not survive a merge (the conformance
+    /// suite asserts merged state is shard-count invariant).
+    fn rebuild(&mut self, counts: &[u64], total: u64) {
+        self.moves = 0;
+        if total == 0 {
+            self.pos = None;
+            self.low = 0;
+            self.high = 0;
+            return;
+        }
+        let start = counts
+            .iter()
+            .position(|&c| c > 0)
+            .expect("total > 0 implies a populated cell");
+        self.pos = Some(start);
+        self.low = 0;
+        self.high = total - counts[start];
+        while self.rebalance_step(counts) {}
+    }
 }
 
 /// A frequency-counter array with any number of percentile markers
@@ -332,6 +359,49 @@ impl PercentileSet {
     }
 }
 
+impl crate::merge::Mergeable for PercentileSet {
+    /// The documented non-mergeability fallback for percentile markers
+    /// (see [`crate::merge`]): the per-cell counters merge exactly
+    /// (cellwise addition — they are plain frequency registers), but a
+    /// marker's position encodes the path it walked, one step per
+    /// packet, and two such paths cannot be combined into the position
+    /// a sequential marker would hold. Each marker is therefore
+    /// **rebuilt** from the merged counters at the canonical exact
+    /// quantile. The rebuilt estimate differs from a sequential
+    /// tracker's by at most the sequential marker's own lag (paper
+    /// Table 3 bounds it), and is identical for every shard count by
+    /// construction. `moves` counters are likewise canonicalised — they
+    /// become the rebuild's own step count, because per-shard walk
+    /// histories are partition-dependent; a merged tracker is a pure
+    /// function of its merged counters, nothing else.
+    fn merge_from(&mut self, other: &Self) -> Stat4Result<()> {
+        if self.min != other.min || self.max != other.max {
+            return Err(Stat4Error::MergeMismatch {
+                what: "percentile domains",
+            });
+        }
+        if self.markers.len() != other.markers.len()
+            || self
+                .markers
+                .iter()
+                .zip(&other.markers)
+                .any(|(a, b)| a.q != b.q)
+        {
+            return Err(Stat4Error::MergeMismatch {
+                what: "quantile sets",
+            });
+        }
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c = c.saturating_add(*o);
+        }
+        self.total = self.total.saturating_add(other.total);
+        for m in &mut self.markers {
+            m.rebuild(&self.counts, self.total);
+        }
+        Ok(())
+    }
+}
+
 /// Convenience wrapper tracking a single quantile.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PercentileTracker {
@@ -397,6 +467,14 @@ impl PercentileTracker {
     #[must_use]
     pub fn as_set(&self) -> &PercentileSet {
         &self.set
+    }
+}
+
+impl crate::merge::Mergeable for PercentileTracker {
+    /// Delegates to [`PercentileSet`]'s counts-merge + marker-rebuild
+    /// fallback.
+    fn merge_from(&mut self, other: &Self) -> Stat4Result<()> {
+        self.set.merge_from(&other.set)
     }
 }
 

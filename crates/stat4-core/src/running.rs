@@ -91,6 +91,16 @@ impl RunningStats {
         self.sd_cache = None;
     }
 
+    /// Absorbs another tracker's distribution: `N`, `Xsum` and `Xsumsq`
+    /// add. Exactly the state a single tracker would hold after pushing
+    /// both value streams in any order (absent saturation).
+    pub fn absorb(&mut self, other: &Self) {
+        self.n += other.n;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.sumsq = self.sumsq.saturating_add(other.sumsq);
+        self.sd_cache = None;
+    }
+
     /// Replaces a previously pushed value `old` with `new` without
     /// changing `N`. This is the circular-buffer update of the paper's
     /// case study: when the window is full, the oldest interval counter
@@ -228,6 +238,15 @@ impl RunningStats {
     /// rebinds a register block to a new distribution.
     pub fn reset(&mut self) {
         *self = Self::default();
+    }
+}
+
+impl crate::merge::Mergeable for RunningStats {
+    /// Sums are order-free: any shard partition merges back to the
+    /// sequential state. Infallible (no configuration to mismatch).
+    fn merge_from(&mut self, other: &Self) -> crate::error::Stat4Result<()> {
+        self.absorb(other);
+        Ok(())
     }
 }
 

@@ -149,6 +149,28 @@ impl CountMinSketch {
     }
 }
 
+impl crate::merge::Mergeable for CountMinSketch {
+    /// Cellwise row addition. Both sketches hash with the same
+    /// [`ROW_SALTS`] table, so equal geometry means equal cell
+    /// assignment and the merged sketch equals a sequential sketch fed
+    /// both streams of **plain** updates, bit for bit. Conservative
+    /// updates are order-dependent (a row rises only when it is the
+    /// current minimum), so merged conservative sketches keep the
+    /// `estimate ≥ truth` guarantee but not bit-equality.
+    fn merge_from(&mut self, other: &Self) -> crate::error::Stat4Result<()> {
+        if self.rows != other.rows || self.width_log2 != other.width_log2 {
+            return Err(crate::error::Stat4Error::MergeMismatch {
+                what: "sketch geometries",
+            });
+        }
+        for (c, o) in self.cells.iter_mut().zip(&other.cells) {
+            *c = c.saturating_add(*o);
+        }
+        self.total += other.total;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -532,7 +532,7 @@ impl MedianApp {
 mod tests {
     use super::*;
     use p4sim::Phv;
-    use stat4_core::percentile::{PercentileSet, PercentileTracker, Quantile};
+    use stat4_core::percentile::{PercentileTracker, Quantile};
 
     fn feed(app: &mut MedianApp, v: u64) {
         let mut phv = Phv::new();

@@ -18,6 +18,7 @@
 pub mod bimodal;
 pub mod echo;
 pub mod mix;
+pub mod shard;
 pub mod spike;
 pub mod synflood;
 pub mod zipf;
@@ -25,6 +26,7 @@ pub mod zipf;
 pub use bimodal::{BimodalValues, Mode};
 pub use echo::EchoWorkload;
 pub use mix::{PacketKind, PacketMixWorkload};
+pub use shard::{flow_key, shard_of, split};
 pub use spike::{SpikeGroundTruth, SpikeWorkload};
 pub use synflood::SynFloodWorkload;
 pub use zipf::ZipfPrefixWorkload;

@@ -70,7 +70,7 @@ impl SynFloodWorkload {
                 PacketBuilder::tcp_syn(client, server, sport, 80).build_bytes(),
             ));
             for _ in 0..4 {
-                ct += r.random_range(50_000..200_000);
+                ct += r.random_range(50_000u64..200_000);
                 schedule.push((
                     ct,
                     PacketBuilder::tcp(client, server, sport, 80, TcpFlags::ack())
@@ -78,7 +78,7 @@ impl SynFloodWorkload {
                         .build_bytes(),
                 ));
             }
-            ct += r.random_range(50_000..200_000);
+            ct += r.random_range(50_000u64..200_000);
             schedule.push((
                 ct,
                 PacketBuilder::tcp(client, server, sport, 80, TcpFlags(TcpFlags::FIN | TcpFlags::ACK))

@@ -27,7 +27,7 @@ fn main() {
     println!("healthy phase: ~2000 activity events/s until t = 5.0s");
     while t < failure_at {
         detector.observe_activity(t);
-        t += rng.random_range(300_000..700_000);
+        t += rng.random_range(300_000u64..700_000);
     }
     assert!(
         detector.detected_at.is_none(),

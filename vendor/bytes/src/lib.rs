@@ -1,0 +1,180 @@
+//! Offline vendored subset of the `bytes` crate.
+//!
+//! The container image this workspace builds in has no network access to
+//! crates.io, so the few `bytes` APIs the workspace actually uses are
+//! reimplemented here: a cheaply clonable, immutable byte buffer. The
+//! semantics match the real crate for the covered surface (`new`,
+//! `from_static`, `From<Vec<u8>>`, `Deref<Target = [u8]>`, equality by
+//! content); anything else is intentionally absent so accidental use of
+//! unvendored API fails at compile time rather than diverging silently.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply clonable immutable byte buffer.
+#[derive(Clone)]
+pub struct Bytes(Inner);
+
+#[derive(Clone)]
+enum Inner {
+    Static(&'static [u8]),
+    Shared(Arc<[u8]>),
+}
+
+impl Bytes {
+    /// An empty buffer; does not allocate.
+    #[must_use]
+    pub const fn new() -> Self {
+        Bytes(Inner::Static(&[]))
+    }
+
+    /// Wraps a static slice without copying.
+    #[must_use]
+    pub const fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes(Inner::Static(bytes))
+    }
+
+    /// Copies `data` into a new shared buffer.
+    #[must_use]
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Inner::Shared(Arc::from(data)))
+    }
+
+    /// Length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// True if the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// Copies the contents into a `Vec<u8>`.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match &self.0 {
+            Inner::Static(s) => s,
+            Inner::Shared(s) => s,
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Inner::Shared(Arc::from(v.into_boxed_slice())))
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Self::from_static(s)
+    }
+}
+
+impl From<Bytes> for Vec<u8> {
+    fn from(b: Bytes) -> Self {
+        b.to_vec()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl std::borrow::Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_and_shared_agree() {
+        let a = Bytes::from_static(b"hello");
+        let b = Bytes::from(b"hello".to_vec());
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        assert_eq!(&a[1..3], b"el");
+    }
+
+    #[test]
+    fn clone_is_shallow_and_equal() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(b.to_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty() {
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::default().len(), 0);
+    }
+}

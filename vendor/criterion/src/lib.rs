@@ -1,0 +1,322 @@
+//! Offline vendored micro-benchmark harness.
+//!
+//! Source-compatible with the subset of criterion this workspace's
+//! benches use (`criterion_group!` / `criterion_main!`, `Criterion`,
+//! benchmark groups, `iter`, `iter_batched_ref`, `BatchSize`). Instead
+//! of criterion's statistical machinery it runs a warm-up, then timed
+//! samples, and reports the median and min/max time per iteration on
+//! stdout — enough to compare variants and spot regressions by eye,
+//! with no external dependencies.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Batch sizing hints (accepted for compatibility; batching is always
+/// per-iteration in this vendored harness).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// Setup output per batch of iterations.
+    PerIteration,
+}
+
+/// The timing driver handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    measurement: Duration,
+    warm_up: Duration,
+    /// Measured per-iteration times, nanoseconds.
+    results_ns: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(samples: usize, measurement: Duration, warm_up: Duration) -> Self {
+        Self {
+            samples,
+            measurement,
+            warm_up,
+            results_ns: Vec::new(),
+        }
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent, counting
+        // iterations to size the measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            std_black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let budget_per_sample = self.measurement.as_secs_f64() / self.samples as f64;
+        let batch = ((budget_per_sample / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            self.results_ns.push(dt * 1e9 / batch as f64);
+        }
+    }
+
+    /// Times `routine` over a fresh `setup()` value each batch, passed
+    /// by mutable reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            let mut input = setup();
+            std_black_box(routine(&mut input));
+            warm_iters += 1;
+        }
+        for _ in 0..self.samples {
+            let mut input = setup();
+            let t0 = Instant::now();
+            std_black_box(routine(&mut input));
+            self.results_ns.push(t0.elapsed().as_secs_f64() * 1e9);
+        }
+    }
+
+    /// Times `routine` over a fresh `setup()` value each batch, passed
+    /// by value.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            std_black_box(routine(setup()));
+            warm_iters += 1;
+        }
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            std_black_box(routine(input));
+            self.results_ns.push(t0.elapsed().as_secs_f64() * 1e9);
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.results_ns.is_empty() {
+            println!("{name:<44} (no samples)");
+            return;
+        }
+        self.results_ns
+            .sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        let median = self.results_ns[self.results_ns.len() / 2];
+        let lo = self.results_ns[0];
+        let hi = self.results_ns[self.results_ns.len() - 1];
+        println!(
+            "{name:<44} time: [{} {} {}]",
+            fmt_ns(lo),
+            fmt_ns(median),
+            fmt_ns(hi)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// The top-level harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement: Duration::from_millis(500),
+            warm_up: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Accepted for compatibility; this harness reads no CLI arguments.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size, self.measurement, self.warm_up);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        let mut b = Bencher::new(
+            self.criterion.sample_size,
+            self.criterion.measurement,
+            self.criterion.warm_up,
+        );
+        f(&mut b);
+        b.report(&full);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, either positionally or with
+/// `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = quick();
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_and_batched() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("g");
+        g.bench_function("batched", |b| {
+            b.iter_batched_ref(|| vec![1u64; 8], |v| v.iter().sum::<u64>(), BatchSize::SmallInput);
+        });
+        g.finish();
+    }
+
+    criterion_group!(positional, noop_bench);
+    criterion_group! {
+        name = configured;
+        config = quick();
+        targets = noop_bench,
+    }
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("macro_noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn macros_compose() {
+        positional();
+        configured();
+    }
+}

@@ -1,0 +1,9 @@
+//! Offline vendored facade for `serde`.
+//!
+//! Re-exports the no-op derive macros from the vendored `serde_derive`
+//! so `use serde::{Serialize, Deserialize}` plus `#[derive(...)]`
+//! compiles exactly as with the real crate. No serialisation machinery
+//! exists — nothing in this workspace serialises; the derives document
+//! intent for downstream consumers who link the real serde.
+
+pub use serde_derive::{Deserialize, Serialize};

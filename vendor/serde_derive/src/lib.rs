@@ -1,0 +1,22 @@
+//! No-op stand-ins for serde's `Serialize` / `Deserialize` derives.
+//!
+//! This workspace annotates types with serde derives for downstream
+//! consumers, but nothing in-tree serialises: there is no serde_json /
+//! bincode dependency, and the build environment cannot fetch the real
+//! serde. These derives accept the same attribute grammar (including
+//! `#[serde(...)]` helper attributes) and expand to nothing, so the
+//! annotations compile without pulling in a serialisation framework.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
