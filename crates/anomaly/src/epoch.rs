@@ -24,6 +24,7 @@
 //! the property the cross-shard conformance suite asserts.
 
 use crate::alerts::Alert;
+use crate::metrics::{Check, DetectorMetrics};
 use crate::synflood::{SynFloodConfig, KIND_SYN};
 use stat4_core::freq::FrequencyDist;
 use stat4_core::window::WindowedDist;
@@ -37,6 +38,10 @@ pub struct EpochSynFloodDetector {
     pub alerts: Vec<Alert>,
     /// Set once the first alert fires (detection time).
     pub detected_at: Option<u64>,
+    /// Fire counts and detection-delay histogram. Pure bookkeeping: the
+    /// alert sequence is unchanged by telemetry, so the conformance
+    /// guarantees are untouched.
+    pub metrics: DetectorMetrics,
 }
 
 impl EpochSynFloodDetector {
@@ -51,6 +56,7 @@ impl EpochSynFloodDetector {
             syn_rate: WindowedDist::new(cfg.window).expect("non-empty window"),
             alerts: Vec::new(),
             detected_at: None,
+            metrics: DetectorMetrics::new(),
             cfg,
         }
     }
@@ -76,8 +82,15 @@ impl EpochSynFloodDetector {
             3, // +12.5% of the mean
             4,
         );
+        let share = self.share_outlier(kind_freq);
+        // Raw (warm-up-ungated) signal drives the detection-delay
+        // episode clock: "first anomalous epoch" per the case study.
+        let raw_anomalous =
+            self.syn_rate.is_spike_margined(syn_in_interval, self.cfg.k, 1, 3, 4) || share;
+        self.metrics.signal(at, raw_anomalous);
         self.syn_rate.close_interval();
         if spike {
+            self.metrics.fired(Check::Rate, at);
             raised.push(Alert::SynFlood {
                 at,
                 syn_count: syn_in_interval as u64,
@@ -85,7 +98,8 @@ impl EpochSynFloodDetector {
         }
 
         // --- share check ---------------------------------------------
-        if self.share_outlier(kind_freq) {
+        if share {
+            self.metrics.fired(Check::Share, at);
             raised.push(Alert::SynFlood {
                 at,
                 syn_count: kind_freq.frequency(KIND_SYN),
@@ -219,6 +233,50 @@ mod tests {
         let b = run_epoch(&schedule, SynFloodConfig::default());
         assert_eq!(a.alerts, b.alerts);
         assert_eq!(a.detected_at, b.detected_at);
+    }
+
+    #[test]
+    fn metrics_track_fires_and_delay() {
+        let w = SynFloodWorkload {
+            background_cps: 500,
+            flood_pps: 50_000,
+            flood_start: 400_000_000,
+            duration: 900_000_000,
+            seed: 4,
+            ..SynFloodWorkload::default()
+        };
+        let (schedule, _) = w.generate();
+        let det = run_epoch(&schedule, SynFloodConfig::default());
+        assert_eq!(
+            det.metrics.fires(),
+            det.alerts.len() as u64,
+            "every alert is counted by exactly one check"
+        );
+        assert!(det.metrics.fires() > 0);
+        // The flood episode produced at least one delay sample, and the
+        // delay cannot precede the raw signal.
+        assert!(det.metrics.detection_delay.count() >= 1);
+        assert!(
+            det.metrics.detection_delay.max().unwrap() <= 200_000_000,
+            "delay {:?} implausibly long",
+            det.metrics.detection_delay.max()
+        );
+    }
+
+    #[test]
+    fn quiet_traffic_no_fires() {
+        let w = SynFloodWorkload {
+            background_cps: 500,
+            flood_pps: 50_000,
+            flood_start: 2_000_000_000,
+            duration: 900_000_000,
+            seed: 4,
+            ..SynFloodWorkload::default()
+        };
+        let (schedule, _) = w.generate();
+        let det = run_epoch(&schedule, SynFloodConfig::default());
+        assert_eq!(det.metrics.fires(), 0);
+        assert!(det.metrics.detection_delay.is_empty());
     }
 
     #[test]

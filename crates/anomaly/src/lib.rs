@@ -26,12 +26,14 @@ pub mod alerts;
 pub mod classify;
 pub mod drilldown;
 pub mod epoch;
+pub mod metrics;
 pub mod polling;
 pub mod shift;
 pub mod stalled;
 pub mod synflood;
 
 pub use alerts::Alert;
+pub use metrics::{Check, DetectorMetrics};
 pub use classify::DriftMonitor;
 pub use drilldown::{DrilldownController, DrilldownPhase, DrilldownReport};
 pub use epoch::EpochSynFloodDetector;

@@ -60,6 +60,9 @@ pub struct SynFloodDetector {
     pub alerts: Vec<Alert>,
     /// Set once the first alert fires (detection time).
     pub detected_at: Option<u64>,
+    /// Fire counts and detection-delay histogram (pure bookkeeping;
+    /// the alert sequence is unchanged by telemetry).
+    pub metrics: crate::metrics::DetectorMetrics,
 }
 
 /// Kind cell used for SYN packets in the share distribution.
@@ -79,6 +82,7 @@ impl SynFloodDetector {
             current_interval: None,
             alerts: Vec::new(),
             detected_at: None,
+            metrics: crate::metrics::DetectorMetrics::new(),
             cfg,
         }
     }
@@ -100,9 +104,14 @@ impl SynFloodDetector {
                     3, // +12.5% of the mean
                     4,
                 );
+                // Warm-up-ungated signal drives the detection-delay
+                // episode clock.
+                let raw = self.syn_rate.is_spike_margined(closed, self.cfg.k, 1, 3, 4);
+                self.metrics.signal(at, raw || self.share_outlier());
                 self.syn_rate.close_interval();
                 self.current_interval = Some(ivl);
                 if spike {
+                    self.metrics.fired(crate::metrics::Check::Rate, at);
                     let alert = Alert::SynFlood {
                         at,
                         syn_count: closed as u64,
@@ -120,6 +129,7 @@ impl SynFloodDetector {
 
         // --- share check ---------------------------------------------
         if kind == KIND_SYN && self.share_outlier() {
+            self.metrics.fired(crate::metrics::Check::Share, at);
             let alert = Alert::SynFlood {
                 at,
                 syn_count: self.kind_freq.frequency(KIND_SYN),

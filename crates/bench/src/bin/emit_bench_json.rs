@@ -1,0 +1,104 @@
+//! Machine-readable replay benchmark: runs the sharded replay engine
+//! at 1/2/4/8 shards over the standard SYN-flood workload and writes
+//! `BENCH_replay.json` — throughput, epoch/merge timing quantiles, and
+//! the detector's detection-delay distribution per shard count.
+//!
+//! ```text
+//! cargo run -p bench --bin emit_bench_json --release [-- OUT.json]
+//! ```
+//!
+//! The numbers come straight from the run's telemetry snapshot, so the
+//! benchmark exercises the same instrumentation the `--metrics-out`
+//! CLI path exports; the JSON is hand-rolled (no serde derive) like the
+//! rest of the telemetry layer, keeping the workspace offline-buildable.
+
+use replay::{run_replay, ReplayConfig};
+use telemetry::{json_string, LogLinearHistogram};
+use workloads::{Schedule, SynFloodWorkload};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn workload() -> Schedule {
+    let (s, _) = SynFloodWorkload {
+        background_cps: 500,
+        flood_pps: 50_000,
+        flood_start: 400_000_000,
+        duration: 900_000_000,
+        seed: 4,
+        ..SynFloodWorkload::default()
+    }
+    .generate();
+    s
+}
+
+/// `"name":{"p50":..,"p99":..,"max":..,"count":..}` for a histogram,
+/// with nulls when empty.
+fn hist_json(name: &str, h: &LogLinearHistogram) -> String {
+    let q = |p: u32| h.quantile(p).map_or(String::from("null"), |v| v.to_string());
+    format!(
+        "{}:{{\"p50\":{},\"p99\":{},\"max\":{},\"count\":{}}}",
+        json_string(name),
+        q(50),
+        q(99),
+        h.max().map_or(String::from("null"), |v| v.to_string()),
+        h.count()
+    )
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| String::from("BENCH_replay.json"));
+    let schedule = workload();
+    println!(
+        "sharded replay benchmark: {} packets, shard counts {SHARD_COUNTS:?}",
+        schedule.len()
+    );
+
+    let mut runs = Vec::new();
+    for shards in SHARD_COUNTS {
+        let cfg = ReplayConfig {
+            shards,
+            ..ReplayConfig::default()
+        };
+        let out = run_replay(&schedule, &cfg);
+        let t = &out.telemetry;
+        let merged = t.merged_shard();
+        let delay = &t.detector.detection_delay;
+        println!(
+            "  {shards} shard(s): {:>8.0} pkt/s, {} epochs, {} alerts, delay p50 = {:?} ns",
+            out.throughput_pps(),
+            out.epochs,
+            out.alerts.len(),
+            delay.quantile(50),
+        );
+        runs.push(format!(
+            "{{\"shards\":{shards},\"packets\":{},\"epochs\":{},\"alerts\":{},\
+             \"elapsed_ns\":{},\"pps\":{:.0},\"detected_at_ns\":{},\
+             {},{},{},{}}}",
+            out.packets,
+            out.epochs,
+            out.alerts.len(),
+            t.elapsed_ns,
+            out.throughput_pps(),
+            out.detected_at
+                .map_or(String::from("null"), |v| v.to_string()),
+            hist_json("detection_delay_ns", delay),
+            hist_json("epoch_ns", &t.epoch_ns),
+            hist_json("merge_ns", &t.merge_ns),
+            hist_json("barrier_wait_ns", &merged.barrier_wait_ns),
+        ));
+    }
+
+    let json = format!(
+        "{{\"benchmark\":\"sharded_replay\",\"workload\":\"synflood\",\
+         \"packets\":{},\"runs\":[{}]}}\n",
+        schedule.len(),
+        runs.join(",")
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("emit_bench_json: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

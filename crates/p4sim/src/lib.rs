@@ -44,6 +44,7 @@
 pub mod action;
 pub mod control;
 pub mod error;
+pub mod metrics;
 pub mod parser;
 pub mod phv;
 pub mod pipeline;
@@ -57,6 +58,7 @@ pub mod target;
 pub use action::{ActionDef, Operand, Primitive};
 pub use control::{Cond, Control};
 pub use error::{P4Error, P4Result};
+pub use metrics::PipelineMetrics;
 pub use parser::parse_frame;
 pub use phv::{FieldId, Phv};
 pub use pipeline::{PacketOutcome, Pipeline};

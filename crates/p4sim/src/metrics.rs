@@ -1,0 +1,359 @@
+//! Pipeline telemetry: per-stage packet/drop/step counters, table
+//! hit/miss counters, register occupancy gauges, and processing-latency
+//! histograms.
+//!
+//! [`PipelineMetrics`] observes [`PacketOutcome`]s rather than hooking
+//! the interpreter: the pipeline itself stays untouched (and costs
+//! nothing when nobody is watching), while any driver that already
+//! holds the outcome — the sharded replay loop, a test, an example —
+//! can feed it to `record` for full accounting. Register and table
+//! occupancy are *polled* from the pipeline at whatever cadence the
+//! caller likes ([`PipelineMetrics::observe_pipeline`]), mirroring how
+//! a real controller samples switch state.
+//!
+//! Like the Stat4 trackers, the per-shard sets implement
+//! [`Mergeable`]: counters and histograms add cellwise, so the fold of
+//! N shards' metrics equals one pipeline having processed the whole
+//! trace. Occupancy gauges are a *sampled* quantity — after merging,
+//! re-poll the merged pipeline ([`PipelineMetrics::observe_pipeline`])
+//! rather than trusting the summed gauges.
+
+use crate::pipeline::{PacketOutcome, Pipeline};
+use stat4_core::{Mergeable, Stat4Error, Stat4Result};
+use telemetry::{Counter, Gauge, LogLinearHistogram, Snapshot};
+
+/// Metric set for one pipeline instance (one shard, or the merged
+/// view).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineMetrics {
+    /// Table names, index = table id (fixes the label set at build
+    /// time; merging metric sets from different programs is an error).
+    table_names: Vec<String>,
+    /// Register names, index = register id.
+    register_names: Vec<String>,
+    /// Packets processed.
+    pub packets: Counter,
+    /// Packets dropped by the program.
+    pub drops: Counter,
+    /// Extra pipeline passes consumed.
+    pub recirculations: Counter,
+    /// Digests pushed to the controller.
+    pub digests: Counter,
+    /// Interpreter steps consumed (primitives + lookups + branches).
+    pub steps: Counter,
+    /// Steps per packet — the deterministic "latency" of the program.
+    pub steps_per_packet: LogLinearHistogram,
+    /// Wall time per `process_epoch` call, ns.
+    pub epoch_ns: LogLinearHistogram,
+    /// Table hits, index = table id.
+    pub table_hits: Vec<Counter>,
+    /// Table misses, index = table id.
+    pub table_misses: Vec<Counter>,
+    /// Non-zero register cells at the last poll, index = register id.
+    pub register_occupancy: Vec<Gauge>,
+    /// Installed table entries at the last poll, index = table id.
+    pub table_entries: Vec<Gauge>,
+}
+
+impl PipelineMetrics {
+    /// A zeroed metric set shaped for `pipe`'s tables and registers.
+    #[must_use]
+    pub fn for_pipeline(pipe: &Pipeline) -> Self {
+        let tables = pipe.tables().len();
+        let registers = pipe.registers().len();
+        Self {
+            table_names: pipe.tables().iter().map(|t| t.def.name.clone()).collect(),
+            register_names: pipe.registers().iter().map(|r| r.name.clone()).collect(),
+            packets: Counter::new(),
+            drops: Counter::new(),
+            recirculations: Counter::new(),
+            digests: Counter::new(),
+            steps: Counter::new(),
+            steps_per_packet: LogLinearHistogram::default(),
+            epoch_ns: LogLinearHistogram::default(),
+            table_hits: (0..tables).map(|_| Counter::new()).collect(),
+            table_misses: (0..tables).map(|_| Counter::new()).collect(),
+            register_occupancy: (0..registers).map(|_| Gauge::new()).collect(),
+            table_entries: (0..tables).map(|_| Gauge::new()).collect(),
+        }
+    }
+
+    /// Accounts one processed packet from its outcome.
+    pub fn record(&mut self, outcome: &PacketOutcome) {
+        self.packets.inc();
+        if outcome.dropped {
+            self.drops.inc();
+        }
+        self.recirculations.add(u64::from(outcome.recirculations));
+        self.digests.add(outcome.digests.len() as u64);
+        self.steps.add(outcome.steps);
+        self.steps_per_packet.record(outcome.steps);
+        for &(tid, hit) in &outcome.tables_applied {
+            let slot = if hit {
+                self.table_hits.get_mut(tid)
+            } else {
+                self.table_misses.get_mut(tid)
+            };
+            if let Some(c) = slot {
+                c.inc();
+            }
+        }
+    }
+
+    /// Polls occupancy from `pipe`: non-zero cells per register,
+    /// installed entries per table.
+    pub fn observe_pipeline(&mut self, pipe: &Pipeline) {
+        for (g, reg) in self.register_occupancy.iter_mut().zip(pipe.registers()) {
+            let nonzero = reg.cells.iter().filter(|c| **c != 0).count();
+            g.set(i64::try_from(nonzero).unwrap_or(i64::MAX));
+        }
+        for (g, table) in self.table_entries.iter_mut().zip(pipe.tables()) {
+            g.set(i64::try_from(table.entries().len()).unwrap_or(i64::MAX));
+        }
+    }
+
+    /// Hit + miss lookups across all tables.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.table_hits.iter().map(Counter::get).sum::<u64>()
+            + self.table_misses.iter().map(Counter::get).sum::<u64>()
+    }
+
+    /// Exports every family into `snap`. With `shard` set, each sample
+    /// carries a `shard="<i>"` label so per-shard series stay distinct.
+    pub fn export(&self, snap: &mut Snapshot, shard: Option<usize>) {
+        let shard_id = shard.map(|i| i.to_string());
+        let base: Vec<(&str, &str)> = match &shard_id {
+            Some(id) => vec![("shard", id.as_str())],
+            None => Vec::new(),
+        };
+        snap.push_counter(
+            "p4_packets_total",
+            "packets processed by the pipeline",
+            &base,
+            self.packets.get(),
+        );
+        snap.push_counter(
+            "p4_drops_total",
+            "packets dropped by the program",
+            &base,
+            self.drops.get(),
+        );
+        snap.push_counter(
+            "p4_recirculations_total",
+            "extra pipeline passes consumed",
+            &base,
+            self.recirculations.get(),
+        );
+        snap.push_counter(
+            "p4_digests_total",
+            "digests pushed to the controller",
+            &base,
+            self.digests.get(),
+        );
+        snap.push_counter(
+            "p4_steps_total",
+            "interpreter steps consumed",
+            &base,
+            self.steps.get(),
+        );
+        snap.push_histogram(
+            "p4_steps_per_packet",
+            "interpreter steps per packet",
+            &base,
+            &self.steps_per_packet,
+        );
+        if !self.epoch_ns.is_empty() {
+            snap.push_histogram(
+                "p4_epoch_ns",
+                "wall time per replay epoch",
+                &base,
+                &self.epoch_ns,
+            );
+        }
+        for (tid, name) in self.table_names.iter().enumerate() {
+            let mut labels = base.clone();
+            labels.push(("table", name.as_str()));
+            snap.push_counter(
+                "p4_table_hits_total",
+                "table lookups that hit an entry",
+                &labels,
+                self.table_hits[tid].get(),
+            );
+            snap.push_counter(
+                "p4_table_misses_total",
+                "table lookups that fell to the default action",
+                &labels,
+                self.table_misses[tid].get(),
+            );
+            snap.push_gauge(
+                "p4_table_entries",
+                "installed entries at the last poll",
+                &labels,
+                self.table_entries[tid].get(),
+            );
+        }
+        for (rid, name) in self.register_names.iter().enumerate() {
+            let mut labels = base.clone();
+            labels.push(("register", name.as_str()));
+            snap.push_gauge(
+                "p4_register_occupancy_cells",
+                "non-zero register cells at the last poll",
+                &labels,
+                self.register_occupancy[rid].get(),
+            );
+        }
+    }
+}
+
+impl Mergeable for PipelineMetrics {
+    /// Counters and histograms add cellwise. Occupancy gauges add too
+    /// (useful as an upper bound), but are a sampled quantity — re-poll
+    /// the merged pipeline for the exact value.
+    fn merge_from(&mut self, other: &Self) -> Stat4Result<()> {
+        if self.table_names != other.table_names || self.register_names != other.register_names {
+            return Err(Stat4Error::MergeMismatch {
+                what: "pipeline metric shape",
+            });
+        }
+        self.packets.merge_from(&other.packets)?;
+        self.drops.merge_from(&other.drops)?;
+        self.recirculations.merge_from(&other.recirculations)?;
+        self.digests.merge_from(&other.digests)?;
+        self.steps.merge_from(&other.steps)?;
+        self.steps_per_packet.merge_from(&other.steps_per_packet)?;
+        self.epoch_ns.merge_from(&other.epoch_ns)?;
+        for (d, s) in self.table_hits.iter_mut().zip(&other.table_hits) {
+            d.merge_from(s)?;
+        }
+        for (d, s) in self.table_misses.iter_mut().zip(&other.table_misses) {
+            d.merge_from(s)?;
+        }
+        for (d, s) in self.register_occupancy.iter_mut().zip(&other.register_occupancy) {
+            d.merge_from(s)?;
+        }
+        for (d, s) in self.table_entries.iter_mut().zip(&other.table_entries) {
+            d.merge_from(s)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{ActionDef, Operand, Primitive};
+    use crate::control::Control;
+    use crate::phv::{fields, Phv};
+    use crate::program::ProgramBuilder;
+    use crate::table::{Entry, MatchKind, MatchValue, TableDef};
+    use crate::target::TargetModel;
+
+    fn table_pipeline() -> Pipeline {
+        let mut b = ProgramBuilder::new();
+        let reg = b.add_register("cells", 64, 8);
+        let fwd = b.add_action(ActionDef::new(
+            "forward",
+            vec![Primitive::Forward {
+                port: Operand::Const(1),
+            }],
+        ));
+        let count = b.add_action(ActionDef::new(
+            "count",
+            vec![
+                Primitive::RegWrite {
+                    register: reg,
+                    index: Operand::Const(0),
+                    src: Operand::Const(7),
+                },
+                Primitive::Forward {
+                    port: Operand::Const(1),
+                },
+            ],
+        ));
+        let t = b.add_table(TableDef {
+            name: "bind".into(),
+            keys: vec![(fields::IPV4_DST, MatchKind::Exact)],
+            max_entries: 4,
+            allowed_actions: vec![fwd, count],
+            default_action: Some((fwd, vec![])),
+        });
+        b.set_control(Control::ApplyTable(t));
+        let mut pipe = b.build(TargetModel::bmv2()).unwrap();
+        pipe.tables[t]
+            .insert(
+                t,
+                Entry {
+                    key: vec![MatchValue::Exact(42)],
+                    priority: 0,
+                    action: count,
+                    action_data: vec![],
+                },
+            )
+            .unwrap();
+        pipe
+    }
+
+    #[test]
+    fn records_hits_misses_and_occupancy() {
+        let mut pipe = table_pipeline();
+        let mut m = PipelineMetrics::for_pipeline(&pipe);
+
+        let mut hit = Phv::new();
+        hit.set(fields::IPV4_DST, 42);
+        m.record(&pipe.process_phv(&mut hit).unwrap());
+
+        let mut miss = Phv::new();
+        miss.set(fields::IPV4_DST, 7);
+        m.record(&pipe.process_phv(&mut miss).unwrap());
+
+        assert_eq!(m.packets.get(), 2);
+        assert_eq!(m.table_hits[0].get(), 1);
+        assert_eq!(m.table_misses[0].get(), 1);
+        assert_eq!(m.lookups(), 2);
+        assert_eq!(m.steps_per_packet.count(), 2);
+        assert!(m.steps.get() > 0);
+
+        m.observe_pipeline(&pipe);
+        assert_eq!(m.register_occupancy[0].get(), 1, "one cell written");
+        assert_eq!(m.table_entries[0].get(), 1);
+    }
+
+    #[test]
+    fn merge_adds_and_checks_shape() {
+        let pipe = table_pipeline();
+        let mut a = PipelineMetrics::for_pipeline(&pipe);
+        let mut b = PipelineMetrics::for_pipeline(&pipe);
+        a.packets.add(3);
+        b.packets.add(4);
+        b.table_hits[0].add(2);
+        a.merge_from(&b).unwrap();
+        assert_eq!(a.packets.get(), 7);
+        assert_eq!(a.table_hits[0].get(), 2);
+
+        let mut other = ProgramBuilder::new();
+        other.add_register("different", 64, 8);
+        other.set_control(Control::Nop);
+        let other = PipelineMetrics::for_pipeline(&other.build(TargetModel::bmv2()).unwrap());
+        assert!(matches!(
+            a.merge_from(&other),
+            Err(Stat4Error::MergeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn export_passes_format_checker() {
+        let mut pipe = table_pipeline();
+        let mut m = PipelineMetrics::for_pipeline(&pipe);
+        let mut phv = Phv::new();
+        phv.set(fields::IPV4_DST, 42);
+        m.record(&pipe.process_phv(&mut phv).unwrap());
+        m.observe_pipeline(&pipe);
+
+        let mut snap = Snapshot::new();
+        m.export(&mut snap, Some(0));
+        assert_eq!(snap.counter_sum("p4_packets_total"), 1);
+        let text = telemetry::render_prometheus(&snap);
+        telemetry::check_prometheus(&text).expect("valid exposition");
+    }
+}

@@ -27,7 +27,10 @@
 //! for the per-tracker rules the replay driver uses).
 
 use crate::error::{P4Error, P4Result};
+use crate::metrics::PipelineMetrics;
 use crate::pipeline::{DigestRecord, Pipeline};
+use stat4_core::Mergeable;
+use telemetry::Snapshot;
 
 /// What one shard did during one [`ShardedPipeline::process_epoch`]
 /// call.
@@ -79,6 +82,7 @@ pub fn merge_registers(dst: &mut Pipeline, src: &Pipeline) -> P4Result<()> {
 #[derive(Debug)]
 pub struct ShardedPipeline {
     shards: Vec<Pipeline>,
+    metrics: Vec<PipelineMetrics>,
     batch: usize,
 }
 
@@ -96,6 +100,9 @@ impl ShardedPipeline {
         assert!(shards >= 1, "need at least one shard");
         Self {
             shards: vec![template.clone(); shards],
+            metrics: (0..shards)
+                .map(|_| PipelineMetrics::for_pipeline(template))
+                .collect(),
             batch: Self::DEFAULT_BATCH,
         }
     }
@@ -155,18 +162,25 @@ impl ShardedPipeline {
             let handles: Vec<_> = self
                 .shards
                 .iter_mut()
+                .zip(self.metrics.iter_mut())
                 .zip(work)
-                .map(|(pipe, list)| {
+                .map(|((pipe, metrics), list)| {
                     scope.spawn(move || -> P4Result<EpochReport> {
+                        let started = std::time::Instant::now();
                         let mut report = EpochReport::default();
                         for chunk in list.chunks(batch) {
                             for (ts, frame) in chunk {
                                 let (_, outcome) = pipe.process_frame(frame, 0, *ts)?;
+                                metrics.record(&outcome);
                                 report.packets += 1;
                                 report.dropped += u64::from(outcome.dropped);
                                 report.digests.extend(outcome.digests);
                             }
                         }
+                        metrics
+                            .epoch_ns
+                            .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                        metrics.observe_pipeline(pipe);
                         Ok(report)
                     })
                 })
@@ -192,6 +206,43 @@ impl ShardedPipeline {
             merge_registers(&mut merged, shard)?;
         }
         Ok(merged)
+    }
+
+    /// Per-shard metric sets, index = shard id.
+    #[must_use]
+    pub fn metrics(&self) -> &[PipelineMetrics] {
+        &self.metrics
+    }
+
+    /// The cross-shard fold of the per-shard metric sets, with
+    /// occupancy re-polled from the merged register view so the gauges
+    /// reflect merged (not summed per-shard) state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::merged`] errors.
+    pub fn merged_metrics(&self) -> P4Result<PipelineMetrics> {
+        let merged_pipe = self.merged()?;
+        let mut merged = PipelineMetrics::for_pipeline(&merged_pipe);
+        for m in &self.metrics {
+            merged.merge_from(m).map_err(|e| P4Error::Invalid {
+                what: format!("metric merge: {e}"),
+            })?;
+        }
+        merged.observe_pipeline(&merged_pipe);
+        Ok(merged)
+    }
+
+    /// Renders every shard's metric set (labelled `shard="<i>"`) into
+    /// one snapshot; sum the per-shard counters (or use
+    /// [`Self::merged_metrics`]) for whole-switch totals.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::new();
+        for (i, m) in self.metrics.iter().enumerate() {
+            m.export(&mut snap, Some(i));
+        }
+        snap
     }
 }
 
@@ -348,6 +399,31 @@ mod tests {
             merge_registers(&mut a, &b),
             Err(P4Error::Invalid { .. })
         ));
+    }
+
+    #[test]
+    fn metrics_follow_the_shards() {
+        let trace = frames(500);
+        let mut sharded = ShardedPipeline::new(&counting_pipeline(), 4);
+        sharded.process_epoch(&split(&trace, 4)).unwrap();
+
+        let per_shard: u64 = sharded.metrics().iter().map(|m| m.packets.get()).sum();
+        assert_eq!(per_shard, trace.len() as u64);
+
+        let merged = sharded.merged_metrics().unwrap();
+        assert_eq!(merged.packets.get(), trace.len() as u64);
+        assert_eq!(merged.steps_per_packet.count(), trace.len() as u64);
+        assert_eq!(merged.drops.get(), 0);
+        // Occupancy came from the *merged* register view, not the sum
+        // of per-shard polls: 13 distinct dst low bytes → 13 cells in
+        // each register.
+        assert_eq!(merged.register_occupancy[0].get(), 13);
+        assert_eq!(merged.register_occupancy[1].get(), 13);
+
+        let snap = sharded.snapshot();
+        assert_eq!(snap.counter_sum("p4_packets_total"), trace.len() as u64);
+        let text = telemetry::render_prometheus(&snap);
+        telemetry::check_prometheus(&text).expect("valid exposition");
     }
 
     #[test]

@@ -37,6 +37,10 @@
 //! same merged statistics and the same alert sequence as the
 //! single-shard run.
 
+pub mod metrics;
+
+pub use metrics::{ReplayTelemetry, ShardMetrics};
+
 use anomaly::epoch::EpochSynFloodDetector;
 use anomaly::synflood::{SynFloodConfig, KIND_SYN};
 use anomaly::Alert;
@@ -205,15 +209,20 @@ pub struct ReplayOutcome {
     pub epochs: u64,
     /// Wall-clock replay time.
     pub elapsed: std::time::Duration,
+    /// Everything the engine observed about itself: per-shard metric
+    /// sets, epoch/merge timings, detector fires, trace events.
+    pub telemetry: ReplayTelemetry,
 }
 
 impl ReplayOutcome {
-    /// Replay throughput in packets per second.
+    /// Replay throughput in packets per second. An instantaneous run
+    /// (zero elapsed time — e.g. an empty schedule) reports `0.0`, not
+    /// infinity or NaN, so downstream arithmetic and JSON stay finite.
     #[must_use]
     pub fn throughput_pps(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();
         if secs <= 0.0 {
-            return f64::INFINITY;
+            return 0.0;
         }
         self.packets as f64 / secs
     }
@@ -241,6 +250,7 @@ pub fn run_replay(schedule: &Schedule, cfg: &ReplayConfig) -> ReplayOutcome {
 
     let mut shards: Vec<ShardState> = (0..cfg.shards).map(|_| ShardState::new(cfg)).collect();
     let mut detector = EpochSynFloodDetector::new(cfg.detector);
+    let mut telemetry = ReplayTelemetry::new(cfg.shards);
     let mut packets: u64 = 0;
     let mut epochs: u64 = 0;
 
@@ -265,34 +275,79 @@ pub fn run_replay(schedule: &Schedule, cfg: &ReplayConfig) -> ReplayOutcome {
         }
 
         // One thread per shard; the scope end is the epoch barrier.
-        std::thread::scope(|scope| {
-            for (state, list) in shards.iter_mut().zip(&work) {
-                scope.spawn(move || {
-                    for chunk in list.chunks(batch) {
-                        for frame in chunk {
-                            state.ingest(frame);
+        // Each thread updates its own ShardMetrics (single-owner, no
+        // atomics) at batch granularity and reports its busy time so
+        // barrier idle time can be attributed after the join.
+        telemetry.trace.begin("ingest", epoch_idx);
+        let epoch_started = std::time::Instant::now();
+        let ingest_ns: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter_mut()
+                .zip(telemetry.shards.iter_mut())
+                .zip(&work)
+                .map(|((state, m), list)| {
+                    scope.spawn(move || {
+                        let busy = std::time::Instant::now();
+                        for chunk in list.chunks(batch) {
+                            for frame in chunk {
+                                state.ingest(frame);
+                            }
+                            m.packets.add(chunk.len() as u64);
+                            m.batches.inc();
+                            m.batch_size.record(chunk.len() as u64);
                         }
-                    }
-                });
-            }
+                        let ns = u64::try_from(busy.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        m.ingest_ns.add(ns);
+                        ns
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread panicked"))
+                .collect()
         });
+        let epoch_wall = u64::try_from(epoch_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        telemetry.trace.end("ingest", epoch_idx);
+        for (m, busy) in telemetry.shards.iter_mut().zip(&ingest_ns) {
+            m.barrier_wait_ns.record(epoch_wall.saturating_sub(*busy));
+        }
         packets += epoch_frames.len() as u64;
         epochs += 1;
 
         // Barrier work: fold shard state into a fresh global view and
         // let the central detector judge the merged aggregates.
+        telemetry.trace.begin("merge", epoch_idx);
+        let merge_started = std::time::Instant::now();
         let mut merged = ShardState::new(cfg);
         for s in &shards {
             merged.merge_from(s).expect("uniform shard geometry");
         }
         let at = (epoch_idx + 1) * interval;
-        detector.observe_interval(at, merged.syn_in_interval, &merged.kinds);
-        for s in &mut shards {
+        let raised = detector.observe_interval(at, merged.syn_in_interval, &merged.kinds);
+        telemetry
+            .merge_ns
+            .record(u64::try_from(merge_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        telemetry.trace.end("merge", epoch_idx);
+        if !raised.is_empty() {
+            telemetry.trace.instant("alert", epoch_idx);
+        }
+        telemetry.epoch_ns.record(
+            epoch_wall.saturating_add(
+                u64::try_from(merge_started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            ),
+        );
+        telemetry.epochs.inc();
+        for (s, m) in shards.iter_mut().zip(telemetry.shards.iter_mut()) {
+            m.syn_packets.add(u64::try_from(s.syn_in_interval).unwrap_or(0));
             s.syn_in_interval = 0;
         }
     }
 
     let elapsed = started.elapsed();
+    telemetry.elapsed_ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+    telemetry.alerts.add(detector.alerts.len() as u64);
+    telemetry.detector = detector.metrics.clone();
 
     let mut merged = ShardState::new(cfg);
     for s in &shards {
@@ -305,6 +360,7 @@ pub fn run_replay(schedule: &Schedule, cfg: &ReplayConfig) -> ReplayOutcome {
         packets,
         epochs,
         elapsed,
+        telemetry,
     }
 }
 
@@ -392,6 +448,67 @@ mod tests {
         );
         assert_eq!(a.merged, b.merged);
         assert_eq!(a.alerts, b.alerts);
+    }
+
+    #[test]
+    fn throughput_is_zero_not_nan_for_instant_runs() {
+        // Regression: an instantaneous (or empty) run used to report
+        // f64::INFINITY; NaN/∞ poisons downstream JSON and averages.
+        let cfg = ReplayConfig::default();
+        let out = ReplayOutcome {
+            merged: ShardState::new(&cfg),
+            alerts: Vec::new(),
+            detected_at: None,
+            packets: 0,
+            epochs: 0,
+            elapsed: std::time::Duration::ZERO,
+            telemetry: ReplayTelemetry::new(1),
+        };
+        assert_eq!(out.throughput_pps(), 0.0);
+        assert!(out.throughput_pps().is_finite());
+
+        let busy = ReplayOutcome {
+            packets: 1000,
+            elapsed: std::time::Duration::ZERO,
+            ..out
+        };
+        assert_eq!(busy.throughput_pps(), 0.0, "packets but zero elapsed");
+    }
+
+    #[test]
+    fn empty_schedule_runs_clean() {
+        let out = run_replay(&Schedule::new(), &ReplayConfig::default());
+        assert_eq!(out.packets, 0);
+        assert_eq!(out.epochs, 0);
+        assert!(out.throughput_pps().is_finite());
+        assert_eq!(out.telemetry.merged_shard().packets.get(), 0);
+    }
+
+    #[test]
+    fn telemetry_shard_counters_sum_to_outcome() {
+        let s = small_flood();
+        let cfg = ReplayConfig {
+            shards: 4,
+            ..ReplayConfig::default()
+        };
+        let out = run_replay(&s, &cfg);
+        assert_eq!(out.telemetry.shards.len(), 4);
+        let merged = out.telemetry.merged_shard();
+        assert_eq!(merged.packets.get(), out.packets);
+        assert_eq!(
+            merged.syn_packets.get(),
+            out.merged.kinds.frequency(KIND_SYN),
+            "per-shard SYN counters fold to the merged kind frequency"
+        );
+        assert_eq!(out.telemetry.epochs.get(), out.epochs);
+        assert_eq!(out.telemetry.alerts.get(), out.alerts.len() as u64);
+        assert_eq!(out.telemetry.epoch_ns.count(), out.epochs);
+        // Every shard saw at least one barrier.
+        for m in &out.telemetry.shards {
+            assert_eq!(m.barrier_wait_ns.count(), out.epochs);
+        }
+        // Trace recorded the epoch lifecycle (bounded buffer).
+        assert!(!out.telemetry.trace.events().is_empty());
     }
 
     #[test]

@@ -1,18 +1,122 @@
 //! Replay-engine driver: replays a synthetic workload through the
 //! sharded engine and prints the merged statistics, alerts, and
-//! throughput.
+//! throughput. Optionally exports the run's full telemetry snapshot.
 //!
 //! ```text
 //! replay [synflood|mix] [shards] [interval_ms]
+//!        [--shards N] [--interval-ms M] [--batch B]
+//!        [--metrics-out PATH] [--metrics-format prom|json]
+//!        [--trace-out PATH]
 //! ```
+//!
+//! Flags win over the positional forms. `--metrics-out` writes the
+//! telemetry snapshot to PATH — JSON by default, Prometheus text
+//! exposition with `--metrics-format prom`. `--trace-out` writes the
+//! epoch lifecycle trace as a JSON event array.
 
 use anomaly::synflood::SynFloodConfig;
 use replay::{run_replay, ReplayConfig};
 use workloads::{PacketMixWorkload, Schedule, SynFloodWorkload};
 
 fn usage() -> ! {
-    eprintln!("usage: replay [synflood|mix] [shards] [interval_ms]");
+    eprintln!(
+        "usage: replay [synflood|mix] [shards] [interval_ms]\n\
+         \x20             [--shards N] [--interval-ms M] [--batch B]\n\
+         \x20             [--metrics-out PATH] [--metrics-format prom|json]\n\
+         \x20             [--trace-out PATH]"
+    );
     std::process::exit(2);
+}
+
+/// What the command line asked for.
+struct Options {
+    workload: String,
+    shards: usize,
+    interval_ms: u64,
+    batch: usize,
+    metrics_out: Option<String>,
+    metrics_format: MetricsFormat,
+    trace_out: Option<String>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MetricsFormat {
+    Json,
+    Prom,
+}
+
+fn parse_args(args: &[String]) -> Options {
+    let mut opts = Options {
+        workload: String::from("synflood"),
+        shards: 4,
+        interval_ms: 10,
+        batch: 256,
+        metrics_out: None,
+        metrics_format: MetricsFormat::Json,
+        trace_out: None,
+    };
+    let mut positional = 0;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut flag_value = |name: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("replay: {name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--shards" => {
+                opts.shards = flag_value("--shards").parse().unwrap_or_else(|_| usage());
+            }
+            "--interval-ms" => {
+                opts.interval_ms = flag_value("--interval-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+            }
+            "--batch" => {
+                opts.batch = flag_value("--batch").parse().unwrap_or_else(|_| usage());
+            }
+            "--metrics-out" => opts.metrics_out = Some(flag_value("--metrics-out")),
+            "--metrics-format" => {
+                opts.metrics_format = match flag_value("--metrics-format").as_str() {
+                    "json" => MetricsFormat::Json,
+                    "prom" => MetricsFormat::Prom,
+                    other => {
+                        eprintln!("replay: unknown metrics format {other:?} (want prom|json)");
+                        usage()
+                    }
+                };
+            }
+            "--trace-out" => opts.trace_out = Some(flag_value("--trace-out")),
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with("--") => {
+                eprintln!("replay: unknown flag {flag}");
+                usage()
+            }
+            positional_arg => {
+                match positional {
+                    0 => opts.workload = positional_arg.to_string(),
+                    1 => opts.shards = positional_arg.parse().unwrap_or_else(|_| usage()),
+                    2 => opts.interval_ms = positional_arg.parse().unwrap_or_else(|_| usage()),
+                    _ => usage(),
+                }
+                positional += 1;
+            }
+        }
+    }
+    if opts.shards == 0 {
+        eprintln!("replay: shards must be at least 1");
+        usage();
+    }
+    if opts.interval_ms == 0 {
+        eprintln!("replay: interval_ms must be at least 1");
+        usage();
+    }
+    if opts.batch == 0 {
+        eprintln!("replay: batch must be at least 1");
+        usage();
+    }
+    opts
 }
 
 fn generate(name: &str) -> Schedule {
@@ -43,34 +147,25 @@ fn generate(name: &str) -> Schedule {
     }
 }
 
+fn write_or_die(path: &str, contents: &str, what: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("replay: cannot write {what} to {path}: {e}");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let workload = args.first().map_or("synflood", String::as_str);
-    let shards: usize = args
-        .get(1)
-        .map_or(Ok(4), |a| a.parse())
-        .unwrap_or_else(|_| usage());
-    let interval_ms: u64 = args
-        .get(2)
-        .map_or(Ok(10), |a| a.parse())
-        .unwrap_or_else(|_| usage());
-    if shards == 0 {
-        eprintln!("replay: shards must be at least 1");
-        usage();
-    }
-    if interval_ms == 0 {
-        eprintln!("replay: interval_ms must be at least 1");
-        usage();
-    }
+    let opts = parse_args(&args);
 
-    let schedule = generate(workload);
+    let schedule = generate(&opts.workload);
     let cfg = ReplayConfig {
-        shards,
+        shards: opts.shards,
+        batch: opts.batch,
         detector: SynFloodConfig {
-            interval_ns: interval_ms * 1_000_000,
+            interval_ns: opts.interval_ms * 1_000_000,
             ..SynFloodConfig::default()
         },
-        ..ReplayConfig::default()
     };
     let out = run_replay(&schedule, &cfg);
 
@@ -78,7 +173,7 @@ fn main() {
         "replayed {} packets over {} epochs on {} shard(s) in {:.1} ms ({:.0} pkt/s)",
         out.packets,
         out.epochs,
-        shards,
+        opts.shards,
         out.elapsed.as_secs_f64() * 1e3,
         out.throughput_pps(),
     );
@@ -100,5 +195,27 @@ fn main() {
             at as f64 / 1e6
         ),
         None => println!("alerts: none"),
+    }
+
+    if let Some(path) = &opts.metrics_out {
+        let snap = out.telemetry.snapshot();
+        let rendered = match opts.metrics_format {
+            MetricsFormat::Json => telemetry::render_json(&snap),
+            MetricsFormat::Prom => telemetry::render_prometheus(&snap),
+        };
+        write_or_die(path, &rendered, "metrics");
+        println!(
+            "metrics: {} families / {} samples written to {path}",
+            snap.metrics.len(),
+            snap.sample_count(),
+        );
+    }
+    if let Some(path) = &opts.trace_out {
+        write_or_die(path, &out.telemetry.trace.to_json(), "trace");
+        println!(
+            "trace: {} events written to {path} ({} dropped at cap)",
+            out.telemetry.trace.events().len(),
+            out.telemetry.trace.dropped(),
+        );
     }
 }

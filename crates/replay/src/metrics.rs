@@ -1,0 +1,283 @@
+//! Replay-engine telemetry: per-shard metric sets that merge at the
+//! same epoch barriers as the Stat4 state itself.
+//!
+//! Each shard thread owns one [`ShardMetrics`] — plain counters and
+//! log-linear histograms, updated with per-batch granularity so the
+//! per-packet hot path stays allocation- and timing-free. Like
+//! [`crate::ShardState`], the sets implement
+//! [`stat4_core::Mergeable`]; the merged view
+//! ([`ReplayTelemetry::merged_shard`]) is a pure fold of the per-shard
+//! sets, so `merged.packets == Σ shard.packets` by construction.
+//!
+//! [`ReplayTelemetry::snapshot`] renders everything — per-shard
+//! series (labelled `shard="<i>"`), engine-level epoch/merge timings,
+//! the epoch tracer's bookkeeping, and the central detector's fire /
+//! detection-delay metrics — into one [`telemetry::Snapshot`] ready
+//! for Prometheus or JSON exposition.
+
+use anomaly::DetectorMetrics;
+use stat4_core::{Mergeable, Stat4Result};
+use telemetry::{Counter, LogLinearHistogram, Snapshot, Tracer};
+
+/// Metrics one shard thread maintains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMetrics {
+    /// Frames ingested.
+    pub packets: Counter,
+    /// SYN frames ingested (folded in at each epoch barrier).
+    pub syn_packets: Counter,
+    /// Batches processed.
+    pub batches: Counter,
+    /// Frames per batch.
+    pub batch_size: LogLinearHistogram,
+    /// Nanoseconds spent ingesting (excludes barrier waits).
+    pub ingest_ns: Counter,
+    /// Nanoseconds spent idle at the epoch barrier waiting for the
+    /// slowest shard — the straggler signal.
+    pub barrier_wait_ns: LogLinearHistogram,
+}
+
+impl Default for ShardMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShardMetrics {
+    /// A zeroed set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            packets: Counter::new(),
+            syn_packets: Counter::new(),
+            batches: Counter::new(),
+            batch_size: LogLinearHistogram::default(),
+            ingest_ns: Counter::new(),
+            barrier_wait_ns: LogLinearHistogram::default(),
+        }
+    }
+
+    /// Ingest throughput in packets per second of *busy* time (0.0
+    /// before any timed work).
+    #[must_use]
+    pub fn ingest_pps(&self) -> f64 {
+        let ns = self.ingest_ns.get();
+        if ns == 0 {
+            return 0.0;
+        }
+        self.packets.get() as f64 / (ns as f64 / 1e9)
+    }
+}
+
+impl Mergeable for ShardMetrics {
+    /// Counters and histograms add cellwise — the merged set equals a
+    /// single shard having done all the work (modulo wall-clock
+    /// fields, which are sums of busy time, not elapsed time).
+    fn merge_from(&mut self, other: &Self) -> Stat4Result<()> {
+        self.packets.merge_from(&other.packets)?;
+        self.syn_packets.merge_from(&other.syn_packets)?;
+        self.batches.merge_from(&other.batches)?;
+        self.batch_size.merge_from(&other.batch_size)?;
+        self.ingest_ns.merge_from(&other.ingest_ns)?;
+        self.barrier_wait_ns.merge_from(&other.barrier_wait_ns)?;
+        Ok(())
+    }
+}
+
+/// Everything the replay engine observed about itself during one run.
+#[derive(Debug, Clone)]
+pub struct ReplayTelemetry {
+    /// Per-shard metric sets, index = shard id.
+    pub shards: Vec<ShardMetrics>,
+    /// Closed epochs.
+    pub epochs: Counter,
+    /// Alerts the central detector raised.
+    pub alerts: Counter,
+    /// Wall time of each epoch (spawn → all shards joined), ns.
+    pub epoch_ns: LogLinearHistogram,
+    /// Time folding shard state into the merged view + detecting, ns.
+    pub merge_ns: LogLinearHistogram,
+    /// The central detector's fire counts and detection-delay
+    /// histogram (copied out after the run).
+    pub detector: DetectorMetrics,
+    /// Epoch lifecycle events (bounded).
+    pub trace: Tracer,
+    /// Total wall time of the replay, ns.
+    pub elapsed_ns: u64,
+}
+
+impl ReplayTelemetry {
+    /// Default trace-buffer capacity (events).
+    pub const TRACE_CAPACITY: usize = 4096;
+
+    /// Fresh telemetry for `shards` worker shards.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: (0..shards).map(|_| ShardMetrics::new()).collect(),
+            epochs: Counter::new(),
+            alerts: Counter::new(),
+            epoch_ns: LogLinearHistogram::default(),
+            merge_ns: LogLinearHistogram::default(),
+            detector: DetectorMetrics::new(),
+            trace: Tracer::new(Self::TRACE_CAPACITY),
+            elapsed_ns: 0,
+        }
+    }
+
+    /// The cross-shard fold of the per-shard sets.
+    ///
+    /// # Panics
+    ///
+    /// Never in practice: all sets share one histogram geometry.
+    #[must_use]
+    pub fn merged_shard(&self) -> ShardMetrics {
+        let mut merged = ShardMetrics::new();
+        for s in &self.shards {
+            merged.merge_from(s).expect("uniform metric geometry");
+        }
+        merged
+    }
+
+    /// Renders the full metric set as a [`Snapshot`].
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::new();
+        for (i, s) in self.shards.iter().enumerate() {
+            let id = i.to_string();
+            let labels: [(&str, &str); 1] = [("shard", &id)];
+            snap.push_counter(
+                "replay_shard_packets_total",
+                "frames ingested per shard",
+                &labels,
+                s.packets.get(),
+            );
+            snap.push_counter(
+                "replay_shard_syn_packets_total",
+                "SYN frames ingested per shard",
+                &labels,
+                s.syn_packets.get(),
+            );
+            snap.push_counter(
+                "replay_shard_batches_total",
+                "batches processed per shard",
+                &labels,
+                s.batches.get(),
+            );
+            snap.push_counter(
+                "replay_shard_ingest_ns_total",
+                "busy ingest nanoseconds per shard",
+                &labels,
+                s.ingest_ns.get(),
+            );
+            snap.push_gauge(
+                "replay_shard_ingest_pps",
+                "ingest throughput per shard (packets per busy second)",
+                &labels,
+                s.ingest_pps() as i64,
+            );
+            snap.push_histogram(
+                "replay_shard_batch_size",
+                "frames per batch",
+                &labels,
+                &s.batch_size,
+            );
+            snap.push_histogram(
+                "replay_shard_barrier_wait_ns",
+                "idle time at the epoch barrier per shard",
+                &labels,
+                &s.barrier_wait_ns,
+            );
+        }
+        let merged = self.merged_shard();
+        snap.push_counter(
+            "replay_packets_total",
+            "frames ingested across all shards",
+            &[],
+            merged.packets.get(),
+        );
+        snap.push_counter(
+            "replay_epochs_total",
+            "closed detector intervals",
+            &[],
+            self.epochs.get(),
+        );
+        snap.push_counter(
+            "replay_alerts_total",
+            "alerts raised by the central detector",
+            &[],
+            self.alerts.get(),
+        );
+        snap.push_histogram(
+            "replay_epoch_ns",
+            "wall time per epoch (spawn to barrier)",
+            &[],
+            &self.epoch_ns,
+        );
+        snap.push_histogram(
+            "replay_merge_ns",
+            "time folding shard state and running detection per epoch",
+            &[],
+            &self.merge_ns,
+        );
+        snap.push_gauge(
+            "replay_elapsed_ns",
+            "wall time of the whole replay",
+            &[],
+            i64::try_from(self.elapsed_ns).unwrap_or(i64::MAX),
+        );
+        snap.push_counter(
+            "replay_trace_events_total",
+            "epoch lifecycle events recorded",
+            &[],
+            self.trace.events().len() as u64,
+        );
+        snap.push_counter(
+            "replay_trace_dropped_total",
+            "trace events dropped at the buffer cap",
+            &[],
+            self.trace.dropped(),
+        );
+        self.detector.export(&mut snap, "epoch_synflood");
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merged_shard_is_the_sum() {
+        let mut t = ReplayTelemetry::new(3);
+        for (i, s) in t.shards.iter_mut().enumerate() {
+            s.packets.add(10 * (i as u64 + 1));
+            s.batch_size.record(256);
+        }
+        let m = t.merged_shard();
+        assert_eq!(m.packets.get(), 60);
+        assert_eq!(m.batch_size.count(), 3);
+    }
+
+    #[test]
+    fn snapshot_validates_and_sums() {
+        let mut t = ReplayTelemetry::new(2);
+        t.shards[0].packets.add(7);
+        t.shards[1].packets.add(5);
+        t.shards[0].ingest_ns.add(1_000);
+        t.shards[0].barrier_wait_ns.record(42);
+        t.epochs.add(3);
+        t.epoch_ns.record(100_000);
+        let snap = t.snapshot();
+        assert_eq!(snap.counter_sum("replay_shard_packets_total"), 12);
+        assert_eq!(snap.counter_sum("replay_packets_total"), 12);
+        let text = telemetry::render_prometheus(&snap);
+        telemetry::check_prometheus(&text).expect("valid exposition");
+    }
+
+    #[test]
+    fn ingest_pps_zero_when_untimed() {
+        let s = ShardMetrics::new();
+        assert_eq!(s.ingest_pps(), 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Integration tests for the replay engine's telemetry: the exported
+//! snapshot must be internally consistent with the [`ReplayOutcome`]
+//! and must render to a Prometheus exposition that passes the format
+//! checker — the same checks CI runs against the CLI's `--metrics-out`
+//! output.
+
+use replay::{run_replay, ReplayConfig};
+use telemetry::{check_prometheus, render_json, render_prometheus, MetricKind, SampleValue};
+use workloads::{Schedule, SynFloodWorkload};
+
+fn flood() -> Schedule {
+    let (s, _) = SynFloodWorkload {
+        background_cps: 500,
+        flood_pps: 20_000,
+        flood_start: 150_000_000,
+        duration: 400_000_000,
+        seed: 11,
+        ..SynFloodWorkload::default()
+    }
+    .generate();
+    s
+}
+
+fn run(shards: usize) -> replay::ReplayOutcome {
+    run_replay(
+        &flood(),
+        &ReplayConfig {
+            shards,
+            ..ReplayConfig::default()
+        },
+    )
+}
+
+#[test]
+fn per_shard_packet_counters_sum_to_outcome_packets() {
+    // The acceptance check: a 4-shard run's per-shard packet counters
+    // must sum to ReplayOutcome::packets exactly.
+    let out = run(4);
+    let snap = out.telemetry.snapshot();
+    assert_eq!(snap.counter_sum("replay_shard_packets_total"), out.packets);
+    assert_eq!(snap.counter_sum("replay_packets_total"), out.packets);
+    // And each shard appears as its own labelled sample.
+    let fam = snap
+        .find("replay_shard_packets_total")
+        .expect("per-shard family present");
+    assert_eq!(fam.samples.len(), 4);
+    for (i, s) in fam.samples.iter().enumerate() {
+        assert_eq!(s.labels, vec![("shard".to_string(), i.to_string())]);
+    }
+}
+
+#[test]
+fn prometheus_exposition_passes_the_checker() {
+    let out = run(2);
+    let text = render_prometheus(&out.telemetry.snapshot());
+    let summary = check_prometheus(&text).unwrap_or_else(|errs| {
+        panic!("exposition rejected:\n{}", errs.join("\n"));
+    });
+    assert!(summary.families >= 10, "families: {}", summary.families);
+    assert!(summary.samples > summary.families);
+}
+
+#[test]
+fn detector_metrics_flow_through_to_the_snapshot() {
+    let out = run(2);
+    assert!(out.detected_at.is_some(), "flood must be detected");
+    let snap = out.telemetry.snapshot();
+    assert_eq!(
+        snap.counter_sum("anomaly_detector_fires_total"),
+        out.alerts.len() as u64,
+        "every alert is attributed to exactly one check"
+    );
+    let delay = snap
+        .find("anomaly_detection_delay_ns")
+        .expect("delay histogram exported");
+    assert_eq!(delay.kind, MetricKind::Histogram);
+    let SampleValue::Histogram(h) = &delay.samples[0].value else {
+        panic!("histogram family holds a histogram sample");
+    };
+    assert!(h.count >= 1, "the flood episode produced a delay sample");
+}
+
+#[test]
+fn telemetry_does_not_depend_on_shard_count_for_totals() {
+    let a = run(1);
+    let b = run(8);
+    assert_eq!(
+        a.telemetry.merged_shard().packets.get(),
+        b.telemetry.merged_shard().packets.get()
+    );
+    assert_eq!(
+        a.telemetry.merged_shard().syn_packets.get(),
+        b.telemetry.merged_shard().syn_packets.get()
+    );
+    assert_eq!(a.telemetry.epochs.get(), b.telemetry.epochs.get());
+    assert_eq!(a.telemetry.alerts.get(), b.telemetry.alerts.get());
+}
+
+#[test]
+fn json_rendering_contains_every_family_once() {
+    let out = run(2);
+    let snap = out.telemetry.snapshot();
+    let json = render_json(&snap);
+    for m in &snap.metrics {
+        let needle = format!("\"name\":\"{}\"", m.name);
+        assert_eq!(
+            json.matches(&needle).count(),
+            1,
+            "family {} rendered exactly once",
+            m.name
+        );
+    }
+    // Crude but dependency-free structural sanity: balanced braces.
+    let opens = json.matches('{').count();
+    let closes = json.matches('}').count();
+    assert_eq!(opens, closes);
+}

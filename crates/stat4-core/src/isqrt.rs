@@ -71,6 +71,105 @@ pub fn approx_isqrt(y: u64) -> u64 {
     head | top_bits
 }
 
+/// Splits `y` into the (exponent, mantissa-top-bits) pair the Figure 2
+/// algorithm is built on: the exponent is the position of the most
+/// significant set bit and the mantissa is truncated to its leftmost
+/// `mantissa_bits` bits.
+///
+/// This is the decomposition [`approx_isqrt`] halves and the log-linear
+/// telemetry histograms reuse for bucketing — both are "read the float
+/// representation of an integer with shifts and masks" tricks, so they
+/// share one implementation. For `y < 2`, where no mantissa bits exist
+/// below the MSB, the mantissa is 0.
+///
+/// # Examples
+///
+/// ```
+/// use stat4_core::isqrt::msb_decompose;
+/// // 106 = 0b110_1010: MSB at 6, top-2 mantissa bits are 0b10.
+/// assert_eq!(msb_decompose(106, 2), (6, 0b10));
+/// assert_eq!(msb_decompose(1, 2), (0, 0));
+/// ```
+#[must_use]
+pub fn msb_decompose(y: u64, mantissa_bits: u32) -> (u32, u64) {
+    if y == 0 {
+        return (0, 0);
+    }
+    let e = 63 - y.leading_zeros();
+    if e == 0 {
+        return (0, 0);
+    }
+    let take = mantissa_bits.min(e);
+    // Leftmost `take` bits of the e-bit mantissa, left-aligned into the
+    // requested width so the pair orders lexicographically.
+    let m = ((y >> (e - take)) & ((1u64 << take) - 1)) << (mantissa_bits - take);
+    (e, m)
+}
+
+/// Log-linear bucket index of `y` for a histogram with `2^mantissa_bits`
+/// sub-buckets per power of two.
+///
+/// Values below `2^mantissa_bits` get exact unit-width buckets (the
+/// linear region, `index == y`); above it, the bucket is the
+/// concatenation `(exponent − mantissa_bits + 1) ‖ mantissa-top-bits`
+/// from [`msb_decompose`] — exactly the exponent/mantissa bit string
+/// that [`approx_isqrt`] shifts, reused as an index. Bucket width is
+/// therefore ≤ `2^-mantissa_bits` of the value, i.e. a relative
+/// resolution of 1/2^mantissa_bits.
+///
+/// The mapping is monotone and contiguous: index 0 holds value 0 and
+/// each bucket's range starts where the previous one ends.
+///
+/// # Examples
+///
+/// ```
+/// use stat4_core::isqrt::{log_linear_bucket, log_linear_lower_bound};
+/// // Linear region: exact buckets.
+/// assert_eq!(log_linear_bucket(3, 2), 3);
+/// // 106 lands in the bucket covering [96, 112).
+/// let b = log_linear_bucket(106, 2);
+/// assert_eq!(log_linear_lower_bound(b, 2), 96);
+/// assert_eq!(log_linear_lower_bound(b + 1, 2), 112);
+/// ```
+#[must_use]
+pub fn log_linear_bucket(y: u64, mantissa_bits: u32) -> usize {
+    assert!(mantissa_bits < 32, "mantissa_bits must be small");
+    if y < (1u64 << mantissa_bits) {
+        return y as usize;
+    }
+    let (e, m) = msb_decompose(y, mantissa_bits);
+    (((u64::from(e) - u64::from(mantissa_bits) + 1) << mantissa_bits) + m) as usize
+}
+
+/// Smallest value mapped to `bucket` by [`log_linear_bucket`] — the
+/// inverse of the decomposition: re-materialise the MSB at the encoded
+/// exponent and place the mantissa bits below it.
+///
+/// `log_linear_lower_bound(b + 1, m) - 1` is the largest value of
+/// bucket `b`. Saturates at `u64::MAX` for the (one past the last)
+/// bucket index.
+#[must_use]
+pub fn log_linear_lower_bound(bucket: usize, mantissa_bits: u32) -> u64 {
+    assert!(mantissa_bits < 32, "mantissa_bits must be small");
+    let b = bucket as u64;
+    if b < (1u64 << mantissa_bits) {
+        return b;
+    }
+    let e = (b >> mantissa_bits) + u64::from(mantissa_bits) - 1;
+    let m = b & ((1u64 << mantissa_bits) - 1);
+    if e >= 64 {
+        return u64::MAX;
+    }
+    (1u64 << e) | (m << (e - u64::from(mantissa_bits)))
+}
+
+/// Number of buckets [`log_linear_bucket`] can produce for u64 inputs —
+/// the histogram array size that makes every index valid.
+#[must_use]
+pub fn log_linear_bucket_count(mantissa_bits: u32) -> usize {
+    log_linear_bucket(u64::MAX, mantissa_bits) + 1
+}
+
 /// Exact floor integer square root, used as the validation oracle and by
 /// control-plane code where full precision is wanted.
 ///
@@ -285,6 +384,77 @@ mod tests {
         for y in 4u64..200_000 {
             let err = approx_error_percent(y);
             assert!(err < 50.0, "y = {y} err = {err}");
+        }
+    }
+
+    #[test]
+    fn bucket_linear_region_is_exact() {
+        for m in 0..6u32 {
+            for y in 0..(1u64 << m) {
+                assert_eq!(log_linear_bucket(y, m), y as usize, "m={m} y={y}");
+                assert_eq!(log_linear_lower_bound(y as usize, m), y, "m={m} y={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_the_isqrt_bit_string() {
+        // Above the linear region the bucket index is literally the
+        // `(e − m + 1) ‖ mantissa` concatenation of the Figure 2
+        // decomposition — the same bit string approx_isqrt shifts.
+        let m = 3u32;
+        for y in [8u64, 9, 100, 106, 1 << 20, u64::MAX] {
+            let (e, f) = msb_decompose(y, m);
+            let expect = (((u64::from(e) - u64::from(m) + 1) << m) + f) as usize;
+            assert_eq!(log_linear_bucket(y, m), expect, "y={y}");
+        }
+    }
+
+    #[test]
+    fn bucket_count_covers_u64() {
+        for m in 0..8u32 {
+            let n = log_linear_bucket_count(m);
+            assert_eq!(log_linear_bucket(u64::MAX, m), n - 1);
+            // One-past-the-end lower bound saturates.
+            assert_eq!(log_linear_lower_bound(n, m), u64::MAX);
+        }
+    }
+
+    proptest! {
+        /// Buckets tile the u64 line: the lower bound round-trips and
+        /// the value sits inside [lower(b), lower(b+1)).
+        #[test]
+        fn bucket_bounds_contain_value(y in 0u64..u64::MAX, m in 0u32..7) {
+            let b = log_linear_bucket(y, m);
+            let lo = log_linear_lower_bound(b, m);
+            let hi = log_linear_lower_bound(b + 1, m);
+            prop_assert!(lo <= y, "lo {lo} > y {y}");
+            prop_assert!(y < hi || hi == u64::MAX, "y {y} >= hi {hi}");
+            prop_assert_eq!(log_linear_bucket(lo, m), b);
+        }
+
+        /// The mapping is monotone: larger values never land in
+        /// smaller buckets.
+        #[test]
+        fn bucket_monotone(a in 0u64..u64::MAX, b in 0u64..u64::MAX, m in 0u32..7) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(log_linear_bucket(lo, m) <= log_linear_bucket(hi, m));
+        }
+
+        /// Relative bucket width is bounded by 2^-m above the linear
+        /// region (the histogram's quantile-error guarantee).
+        #[test]
+        fn bucket_relative_width(y in 1u64..(u64::MAX / 2), m in 1u32..7) {
+            let b = log_linear_bucket(y, m);
+            let lo = log_linear_lower_bound(b, m);
+            let hi = log_linear_lower_bound(b + 1, m);
+            let width = hi - lo;
+            // Unit buckets are exact; wider buckets satisfy
+            // width = 2^(e-m) ≤ lo · 2^-m.
+            prop_assert!(
+                width == 1 || (u128::from(width) << m) <= u128::from(lo),
+                "width {width} lo {lo} m {m}"
+            );
         }
     }
 

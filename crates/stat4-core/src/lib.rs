@@ -69,7 +69,10 @@ pub use cusum::{CusumDetector, TwoSidedCusum};
 pub use ewma::Ewma;
 pub use error::{Stat4Error, Stat4Result};
 pub use freq::FrequencyDist;
-pub use isqrt::{approx_isqrt, exact_isqrt};
+pub use isqrt::{
+    approx_isqrt, exact_isqrt, log_linear_bucket, log_linear_bucket_count,
+    log_linear_lower_bound, msb_decompose,
+};
 pub use merge::Mergeable;
 pub use percentile::{PercentileTracker, Quantile};
 pub use running::RunningStats;

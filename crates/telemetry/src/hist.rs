@@ -1,0 +1,240 @@
+//! Log-linear histogram bucketed by the paper's MSB decomposition.
+//!
+//! The bucket index of a value is
+//! [`stat4_core::isqrt::log_linear_bucket`]: exponent (MSB position)
+//! concatenated with the top `m` mantissa bits — the same
+//! exponent‖mantissa bit string the approximate square root of Figure 2
+//! halves. Values below `2^m` get exact unit buckets; above, the
+//! relative bucket width is `2^-m`, so quantiles read from the
+//! histogram are within one bucket width of the exact sample quantile
+//! (asserted by `tests/histogram.rs`).
+//!
+//! Recording is one bucket index (shifts and masks), three adds and no
+//! allocation — hot-path safe. Per-shard histograms fold at epoch
+//! barriers via [`Mergeable`]: cellwise count addition, which is
+//! bit-identical to single-shard recording for any traffic partition.
+
+use stat4_core::isqrt::{log_linear_bucket, log_linear_bucket_count, log_linear_lower_bound};
+use stat4_core::{Mergeable, Stat4Error, Stat4Result};
+
+/// Default mantissa bits: 8 sub-buckets per power of two, ≤ 12.5%
+/// relative bucket width.
+pub const DEFAULT_MANTISSA_BITS: u32 = 3;
+
+/// A fixed-size log-linear histogram over `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogLinearHistogram {
+    mantissa_bits: u32,
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogLinearHistogram {
+    fn default() -> Self {
+        Self::new(DEFAULT_MANTISSA_BITS)
+    }
+}
+
+impl LogLinearHistogram {
+    /// A histogram with `2^mantissa_bits` sub-buckets per octave.
+    /// The bucket array covers all of `u64` (for `m = 3`: 504 cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mantissa_bits >= 16` (bucket array would be absurd).
+    #[must_use]
+    pub fn new(mantissa_bits: u32) -> Self {
+        assert!(mantissa_bits < 16, "mantissa_bits {mantissa_bits} too large");
+        Self {
+            mantissa_bits,
+            buckets: vec![0; log_linear_bucket_count(mantissa_bits)],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample. Allocation-free.
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` occurrences of `v`.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[log_linear_bucket(v, self.mantissa_bits)] += n;
+        self.count += n;
+        self.sum += u128::from(v) * u128::from(n);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    #[must_use]
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (`None` when empty).
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample (`None` when empty).
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sub-bucket resolution.
+    #[must_use]
+    pub fn mantissa_bits(&self) -> u32 {
+        self.mantissa_bits
+    }
+
+    /// Mean of the recorded samples (`None` when empty).
+    #[must_use]
+    pub fn mean(&self) -> Option<u64> {
+        (self.count > 0).then(|| (self.sum / u128::from(self.count)) as u64)
+    }
+
+    /// Inclusive value range `[lo, hi]` of bucket `idx`.
+    #[must_use]
+    pub fn bucket_range(&self, idx: usize) -> (u64, u64) {
+        let lo = log_linear_lower_bound(idx, self.mantissa_bits);
+        let hi = log_linear_lower_bound(idx + 1, self.mantissa_bits);
+        (lo, hi.saturating_sub(u64::from(hi != u64::MAX)))
+    }
+
+    /// Non-empty buckets as `(index, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Nearest-rank `p`-th percentile estimate (`0 < p <= 100`): the
+    /// inclusive upper bound of the bucket where the cumulative count
+    /// reaches `ceil(p/100 · count)`. `None` when empty.
+    ///
+    /// The estimate lands in the same bucket as the exact sample
+    /// quantile, i.e. within one bucket width (`2^-m` relative).
+    #[must_use]
+    pub fn quantile(&self, p: u32) -> Option<u64> {
+        assert!((1..=100).contains(&p), "percentile {p} out of range");
+        if self.count == 0 {
+            return None;
+        }
+        let target = (u128::from(self.count) * u128::from(p)).div_ceil(100) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Some(self.bucket_range(i).1.min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+}
+
+impl Mergeable for LogLinearHistogram {
+    /// Cellwise count addition — bit-identical to single-shard
+    /// recording of the combined sample stream.
+    fn merge_from(&mut self, other: &Self) -> Stat4Result<()> {
+        if self.mantissa_bits != other.mantissa_bits {
+            return Err(Stat4Error::MergeMismatch {
+                what: "histogram mantissa bits",
+            });
+        }
+        for (d, s) in self.buckets.iter_mut().zip(&other.buckets) {
+            *d += s;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reports() {
+        let mut h = LogLinearHistogram::new(2);
+        for v in [1u64, 2, 3, 100, 106, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1212);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(1000));
+        assert_eq!(h.mean(), Some(202));
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn empty_has_no_quantile() {
+        let h = LogLinearHistogram::default();
+        assert!(h.quantile(50).is_none());
+        assert!(h.min().is_none());
+        assert!(h.max().is_none());
+    }
+
+    #[test]
+    fn quantile_of_point_mass_is_exactish() {
+        let mut h = LogLinearHistogram::new(3);
+        for _ in 0..1000 {
+            h.record(5000);
+        }
+        // Bucket upper bound is >= 5000, capped at the observed max.
+        assert_eq!(h.quantile(50), Some(5000));
+    }
+
+    #[test]
+    fn mismatched_resolution_rejected() {
+        let mut a = LogLinearHistogram::new(2);
+        let b = LogLinearHistogram::new(3);
+        assert!(matches!(
+            a.merge_from(&b),
+            Err(Stat4Error::MergeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bucket_range_is_inclusive_and_contiguous() {
+        let h = LogLinearHistogram::new(3);
+        let mut prev_hi = None;
+        for idx in 0..64 {
+            let (lo, hi) = h.bucket_range(idx);
+            assert!(lo <= hi);
+            if let Some(p) = prev_hi {
+                assert_eq!(lo, p + 1, "bucket {idx} not contiguous");
+            }
+            prev_hi = Some(hi);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! # telemetry
+//!
+//! Hand-rolled observability for the Stat4 reproduction: metrics,
+//! traces and exposition with **zero external dependencies** (the
+//! workspace builds offline), in the spirit of the paper itself — the
+//! switch observes itself with cheap integer statistics, so the
+//! software model should too.
+//!
+//! ## Layers
+//!
+//! - **Value types** ([`metrics`], [`hist`]) — plain [`Counter`],
+//!   [`Gauge`] and [`LogLinearHistogram`] structs. Updates are branch-
+//!   light integer arithmetic with **no allocation and no locking**, so
+//!   they can sit on per-packet hot paths. All of them implement
+//!   [`stat4_core::Mergeable`]: per-shard metric sets fold at the same
+//!   epoch barriers as the Stat4 trackers themselves.
+//! - **Shared registry** ([`registry`]) — named metric families backed
+//!   by atomics ([`SharedCounter`], [`SharedGauge`],
+//!   [`SharedHistogram`]). Registration takes a lock once (cold path);
+//!   the returned handles update with relaxed atomic adds (lock-free
+//!   hot path) and can be cloned freely across threads.
+//! - **Tracer** ([`trace`]) — a bounded buffer of begin/end/instant
+//!   events for epoch lifecycle (split → ingest → barrier → merge →
+//!   detect), cheap enough to leave on.
+//! - **Exposition** ([`expo`]) — renders a [`Snapshot`] in Prometheus
+//!   text format or as a JSON document; [`check`] validates Prometheus
+//!   output (used by CI against the real replay binary).
+//!
+//! ## Histogram bucketing = the paper's Figure 2 decomposition
+//!
+//! [`LogLinearHistogram`] buckets by
+//! [`stat4_core::isqrt::log_linear_bucket`]: the value's MSB position
+//! (exponent) concatenated with its top mantissa bits — exactly the
+//! bit string the approximate square root halves. One decomposition,
+//! two uses: `approx_isqrt` shifts it, the histogram indexes with it.
+//! With `m` mantissa bits the relative bucket width is `2^-m`, so any
+//! quantile read from the histogram is within one bucket width of the
+//! exact sample quantile.
+//!
+//! ## Naming scheme
+//!
+//! Metric names follow Prometheus conventions:
+//! `<layer>_<what>_<unit>[_total]`, e.g. `replay_shard_packets_total`,
+//! `p4sim_stage_latency_ns`, `anomaly_detection_delay_ns`. Per-shard
+//! series carry a `shard="<i>"` label; per-stage series a
+//! `table="<name>"` label.
+
+pub mod check;
+pub mod expo;
+pub mod hist;
+pub mod metrics;
+pub mod registry;
+pub mod snapshot;
+pub mod trace;
+
+pub use check::{check_prometheus, PromSummary};
+pub use expo::{json_string, render_json, render_prometheus};
+pub use hist::LogLinearHistogram;
+pub use metrics::{Counter, Gauge};
+pub use registry::{Registry, SharedCounter, SharedGauge, SharedHistogram};
+pub use snapshot::{HistogramSnapshot, Metric, MetricKind, Sample, SampleValue, Snapshot};
+pub use trace::{TraceEvent, TracePhase, Tracer};

@@ -1,0 +1,121 @@
+//! Plain counter and gauge value types.
+//!
+//! These are the per-shard building blocks: single-owner structs whose
+//! updates are one integer add — no atomics, no locks, no allocation —
+//! and whose cross-shard reduction is the same [`Mergeable`] fold the
+//! Stat4 trackers use at epoch barriers. For *shared* (multi-writer)
+//! metrics see [`crate::registry`].
+
+use stat4_core::{Mergeable, Stat4Result};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// A zeroed counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n` (saturating: a counter never wraps backwards).
+    pub fn add(&mut self, n: u64) {
+        self.value = self.value.saturating_add(n);
+    }
+
+    /// Current count.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+impl Mergeable for Counter {
+    /// Counters merge by addition: the merged counter equals the count
+    /// a single observer of the combined event stream would hold.
+    fn merge_from(&mut self, other: &Self) -> Stat4Result<()> {
+        self.add(other.value);
+        Ok(())
+    }
+}
+
+/// A point-in-time signed value (occupancy, queue depth, …).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Gauge {
+    value: i64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&mut self, v: i64) {
+        self.value = v;
+    }
+
+    /// Adjusts the value by `d`.
+    pub fn add(&mut self, d: i64) {
+        self.value = self.value.saturating_add(d);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value
+    }
+}
+
+impl Mergeable for Gauge {
+    /// Gauges merge by addition: per-shard occupancies and depths are
+    /// partitions of a whole, so the global gauge is their sum. (A
+    /// "latest wins" gauge has no shard-order-free merge and would
+    /// violate the conformance rules; don't put one in a merged set.)
+    fn merge_from(&mut self, other: &Self) -> Stat4Result<()> {
+        self.add(other.value);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_and_saturates() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.add(u64::MAX);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn merge_is_addition() {
+        let mut a = Counter::new();
+        a.add(10);
+        let mut b = Counter::new();
+        b.add(32);
+        a.merge_from(&b).unwrap();
+        assert_eq!(a.get(), 42);
+
+        let mut g = Gauge::new();
+        g.set(-5);
+        let mut h = Gauge::new();
+        h.set(8);
+        g.merge_from(&h).unwrap();
+        assert_eq!(g.get(), 3);
+    }
+}

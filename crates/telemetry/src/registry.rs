@@ -1,0 +1,356 @@
+//! Shared, lock-free-on-the-hot-path metric registry.
+//!
+//! [`Registry::counter`] / [`gauge`](Registry::gauge) /
+//! [`histogram`](Registry::histogram) register a named, labelled series
+//! once (taking a mutex — cold path) and hand back an
+//! `Arc`-shared handle whose updates are **relaxed atomic adds**: any
+//! number of threads may bump the same handle without locks,
+//! allocation, or fences on the hot path. Re-registering the same
+//! `(name, labels)` returns the existing handle, so instrumented code
+//! can be naive about initialisation order.
+//!
+//! Relaxed ordering is deliberate: metrics are monotone sums read at
+//! exposition time, so cross-metric ordering doesn't matter — the
+//! snapshot is a *consistent enough* view, the same contract scrapers
+//! get from any production metrics library.
+
+use crate::hist::LogLinearHistogram;
+use crate::snapshot::{MetricKind, Snapshot};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use stat4_core::isqrt::{log_linear_bucket, log_linear_bucket_count};
+
+/// A shared monotone counter.
+#[derive(Debug, Default)]
+pub struct SharedCounter {
+    value: AtomicU64,
+}
+
+impl SharedCounter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A shared point-in-time value.
+#[derive(Debug, Default)]
+pub struct SharedGauge {
+    value: AtomicI64,
+}
+
+impl SharedGauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the value by `d`.
+    pub fn add(&self, d: i64) {
+        self.value.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A shared log-linear histogram: the atomic twin of
+/// [`LogLinearHistogram`], same MSB-decomposition buckets.
+#[derive(Debug)]
+pub struct SharedHistogram {
+    mantissa_bits: u32,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl SharedHistogram {
+    fn new(mantissa_bits: u32) -> Self {
+        assert!(mantissa_bits < 16, "mantissa_bits {mantissa_bits} too large");
+        Self {
+            mantissa_bits,
+            buckets: (0..log_linear_bucket_count(mantissa_bits))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample: three relaxed adds, lock-free.
+    pub fn record(&self, v: u64) {
+        self.buckets[log_linear_bucket(v, self.mantissa_bits)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Materialises a plain histogram from the atomic cells (min/max
+    /// are not tracked atomically and come back unset-ish: the plain
+    /// copy's range queries derive from buckets only).
+    #[must_use]
+    pub fn to_plain(&self) -> LogLinearHistogram {
+        let mut h = LogLinearHistogram::new(self.mantissa_bits);
+        for (idx, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                // Attribute the bucket's mass to its lower bound — the
+                // same ≤ one-bucket-width error the histogram already
+                // has by construction.
+                h.record_n(h.bucket_range(idx).0, c);
+            }
+        }
+        h
+    }
+}
+
+enum Slot {
+    Counter(Arc<SharedCounter>),
+    Gauge(Arc<SharedGauge>),
+    Histogram(Arc<SharedHistogram>),
+}
+
+struct Series {
+    labels: Vec<(String, String)>,
+    slot: Slot,
+}
+
+struct Family {
+    name: String,
+    help: String,
+    kind: MetricKind,
+    series: Vec<Series>,
+}
+
+/// The registry: named families of shared metric handles.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finds or creates the `(name, labels)` series; `make` builds the
+    /// slot on first registration.
+    fn series(
+        &self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Slot,
+    ) -> Slot {
+        let owned: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+            .collect();
+        let mut fams = self.families.lock().expect("registry poisoned");
+        let fam = if let Some(i) = fams.iter().position(|f| f.name == name) {
+            assert!(
+                fams[i].kind == kind,
+                "metric {name} registered with two kinds"
+            );
+            &mut fams[i]
+        } else {
+            assert!(
+                crate::snapshot::valid_metric_name(name),
+                "invalid metric name {name:?}"
+            );
+            fams.push(Family {
+                name: name.to_string(),
+                help: help.to_string(),
+                kind,
+                series: Vec::new(),
+            });
+            fams.last_mut().expect("just pushed")
+        };
+        if let Some(s) = fam.series.iter().find(|s| s.labels == owned) {
+            return s.slot.clone_slot();
+        }
+        let slot = make();
+        fam.series.push(Series {
+            labels: owned,
+            slot: slot.clone_slot(),
+        });
+        slot
+    }
+
+    /// Registers (or finds) a shared counter series.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid metric name, a kind clash with an existing
+    /// family, or a poisoned registry lock (programmer errors).
+    #[must_use]
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<SharedCounter> {
+        match self.series(name, help, MetricKind::Counter, labels, || {
+            Slot::Counter(Arc::new(SharedCounter::default()))
+        }) {
+            Slot::Counter(c) => c,
+            _ => unreachable!("kind checked in series()"),
+        }
+    }
+
+    /// Registers (or finds) a shared gauge series.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::counter`].
+    #[must_use]
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<SharedGauge> {
+        match self.series(name, help, MetricKind::Gauge, labels, || {
+            Slot::Gauge(Arc::new(SharedGauge::default()))
+        }) {
+            Slot::Gauge(g) => g,
+            _ => unreachable!("kind checked in series()"),
+        }
+    }
+
+    /// Registers (or finds) a shared histogram series with
+    /// `2^mantissa_bits` sub-buckets per octave.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::counter`].
+    #[must_use]
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        mantissa_bits: u32,
+    ) -> Arc<SharedHistogram> {
+        match self.series(name, help, MetricKind::Histogram, labels, || {
+            Slot::Histogram(Arc::new(SharedHistogram::new(mantissa_bits)))
+        }) {
+            Slot::Histogram(h) => h,
+            _ => unreachable!("kind checked in series()"),
+        }
+    }
+
+    /// Reads every registered series into a [`Snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a poisoned registry lock.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let fams = self.families.lock().expect("registry poisoned");
+        let mut snap = Snapshot::new();
+        for fam in fams.iter() {
+            for s in &fam.series {
+                let labels: Vec<(&str, &str)> = s
+                    .labels
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+                match &s.slot {
+                    Slot::Counter(c) => {
+                        snap.push_counter(&fam.name, &fam.help, &labels, c.get());
+                    }
+                    Slot::Gauge(g) => snap.push_gauge(&fam.name, &fam.help, &labels, g.get()),
+                    Slot::Histogram(h) => {
+                        snap.push_histogram(&fam.name, &fam.help, &labels, &h.to_plain());
+                    }
+                }
+            }
+        }
+        snap
+    }
+}
+
+impl Slot {
+    fn clone_slot(&self) -> Slot {
+        match self {
+            Slot::Counter(c) => Slot::Counter(Arc::clone(c)),
+            Slot::Gauge(g) => Slot::Gauge(Arc::clone(g)),
+            Slot::Histogram(h) => Slot::Histogram(Arc::clone(h)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_and_lock_free() {
+        let reg = Registry::new();
+        let c = reg.counter("pkts_total", "packets", &[("shard", "0")]);
+        let c2 = reg.counter("pkts_total", "packets", &[("shard", "0")]);
+        c.add(10);
+        c2.add(32);
+        assert_eq!(c.get(), 42, "same series, same cell");
+
+        let other = reg.counter("pkts_total", "packets", &[("shard", "1")]);
+        other.inc();
+        assert_eq!(other.get(), 1);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_sum("pkts_total"), 43);
+    }
+
+    #[test]
+    fn concurrent_updates_all_land() {
+        let reg = Registry::new();
+        let c = reg.counter("n_total", "", &[]);
+        let h = reg.histogram("lat_ns", "", &[], 3);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                let h = Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        c.inc();
+                        h.record(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+        assert_eq!(h.count(), 80_000);
+        assert_eq!(h.to_plain().count(), 80_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "two kinds")]
+    fn kind_clash_panics() {
+        let reg = Registry::new();
+        let _c = reg.counter("m", "", &[]);
+        let _g = reg.gauge("m", "", &[]);
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let reg = Registry::new();
+        let g = reg.gauge("depth", "", &[]);
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+}

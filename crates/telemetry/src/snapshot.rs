@@ -1,0 +1,274 @@
+//! The exposition data model: a point-in-time, self-describing set of
+//! metric families.
+//!
+//! A [`Snapshot`] is what crosses the boundary between the
+//! instrumented layers and the renderers in [`crate::expo`]: layers
+//! build one from their (plain or shared) metric values, renderers turn
+//! it into Prometheus text or JSON without knowing where the numbers
+//! came from.
+
+use crate::hist::LogLinearHistogram;
+
+/// Prometheus-style metric kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone event count.
+    Counter,
+    /// Point-in-time value.
+    Gauge,
+    /// Bucketed distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus `# TYPE` keyword.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// A rendered histogram: cumulative counts at inclusive upper bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// `(le, cumulative_count)` pairs, ascending in `le`; only the
+    /// non-empty buckets of the source histogram appear (plus their
+    /// cumulative semantics, the `+Inf` bucket is implicit via
+    /// [`Self::count`]).
+    pub buckets: Vec<(u64, u64)>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u128,
+}
+
+impl From<&LogLinearHistogram> for HistogramSnapshot {
+    fn from(h: &LogLinearHistogram) -> Self {
+        let mut buckets = Vec::new();
+        let mut cum = 0u64;
+        for (idx, c) in h.nonzero_buckets() {
+            cum += c;
+            buckets.push((h.bucket_range(idx).1, cum));
+        }
+        Self {
+            buckets,
+            count: h.count(),
+            sum: h.sum(),
+        }
+    }
+}
+
+/// One sample value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SampleValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(i64),
+    /// Histogram reading.
+    Histogram(HistogramSnapshot),
+}
+
+/// One labelled series of a metric family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// `(key, value)` label pairs, in insertion order.
+    pub labels: Vec<(String, String)>,
+    /// The reading.
+    pub value: SampleValue,
+}
+
+/// A named metric family with its samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Metric {
+    /// Prometheus-legal name (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+    pub name: String,
+    /// One-line help text.
+    pub help: String,
+    /// Family kind; every sample must match it.
+    pub kind: MetricKind,
+    /// The labelled series.
+    pub samples: Vec<Sample>,
+}
+
+/// A point-in-time collection of metric families.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// The families, in push order.
+    pub metrics: Vec<Metric>,
+}
+
+/// True iff `name` is a legal Prometheus metric name.
+#[must_use]
+pub fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    let head_ok = first.is_ascii_alphabetic() || first == '_' || first == ':';
+    head_ok && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn to_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+        .collect()
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn family(&mut self, name: &str, help: &str, kind: MetricKind) -> &mut Metric {
+        assert!(valid_metric_name(name), "invalid metric name {name:?}");
+        if let Some(i) = self.metrics.iter().position(|m| m.name == name) {
+            assert!(
+                self.metrics[i].kind == kind,
+                "metric {name} pushed with two kinds"
+            );
+            return &mut self.metrics[i];
+        }
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+            samples: Vec::new(),
+        });
+        self.metrics.last_mut().expect("just pushed")
+    }
+
+    /// Appends a counter sample, creating the family on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid name or a kind clash with an existing
+    /// family of the same name (programmer errors).
+    pub fn push_counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.family(name, help, MetricKind::Counter).samples.push(Sample {
+            labels: to_labels(labels),
+            value: SampleValue::Counter(value),
+        });
+    }
+
+    /// Appends a gauge sample, creating the family on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid name or kind clash.
+    pub fn push_gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: i64) {
+        self.family(name, help, MetricKind::Gauge).samples.push(Sample {
+            labels: to_labels(labels),
+            value: SampleValue::Gauge(value),
+        });
+    }
+
+    /// Appends a histogram sample, creating the family on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid name or kind clash.
+    pub fn push_histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        hist: &LogLinearHistogram,
+    ) {
+        self.family(name, help, MetricKind::Histogram).samples.push(Sample {
+            labels: to_labels(labels),
+            value: SampleValue::Histogram(hist.into()),
+        });
+    }
+
+    /// The family named `name`, if present.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<&Metric> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+
+    /// Sum of every counter sample in the family named `name` (0 when
+    /// absent) — the "do the per-shard series add up" test helper.
+    #[must_use]
+    pub fn counter_sum(&self, name: &str) -> u64 {
+        self.find(name).map_or(0, |m| {
+            m.samples
+                .iter()
+                .map(|s| match &s.value {
+                    SampleValue::Counter(v) => *v,
+                    _ => 0,
+                })
+                .sum()
+        })
+    }
+
+    /// Total number of samples across all families.
+    #[must_use]
+    pub fn sample_count(&self) -> usize {
+        self.metrics.iter().map(|m| m.samples.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_group_and_sum() {
+        let mut s = Snapshot::new();
+        s.push_counter("pkts_total", "packets", &[("shard", "0")], 10);
+        s.push_counter("pkts_total", "packets", &[("shard", "1")], 32);
+        s.push_gauge("occupancy", "cells", &[], -1);
+        assert_eq!(s.metrics.len(), 2);
+        assert_eq!(s.counter_sum("pkts_total"), 42);
+        assert_eq!(s.sample_count(), 3);
+        assert_eq!(s.find("occupancy").unwrap().kind, MetricKind::Gauge);
+    }
+
+    #[test]
+    #[should_panic(expected = "two kinds")]
+    fn kind_clash_panics() {
+        let mut s = Snapshot::new();
+        s.push_counter("m", "", &[], 1);
+        s.push_gauge("m", "", &[], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_name_panics() {
+        let mut s = Snapshot::new();
+        s.push_counter("9lives", "", &[], 1);
+    }
+
+    #[test]
+    fn histogram_snapshot_is_cumulative() {
+        let mut h = LogLinearHistogram::new(2);
+        for v in [1u64, 1, 2, 100] {
+            h.record(v);
+        }
+        let hs = HistogramSnapshot::from(&h);
+        assert_eq!(hs.count, 4);
+        assert_eq!(hs.sum, 104);
+        let cums: Vec<u64> = hs.buckets.iter().map(|(_, c)| *c).collect();
+        assert!(cums.windows(2).all(|w| w[0] <= w[1]), "monotone: {cums:?}");
+        assert_eq!(*cums.last().unwrap(), 4);
+        let les: Vec<u64> = hs.buckets.iter().map(|(le, _)| *le).collect();
+        assert!(les.windows(2).all(|w| w[0] < w[1]), "ascending: {les:?}");
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(valid_metric_name("replay_shard_packets_total"));
+        assert!(valid_metric_name("_x:y"));
+        assert!(!valid_metric_name(""));
+        assert!(!valid_metric_name("has space"));
+        assert!(!valid_metric_name("1st"));
+    }
+}

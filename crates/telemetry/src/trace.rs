@@ -1,0 +1,180 @@
+//! Lightweight span/event tracing for epoch lifecycle.
+//!
+//! The replay engine's epoch loop is the system's heartbeat: split →
+//! ingest (parallel) → barrier → merge → detect. [`Tracer`] records
+//! that lifecycle as begin/end/instant events with nanosecond
+//! timestamps relative to the tracer's creation, into a **bounded**
+//! buffer — when full, new events are counted as dropped instead of
+//! growing memory, so tracing can stay on for arbitrarily long
+//! replays.
+//!
+//! The tracer is single-owner (`&mut` recording): the epoch loop owns
+//! it, shard threads never touch it. Per-packet work is *not* traced —
+//! that's what the histograms are for; traces capture the
+//! epoch-granularity control flow.
+
+use std::time::Instant;
+
+/// Event phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePhase {
+    /// A span opened.
+    Begin,
+    /// A span closed.
+    End,
+    /// A point event.
+    Instant,
+}
+
+impl TracePhase {
+    /// Short phase code (Chrome-trace-style: B/E/i).
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            TracePhase::Begin => "B",
+            TracePhase::End => "E",
+            TracePhase::Instant => "i",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the tracer was created.
+    pub at_ns: u64,
+    /// The epoch the event belongs to.
+    pub epoch: u64,
+    /// Static event name (e.g. `"ingest"`, `"merge"`).
+    pub name: &'static str,
+    /// Begin/end/instant.
+    pub phase: TracePhase,
+}
+
+/// A bounded event recorder.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    origin: Instant,
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// A tracer holding at most `capacity` events.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            origin: Instant::now(),
+            events: Vec::with_capacity(capacity.min(1024)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Nanoseconds since the tracer was created (saturating).
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn push(&mut self, name: &'static str, epoch: u64, phase: TracePhase) {
+        if self.events.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(TraceEvent {
+            at_ns: self.now_ns(),
+            epoch,
+            name,
+            phase,
+        });
+    }
+
+    /// Records a span opening.
+    pub fn begin(&mut self, name: &'static str, epoch: u64) {
+        self.push(name, epoch, TracePhase::Begin);
+    }
+
+    /// Records a span closing.
+    pub fn end(&mut self, name: &'static str, epoch: u64) {
+        self.push(name, epoch, TracePhase::End);
+    }
+
+    /// Records a point event.
+    pub fn instant(&mut self, name: &'static str, epoch: u64) {
+        self.push(name, epoch, TracePhase::Instant);
+    }
+
+    /// The recorded events, in order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events rejected because the buffer was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the buffer as a JSON array of Chrome-trace-style event
+    /// objects (`{"name","ph","ts","epoch"}`, `ts` in ns).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":{},\"ph\":\"{}\",\"ts\":{},\"epoch\":{}}}",
+                crate::expo::json_string(e.name),
+                e.phase.code(),
+                e.at_ns,
+                e.epoch
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_ordered_events() {
+        let mut t = Tracer::new(16);
+        t.begin("ingest", 0);
+        t.end("ingest", 0);
+        t.instant("alert", 1);
+        let ev = t.events();
+        assert_eq!(ev.len(), 3);
+        assert!(ev.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        assert_eq!(ev[2].phase, TracePhase::Instant);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn bounded_buffer_counts_drops() {
+        let mut t = Tracer::new(2);
+        for i in 0..5 {
+            t.instant("e", i);
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut t = Tracer::new(4);
+        t.begin("merge", 7);
+        let j = t.to_json();
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert!(j.contains("\"name\":\"merge\""));
+        assert!(j.contains("\"ph\":\"B\""));
+        assert!(j.contains("\"epoch\":7"));
+    }
+}

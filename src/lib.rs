@@ -25,4 +25,5 @@ pub use p4sim;
 pub use packet;
 pub use stat4_core;
 pub use stat4_p4;
+pub use telemetry;
 pub use workloads;
