@@ -21,6 +21,8 @@
 //! The other detectors are *software-side* users of `stat4-core`,
 //! demonstrating that the same integer algorithms serve both in-switch
 //! (via `stat4-p4`) and host-side deployment.
+#![forbid(unsafe_code)]
+
 
 pub mod alerts;
 pub mod classify;

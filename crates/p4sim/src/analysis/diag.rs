@@ -1,0 +1,245 @@
+//! Diagnostics: stable lint codes, severities, human and JSON output.
+//!
+//! Every finding the static verifier can produce carries a [`LintCode`]
+//! that is stable across releases (tests and CI pin against them), a
+//! [`Severity`] chosen at emission time (the same code can be an error
+//! when the violation is *certain* and a note when it is merely not
+//! disproven), a human-readable message, and — for the value-range
+//! analysis — the chain of primitives that produced the offending
+//! value.
+//!
+//! Severity policy:
+//!
+//! - [`Severity::Error`] — the program cannot run correctly on the
+//!   analysed target: target-illegal primitives, stage overflow, a
+//!   register touched twice on one packet path of a single-access
+//!   target, arithmetic that *provably* truncates or overflows.
+//! - [`Severity::Warning`] — the program runs but a worst-case bound is
+//!   violated (e.g. the longest dependency chain exceeds the target's
+//!   step budget). `--deny warnings` promotes these to failures.
+//! - [`Severity::Info`] — the analysis could not *prove* a bound
+//!   (action data installed by the controller at runtime, a possible
+//!   but not certain wrap). Recorded and countable, never fatal.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How serious a finding is (see the module docs for the policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Not disproven, recorded for audit; never fatal.
+    Info,
+    /// Worst-case bound violated; fatal under `--deny warnings`.
+    Warning,
+    /// The program cannot run correctly on the analysed target.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Stable lint codes. The numeric part never changes meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LintCode {
+    /// `S4L001` — `Mul` of two runtime values on a target without a
+    /// runtime multiplier (the paper's division/multiply discipline).
+    RuntimeMul,
+    /// `S4L002` — shift by a runtime distance on a target with
+    /// constant-only shifters.
+    DynamicShift,
+    /// `S4L003` — the stage allocation needs more stages than the
+    /// target provides.
+    StageOverflow,
+    /// `S4L004` — one register is touched at more than one point of a
+    /// packet path (or twice inside one action beyond a single
+    /// read-modify-write), which a PISA stateful ALU cannot do.
+    RegisterMultiAccess,
+    /// `S4L005` — a value provably wider than its destination register
+    /// is stored (silent truncation), or a product provably exceeds
+    /// the 64-bit PHV.
+    WidthTruncation,
+    /// `S4L006` — a register store could not be *proven* to fit the
+    /// register width (emitted as info with the primitive chain).
+    WidthUnproven,
+    /// `S4L007` — the worst-case sequential dependency chain exceeds
+    /// the target's per-packet step budget.
+    StepBudget,
+    /// `S4L008` — a register index can (or provably does) fall outside
+    /// the register's cell range.
+    RegisterIndexRange,
+    /// `S4L009` — a single table/action needs more per-stage resources
+    /// (e.g. distinct registers) than any one stage offers, so no
+    /// allocation exists.
+    StageResourceUnallocatable,
+    /// `S4L010` — a multiplication's result interval can exceed the
+    /// 64-bit PHV word (possible wrap; certain wraps use `S4L005`).
+    MulOverflow,
+    /// `S4L011` — a left shift can push set bits past the 64-bit PHV
+    /// word (possible wrap; certain wraps use `S4L005`).
+    ShiftOverflow,
+}
+
+impl LintCode {
+    /// The stable code string (`S4Lnnn`).
+    #[must_use]
+    pub const fn code(self) -> &'static str {
+        match self {
+            LintCode::RuntimeMul => "S4L001",
+            LintCode::DynamicShift => "S4L002",
+            LintCode::StageOverflow => "S4L003",
+            LintCode::RegisterMultiAccess => "S4L004",
+            LintCode::WidthTruncation => "S4L005",
+            LintCode::WidthUnproven => "S4L006",
+            LintCode::StepBudget => "S4L007",
+            LintCode::RegisterIndexRange => "S4L008",
+            LintCode::StageResourceUnallocatable => "S4L009",
+            LintCode::MulOverflow => "S4L010",
+            LintCode::ShiftOverflow => "S4L011",
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One finding of the static verifier.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Stable lint code.
+    pub code: LintCode,
+    /// Severity chosen at emission (see module docs).
+    pub severity: Severity,
+    /// Where the finding is anchored, e.g.
+    /// `` action `track_payload` (table `binding`), primitive #3 ``.
+    pub context: String,
+    /// What is wrong and why.
+    pub message: String,
+    /// For range findings: the primitives that produced the offending
+    /// value, oldest first (bounded; long chains keep the tail).
+    pub chain: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic without a primitive chain.
+    #[must_use]
+    pub fn new(
+        code: LintCode,
+        severity: Severity,
+        context: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            code,
+            severity,
+            context: context.into(),
+            message: message.into(),
+            chain: Vec::new(),
+        }
+    }
+
+    /// Attaches the producing primitive chain.
+    #[must_use]
+    pub fn with_chain(mut self, chain: Vec<String>) -> Self {
+        self.chain = chain;
+        self
+    }
+
+    /// Renders the diagnostic as a JSON object (no external deps).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let chain: Vec<String> = self.chain.iter().map(|c| json_string(c)).collect();
+        format!(
+            "{{\"code\":{},\"severity\":{},\"context\":{},\"message\":{},\"chain\":[{}]}}",
+            json_string(self.code.code()),
+            json_string(&self.severity.to_string()),
+            json_string(&self.context),
+            json_string(&self.message),
+            chain.join(",")
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}: {} [{}]",
+            self.code, self.severity, self.message, self.context
+        )?;
+        if !self.chain.is_empty() {
+            write!(f, "\n    via {}", self.chain.join(" -> "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(LintCode::RuntimeMul.code(), "S4L001");
+        assert_eq!(LintCode::StageOverflow.code(), "S4L003");
+        assert_eq!(LintCode::WidthTruncation.code(), "S4L005");
+        assert_eq!(LintCode::ShiftOverflow.code(), "S4L011");
+    }
+
+    #[test]
+    fn severity_orders_info_warning_error() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn display_and_json_render() {
+        let d = Diagnostic::new(
+            LintCode::WidthTruncation,
+            Severity::Error,
+            "action `a`, primitive #1",
+            "value in [1099511627776, 1099511627776] cannot fit 16 bits",
+        )
+        .with_chain(vec!["Shl -> s0".into(), "RegWrite r".into()]);
+        let text = d.to_string();
+        assert!(text.contains("S4L005 error"));
+        assert!(text.contains("via Shl"));
+        let json = d.to_json();
+        assert!(json.contains("\"code\":\"S4L005\""));
+        assert!(json.contains("\"severity\":\"error\""));
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

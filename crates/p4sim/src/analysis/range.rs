@@ -1,0 +1,1110 @@
+//! Abstract-interpretation value-range / bit-width analysis.
+//!
+//! Walks the control tree once (programs are loop-free by
+//! construction), carrying a `[lo, hi]` interval per PHV field, and
+//! checks the paper's arithmetic — `N·Xsumsq`, `Xsum²`, the `Xsumsq +=
+//! 2f+1` moment update, `2·σ` thresholds — against the configured
+//! register and PHV widths:
+//!
+//! - a **register store** whose value *provably* exceeds the register
+//!   width is an error ([`LintCode::WidthTruncation`]); one that merely
+//!   *cannot be proven* to fit is recorded as info
+//!   ([`LintCode::WidthUnproven`]) together with the primitive chain
+//!   that produced the value;
+//! - a **multiplication or constant shift** whose result interval
+//!   crosses the 64-bit PHV word is reported
+//!   ([`LintCode::MulOverflow`] / [`LintCode::ShiftOverflow`]; error
+//!   when certain, info when merely possible);
+//! - a **register index** that can (or provably does) fall outside the
+//!   register's cells is reported ([`LintCode::RegisterIndexRange`]).
+//!
+//! Two deliberate tolerances keep the analysis aligned with P4 idiom
+//! rather than noisy:
+//!
+//! - **`Add`/`Sub` wraparound is never diagnosed.** Wrapping add is how
+//!   P4 programs encode negative offsets (the echo app maps `[-255,
+//!   255]` payloads with `payload + 255`) and `0 - t` builds all-ones
+//!   masks in the unrolled multiplier; the interval simply widens.
+//! - **Modular accumulators are accepted.** A value read from register
+//!   `R` and written back to `R` after additive updates is a counter;
+//!   every counter eventually wraps its width, and flagging that would
+//!   flag every program in existence. Such stores count as
+//!   `modular_accumulators` in the summary instead.
+//!
+//! Values read from registers are bounded by the register width (the
+//! interpreter masks on write), table action data by the entries
+//! installed at analysis time (unknown slots widen to the full word),
+//! and parser-populated header fields by the full 64-bit word. Scratch
+//! metadata starts at zero — unless the program recirculates, in which
+//! case a second pass may observe leftovers and every field starts
+//! unconstrained.
+
+use super::diag::{Diagnostic, LintCode, Severity};
+use crate::action::{Operand, Primitive};
+use crate::control::{CmpOp, Cond, Control};
+use crate::phv::{fields, FieldId};
+use crate::pipeline::Pipeline;
+use std::collections::HashMap;
+
+const WORD: u128 = 1u128 << 64;
+const U64M: u128 = WORD - 1;
+
+/// How many producing primitives a value remembers (diagnostics show
+/// the tail of longer chains).
+const CHAIN_CAP: usize = 6;
+
+/// A closed interval of possible `u64` values (`hi <= u64::MAX` after
+/// normalisation; transient results use the full `u128`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Smallest possible value.
+    pub lo: u128,
+    /// Largest possible value.
+    pub hi: u128,
+}
+
+impl Interval {
+    /// The single value `v`.
+    #[must_use]
+    pub const fn exact(v: u64) -> Self {
+        Self {
+            lo: v as u128,
+            hi: v as u128,
+        }
+    }
+
+    /// The full 64-bit word.
+    #[must_use]
+    pub const fn full() -> Self {
+        Self { lo: 0, hi: U64M }
+    }
+
+    /// `[lo, hi]`.
+    #[must_use]
+    pub const fn new(lo: u64, hi: u64) -> Self {
+        Self {
+            lo: lo as u128,
+            hi: hi as u128,
+        }
+    }
+
+    /// Smallest interval containing both.
+    #[must_use]
+    pub fn hull(self, other: Self) -> Self {
+        Self {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Wraps a transient result back into the 64-bit word: exact when
+    /// the whole interval wrapped once, the full word when it straddles
+    /// the boundary.
+    fn normalized(self) -> Self {
+        if self.hi <= U64M {
+            self
+        } else if self.lo >= WORD && self.hi < 2 * WORD {
+            Self {
+                lo: self.lo - WORD,
+                hi: self.hi - WORD,
+            }
+        } else {
+            Self::full()
+        }
+    }
+
+    /// Whether any value exceeds the 64-bit word before normalisation.
+    fn overflows_word(self) -> bool {
+        self.hi >= WORD
+    }
+
+    /// Whether every value exceeds the 64-bit word.
+    fn certainly_overflows_word(self) -> bool {
+        self.lo >= WORD
+    }
+}
+
+/// Smallest all-ones value covering `x` (e.g. 5 -> 7).
+fn ones_cover(x: u128) -> u128 {
+    let x = x.min(U64M);
+    if x == 0 {
+        0
+    } else {
+        let bits = 128 - x.leading_zeros();
+        (1u128 << bits) - 1
+    }
+}
+
+fn msb_index(x: u128) -> u128 {
+    if x == 0 {
+        0
+    } else {
+        u128::from(127 - x.leading_zeros())
+    }
+}
+
+/// An abstract value: interval, provenance chain, and — for the
+/// modular-accumulator tolerance — the register whose (width-bounded)
+/// read the value additively derives from.
+#[derive(Debug, Clone)]
+struct AbsVal {
+    iv: Interval,
+    acc: Option<usize>,
+    chain: Vec<String>,
+}
+
+impl AbsVal {
+    fn of(iv: Interval) -> Self {
+        Self {
+            iv,
+            acc: None,
+            chain: Vec::new(),
+        }
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        Self {
+            iv: self.iv.hull(other.iv),
+            acc: if self.acc == other.acc { self.acc } else { None },
+            chain: if self.chain.len() <= other.chain.len() {
+                self.chain.clone()
+            } else {
+                other.chain.clone()
+            },
+        }
+    }
+}
+
+fn push_chain(chain: &mut Vec<String>, entry: String) {
+    chain.push(entry);
+    if chain.len() > CHAIN_CAP {
+        let drop = chain.len() - CHAIN_CAP;
+        chain.drain(..drop);
+    }
+}
+
+fn merged_chain(a: &AbsVal, b: &AbsVal, entry: String) -> Vec<String> {
+    let mut chain = a.chain.clone();
+    for c in &b.chain {
+        if !chain.contains(c) {
+            chain.push(c.clone());
+        }
+    }
+    let mut out = chain;
+    push_chain(&mut out, entry);
+    out
+}
+
+/// Per-field abstract state.
+type State = HashMap<FieldId, AbsVal>;
+
+/// Counters summarising what the analysis could prove.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RangeSummary {
+    /// Register stores examined.
+    pub register_writes: usize,
+    /// Stores proven to fit the register width.
+    pub proven_fits: usize,
+    /// Stores accepted as intentional modular counters (read-modify-
+    /// write of the same register).
+    pub modular_accumulators: usize,
+    /// Stores neither proven nor accepted (info diagnostics).
+    pub unproven: usize,
+}
+
+/// Per-slot action-data bounds known at analysis time.
+type DataBounds = Vec<Option<(u64, u64)>>;
+
+struct Analyzer<'p> {
+    p: &'p Pipeline,
+    diags: Vec<Diagnostic>,
+    stats: RangeSummary,
+    recirculates: bool,
+}
+
+fn has_recirculate(c: &Control) -> bool {
+    match c {
+        Control::Recirculate => true,
+        Control::Seq(children) => children.iter().any(has_recirculate),
+        Control::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            has_recirculate(then_branch)
+                || else_branch.as_deref().is_some_and(has_recirculate)
+        }
+        _ => false,
+    }
+}
+
+impl Analyzer<'_> {
+    fn initial(&self, f: FieldId) -> AbsVal {
+        if self.recirculates || f.0 < fields::M0.0 {
+            // Parser-populated headers and metadata: anything the wire
+            // can carry. (With recirculation, scratch survives passes.)
+            AbsVal::of(Interval::full())
+        } else {
+            AbsVal::of(Interval::exact(0))
+        }
+    }
+
+    fn field(&self, state: &State, f: FieldId) -> AbsVal {
+        state.get(&f).cloned().unwrap_or_else(|| self.initial(f))
+    }
+
+    fn operand(&self, state: &State, op: &Operand, data: &DataBounds) -> AbsVal {
+        match op {
+            Operand::Const(c) => AbsVal::of(Interval::exact(*c)),
+            Operand::Field(f) => self.field(state, *f),
+            Operand::Data(n) => match data.get(*n).copied().flatten() {
+                Some((lo, hi)) => AbsVal {
+                    iv: Interval::new(lo, hi),
+                    acc: None,
+                    chain: vec![format!("data[{n}]")],
+                },
+                None => AbsVal {
+                    iv: Interval::full(),
+                    acc: None,
+                    chain: vec![format!("data[{n}] (controller-installed, unbounded)")],
+                },
+            },
+        }
+    }
+
+    fn reg_mask(&self, r: usize) -> u128 {
+        let w = self.p.registers()[r].width_bits;
+        if w >= 64 {
+            U64M
+        } else {
+            (1u128 << w) - 1
+        }
+    }
+
+    fn check_index(&mut self, idx: &AbsVal, r: usize, ctx: &str) {
+        let len = self.p.registers()[r].cells.len() as u128;
+        let name = &self.p.registers()[r].name;
+        if idx.iv.lo >= len {
+            self.diags.push(
+                Diagnostic::new(
+                    LintCode::RegisterIndexRange,
+                    Severity::Error,
+                    ctx.to_string(),
+                    format!(
+                        "index into register `{name}` is provably out of bounds: [{}, {}] vs {len} cells",
+                        idx.iv.lo, idx.iv.hi
+                    ),
+                )
+                .with_chain(idx.chain.clone()),
+            );
+        } else if idx.iv.hi >= len {
+            self.diags.push(
+                Diagnostic::new(
+                    LintCode::RegisterIndexRange,
+                    Severity::Info,
+                    ctx.to_string(),
+                    format!(
+                        "index into register `{name}` not proven in bounds: [{}, {}] vs {len} cells",
+                        idx.iv.lo, idx.iv.hi
+                    ),
+                )
+                .with_chain(idx.chain.clone()),
+            );
+        }
+    }
+
+    /// Reports possible/certain wrap of the 64-bit PHV word for an
+    /// un-normalised result.
+    fn check_word(&mut self, code: LintCode, raw: Interval, chain: &[String], ctx: &str, what: &str) {
+        if raw.certainly_overflows_word() {
+            self.diags.push(
+                Diagnostic::new(
+                    LintCode::WidthTruncation,
+                    Severity::Error,
+                    ctx.to_string(),
+                    format!("{what} provably exceeds the 64-bit PHV word: [{}, {}]", raw.lo, raw.hi),
+                )
+                .with_chain(chain.to_vec()),
+            );
+        } else if raw.overflows_word() {
+            self.diags.push(
+                Diagnostic::new(
+                    code,
+                    Severity::Info,
+                    ctx.to_string(),
+                    format!("{what} can exceed the 64-bit PHV word: [{}, {}]", raw.lo, raw.hi),
+                )
+                .with_chain(chain.to_vec()),
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_lines)] // one arm per primitive, mirroring the interpreter
+    fn eval_action(&mut self, state: &mut State, action_id: usize, data: &DataBounds, ctx: &str) {
+        let Some(action) = self.p.actions().get(action_id) else {
+            return;
+        };
+        let primitives = action.primitives.clone();
+        for (i, prim) in primitives.iter().enumerate() {
+            let pctx = format!("{ctx}, primitive #{i}");
+            match prim {
+                Primitive::Set { dst, src } => {
+                    let mut v = self.operand(state, src, data);
+                    push_chain(&mut v.chain, format!("Set -> f{}", dst.0));
+                    state.insert(*dst, v);
+                }
+                Primitive::Add { dst, a, b } => {
+                    let va = self.operand(state, a, data);
+                    let vb = self.operand(state, b, data);
+                    let raw = Interval {
+                        lo: va.iv.lo + vb.iv.lo,
+                        hi: va.iv.hi + vb.iv.hi,
+                    };
+                    // Wrapping add is P4 idiom (negative encodings);
+                    // never diagnosed, interval widens.
+                    let acc = match (va.acc, vb.acc) {
+                        (Some(r), None) | (None, Some(r)) => Some(r),
+                        (Some(r1), Some(r2)) if r1 == r2 => Some(r1),
+                        _ => None,
+                    };
+                    let chain = merged_chain(&va, &vb, format!("Add -> f{}", dst.0));
+                    state.insert(
+                        *dst,
+                        AbsVal {
+                            iv: raw.normalized(),
+                            acc,
+                            chain,
+                        },
+                    );
+                }
+                Primitive::Sub { dst, a, b } => {
+                    let va = self.operand(state, a, data);
+                    let vb = self.operand(state, b, data);
+                    // Wrapping sub builds masks (`0 - t`); never
+                    // diagnosed.
+                    let iv = if va.iv.lo >= vb.iv.hi {
+                        Interval {
+                            lo: va.iv.lo - vb.iv.hi,
+                            hi: va.iv.hi - vb.iv.lo,
+                        }
+                    } else {
+                        Interval::full()
+                    };
+                    let acc = va.acc;
+                    let chain = merged_chain(&va, &vb, format!("Sub -> f{}", dst.0));
+                    state.insert(*dst, AbsVal { iv, acc, chain });
+                }
+                Primitive::Mul { dst, a, b } => {
+                    let va = self.operand(state, a, data);
+                    let vb = self.operand(state, b, data);
+                    let raw = Interval {
+                        lo: va.iv.lo.saturating_mul(vb.iv.lo),
+                        hi: va.iv.hi.saturating_mul(vb.iv.hi),
+                    };
+                    let chain = merged_chain(&va, &vb, format!("Mul -> f{}", dst.0));
+                    self.check_word(LintCode::MulOverflow, raw, &chain, &pctx, "product");
+                    state.insert(
+                        *dst,
+                        AbsVal {
+                            iv: raw.normalized(),
+                            acc: None,
+                            chain,
+                        },
+                    );
+                }
+                Primitive::And { dst, a, b } => {
+                    let va = self.operand(state, a, data);
+                    let vb = self.operand(state, b, data);
+                    let iv = Interval {
+                        lo: 0,
+                        hi: va.iv.hi.min(vb.iv.hi),
+                    };
+                    let chain = merged_chain(&va, &vb, format!("And -> f{}", dst.0));
+                    state.insert(*dst, AbsVal { iv, acc: None, chain });
+                }
+                Primitive::Or { dst, a, b } => {
+                    let va = self.operand(state, a, data);
+                    let vb = self.operand(state, b, data);
+                    let iv = Interval {
+                        lo: va.iv.lo.max(vb.iv.lo),
+                        hi: ones_cover(va.iv.hi.max(vb.iv.hi)),
+                    };
+                    let chain = merged_chain(&va, &vb, format!("Or -> f{}", dst.0));
+                    state.insert(*dst, AbsVal { iv, acc: None, chain });
+                }
+                Primitive::Xor { dst, a, b } => {
+                    let va = self.operand(state, a, data);
+                    let vb = self.operand(state, b, data);
+                    let iv = Interval {
+                        lo: 0,
+                        hi: ones_cover(va.iv.hi.max(vb.iv.hi)),
+                    };
+                    let chain = merged_chain(&va, &vb, format!("Xor -> f{}", dst.0));
+                    state.insert(*dst, AbsVal { iv, acc: None, chain });
+                }
+                Primitive::Not { dst, src } => {
+                    let v = self.operand(state, src, data);
+                    let iv = Interval {
+                        lo: U64M - v.iv.hi.min(U64M),
+                        hi: U64M - v.iv.lo.min(U64M),
+                    };
+                    let mut chain = v.chain;
+                    push_chain(&mut chain, format!("Not -> f{}", dst.0));
+                    state.insert(*dst, AbsVal { iv, acc: None, chain });
+                }
+                Primitive::Shl { dst, src, amount } => {
+                    let v = self.operand(state, src, data);
+                    let am = self.operand(state, amount, data);
+                    let chain = merged_chain(&v, &am, format!("Shl -> f{}", dst.0));
+                    let iv = if am.iv.lo >= 64 {
+                        // Every distance is out of range: the
+                        // interpreter yields 0.
+                        Interval::exact(0)
+                    } else {
+                        let klo = u32::try_from(am.iv.lo).unwrap_or(63);
+                        let raw = if am.iv.hi >= 64 {
+                            // Some distances wrap to 0, others shift
+                            // by up to the maximal in-range 63.
+                            Interval {
+                                lo: 0,
+                                hi: v.iv.hi << 63,
+                            }
+                        } else {
+                            let khi = u32::try_from(am.iv.hi).unwrap_or(63);
+                            Interval {
+                                lo: v.iv.lo << klo,
+                                hi: v.iv.hi << khi,
+                            }
+                        };
+                        self.check_word(LintCode::ShiftOverflow, raw, &chain, &pctx, "shifted value");
+                        raw.normalized()
+                    };
+                    state.insert(*dst, AbsVal { iv, acc: None, chain });
+                }
+                Primitive::Shr { dst, src, amount } => {
+                    let v = self.operand(state, src, data);
+                    let am = self.operand(state, amount, data);
+                    let chain = merged_chain(&v, &am, format!("Shr -> f{}", dst.0));
+                    let iv = if am.iv.lo >= 64 {
+                        Interval::exact(0)
+                    } else {
+                        let klo = u32::try_from(am.iv.lo).unwrap_or(63);
+                        let lo = if am.iv.hi >= 64 {
+                            0
+                        } else {
+                            v.iv.lo >> u32::try_from(am.iv.hi).unwrap_or(63)
+                        };
+                        Interval {
+                            lo,
+                            hi: v.iv.hi >> klo,
+                        }
+                    };
+                    state.insert(*dst, AbsVal { iv, acc: None, chain });
+                }
+                Primitive::Min { dst, a, b } => {
+                    let va = self.operand(state, a, data);
+                    let vb = self.operand(state, b, data);
+                    let iv = Interval {
+                        lo: va.iv.lo.min(vb.iv.lo),
+                        hi: va.iv.hi.min(vb.iv.hi),
+                    };
+                    let chain = merged_chain(&va, &vb, format!("Min -> f{}", dst.0));
+                    state.insert(*dst, AbsVal { iv, acc: None, chain });
+                }
+                Primitive::Max { dst, a, b } => {
+                    let va = self.operand(state, a, data);
+                    let vb = self.operand(state, b, data);
+                    let iv = Interval {
+                        lo: va.iv.lo.max(vb.iv.lo),
+                        hi: va.iv.hi.max(vb.iv.hi),
+                    };
+                    let chain = merged_chain(&va, &vb, format!("Max -> f{}", dst.0));
+                    state.insert(*dst, AbsVal { iv, acc: None, chain });
+                }
+                Primitive::Msb { dst, src } => {
+                    let v = self.operand(state, src, data);
+                    let iv = Interval {
+                        lo: msb_index(v.iv.lo),
+                        hi: msb_index(v.iv.hi),
+                    };
+                    let mut chain = v.chain;
+                    push_chain(&mut chain, format!("Msb -> f{}", dst.0));
+                    state.insert(*dst, AbsVal { iv, acc: None, chain });
+                }
+                Primitive::Hash {
+                    dst, width_log2, ..
+                } => {
+                    // The interpreter clamps the width to [1, 63].
+                    let w = (*width_log2).clamp(1, 63);
+                    let iv = Interval {
+                        lo: 0,
+                        hi: (1u128 << w) - 1,
+                    };
+                    state.insert(
+                        *dst,
+                        AbsVal {
+                            iv,
+                            acc: None,
+                            chain: vec![format!("Hash -> f{}", dst.0)],
+                        },
+                    );
+                }
+                Primitive::RegRead {
+                    dst,
+                    register,
+                    index,
+                } => {
+                    let idx = self.operand(state, index, data);
+                    self.check_index(&idx, *register, &pctx);
+                    let name = self.p.registers()[*register].name.clone();
+                    state.insert(
+                        *dst,
+                        AbsVal {
+                            iv: Interval {
+                                lo: 0,
+                                hi: self.reg_mask(*register),
+                            },
+                            acc: Some(*register),
+                            chain: vec![format!("RegRead[{name}] -> f{}", dst.0)],
+                        },
+                    );
+                }
+                Primitive::RegWrite {
+                    register,
+                    index,
+                    src,
+                } => {
+                    let idx = self.operand(state, index, data);
+                    self.check_index(&idx, *register, &pctx);
+                    let v = self.operand(state, src, data);
+                    let mask = self.reg_mask(*register);
+                    let name = self.p.registers()[*register].name.clone();
+                    let width = self.p.registers()[*register].width_bits;
+                    self.stats.register_writes += 1;
+                    if v.iv.hi <= mask {
+                        self.stats.proven_fits += 1;
+                    } else if v.acc == Some(*register) {
+                        // Read-modify-write of the same register: an
+                        // intentional modular counter.
+                        self.stats.modular_accumulators += 1;
+                    } else if v.iv.lo > mask {
+                        self.stats.unproven += 1;
+                        self.diags.push(
+                            Diagnostic::new(
+                                LintCode::WidthTruncation,
+                                Severity::Error,
+                                pctx.clone(),
+                                format!(
+                                    "store into `{name}` ({width} bits) provably truncates: value in [{}, {}]",
+                                    v.iv.lo, v.iv.hi
+                                ),
+                            )
+                            .with_chain(v.chain.clone()),
+                        );
+                    } else {
+                        self.stats.unproven += 1;
+                        self.diags.push(
+                            Diagnostic::new(
+                                LintCode::WidthUnproven,
+                                Severity::Info,
+                                pctx.clone(),
+                                format!(
+                                    "store into `{name}` ({width} bits) not proven to fit: value in [{}, {}]",
+                                    v.iv.lo, v.iv.hi
+                                ),
+                            )
+                            .with_chain(v.chain.clone()),
+                        );
+                    }
+                }
+                Primitive::Digest { .. }
+                | Primitive::Forward { .. }
+                | Primitive::Drop => {}
+            }
+        }
+    }
+
+    /// Per-slot `[min, max]` over the action data this table can supply
+    /// to `action` (installed entries plus the default).
+    fn data_bounds(&self, t: usize, action: usize) -> DataBounds {
+        let table = &self.p.tables()[t];
+        let mut sources: Vec<&[u64]> = table
+            .entries()
+            .iter()
+            .filter(|e| e.action == action)
+            .map(|e| e.action_data.as_slice())
+            .collect();
+        if let Some((a, data)) = &table.def.default_action {
+            if *a == action {
+                sources.push(data.as_slice());
+            }
+        }
+        // An empty table with no default cannot run the action at all,
+        // but the controller may install entries later with any data:
+        // unknown slots stay unbounded unless every source bounds them.
+        let slots = self
+            .p
+            .actions()
+            .get(action)
+            .map(crate::action::ActionDef::data_slots_required)
+            .unwrap_or(0);
+        let mut out: DataBounds = vec![None; slots];
+        if sources.is_empty() {
+            return out;
+        }
+        for (slot, bound) in out.iter_mut().enumerate() {
+            let mut lo = u64::MAX;
+            let mut hi = 0u64;
+            let mut all = true;
+            for s in &sources {
+                match s.get(slot) {
+                    Some(v) => {
+                        lo = lo.min(*v);
+                        hi = hi.max(*v);
+                    }
+                    None => all = false,
+                }
+            }
+            if all {
+                *bound = Some((lo, hi));
+            }
+        }
+        // Tables with spare capacity can still receive entries with
+        // arbitrary data from the controller; only a full table (or a
+        // keyless always-default table) pins the bounds.
+        let runtime_extensible =
+            !table.def.keys.is_empty() && table.entries().len() < table.def.max_entries;
+        if runtime_extensible {
+            out.fill(None);
+        }
+        out
+    }
+
+    fn constrain(iv: Interval, op: CmpOp, c: u128) -> Interval {
+        let mut out = iv;
+        match op {
+            CmpOp::Eq => {
+                out = Interval { lo: c, hi: c };
+            }
+            CmpOp::Ne => {}
+            CmpOp::Lt => {
+                if c > 0 {
+                    out.hi = out.hi.min(c - 1);
+                }
+            }
+            CmpOp::Le => out.hi = out.hi.min(c),
+            CmpOp::Gt => out.lo = out.lo.max(c + 1),
+            CmpOp::Ge => out.lo = out.lo.max(c),
+        }
+        if out.lo > out.hi {
+            // Statically infeasible branch; keep the unrefined interval
+            // (sound, just less precise).
+            iv
+        } else {
+            out
+        }
+    }
+
+    fn negate(op: CmpOp) -> CmpOp {
+        match op {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// Applies `cond` (or its negation) to a branch-entry state.
+    fn refine(&self, state: &mut State, cond: &Cond, taken: bool) {
+        let (f, op, c) = match (&cond.a, &cond.b) {
+            (Operand::Field(f), Operand::Const(c)) => (*f, cond.op, u128::from(*c)),
+            (Operand::Const(c), Operand::Field(f)) => {
+                // `c op f` mirrored to `f op' c`.
+                let mirrored = match cond.op {
+                    CmpOp::Lt => CmpOp::Gt,
+                    CmpOp::Le => CmpOp::Ge,
+                    CmpOp::Gt => CmpOp::Lt,
+                    CmpOp::Ge => CmpOp::Le,
+                    other => other,
+                };
+                (*f, mirrored, u128::from(*c))
+            }
+            _ => return,
+        };
+        let op = if taken { op } else { Self::negate(op) };
+        let mut v = self.field(state, f);
+        v.iv = Self::constrain(v.iv, op, c);
+        state.insert(f, v);
+    }
+
+    fn join_states(a: &State, b: &State, init: &dyn Fn(FieldId) -> AbsVal) -> State {
+        let mut out = State::new();
+        let keys: std::collections::BTreeSet<FieldId> =
+            a.keys().chain(b.keys()).copied().collect();
+        for k in keys {
+            let va = a.get(&k).cloned().unwrap_or_else(|| init(k));
+            let vb = b.get(&k).cloned().unwrap_or_else(|| init(k));
+            out.insert(k, va.join(&vb));
+        }
+        out
+    }
+
+    fn walk(&mut self, c: &Control, state: &mut State) {
+        match c {
+            Control::Nop | Control::Exit | Control::Recirculate => {}
+            Control::Seq(children) => {
+                for child in children {
+                    self.walk(child, state);
+                }
+            }
+            Control::ApplyAction(a) => {
+                let name = self
+                    .p
+                    .actions()
+                    .get(*a)
+                    .map_or_else(|| format!("#{a}"), |x| x.name.clone());
+                let ctx = format!("action `{name}`");
+                self.eval_action(state, *a, &Vec::new(), &ctx);
+            }
+            Control::ApplyTable(t) => {
+                let table_name = self.p.tables()[*t].def.name.clone();
+                let actions = super::tdg::table_actions(self.p, *t);
+                let mut results: Vec<State> = Vec::new();
+                // A table with no default can miss without running any
+                // action: the incoming state survives.
+                if self.p.tables()[*t].def.default_action.is_none() {
+                    results.push(state.clone());
+                }
+                let mut seen = std::collections::BTreeSet::new();
+                for a in actions {
+                    if !seen.insert(a) {
+                        continue;
+                    }
+                    let data = self.data_bounds(*t, a);
+                    let name = self
+                        .p
+                        .actions()
+                        .get(a)
+                        .map_or_else(|| format!("#{a}"), |x| x.name.clone());
+                    let ctx = format!("action `{name}` (table `{table_name}`)");
+                    let mut s = state.clone();
+                    self.eval_action(&mut s, a, &data, &ctx);
+                    results.push(s);
+                }
+                if let Some(first) = results.first() {
+                    let recirc = self.recirculates;
+                    let init = move |f: FieldId| {
+                        if recirc || f.0 < fields::M0.0 {
+                            AbsVal::of(Interval::full())
+                        } else {
+                            AbsVal::of(Interval::exact(0))
+                        }
+                    };
+                    let mut joined = first.clone();
+                    for s in &results[1..] {
+                        joined = Self::join_states(&joined, s, &init);
+                    }
+                    *state = joined;
+                }
+            }
+            Control::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let mut then_state = state.clone();
+                self.refine(&mut then_state, cond, true);
+                self.walk(then_branch, &mut then_state);
+                let mut else_state = state.clone();
+                self.refine(&mut else_state, cond, false);
+                if let Some(e) = else_branch {
+                    self.walk(e, &mut else_state);
+                }
+                let recirc = self.recirculates;
+                let init = move |f: FieldId| {
+                    if recirc || f.0 < fields::M0.0 {
+                        AbsVal::of(Interval::full())
+                    } else {
+                        AbsVal::of(Interval::exact(0))
+                    }
+                };
+                *state = Self::join_states(&then_state, &else_state, &init);
+            }
+        }
+    }
+}
+
+/// Runs the range analysis, appending findings to `diags`.
+#[must_use]
+pub fn analyze_ranges(p: &Pipeline, diags: &mut Vec<Diagnostic>) -> RangeSummary {
+    let mut a = Analyzer {
+        p,
+        diags: Vec::new(),
+        stats: RangeSummary::default(),
+        recirculates: has_recirculate(p.control()),
+    };
+    let mut state = State::new();
+    let control = p.control().clone();
+    a.walk(&control, &mut state);
+    diags.append(&mut a.diags);
+    a.stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::ActionDef;
+    use crate::program::ProgramBuilder;
+    use crate::target::TargetModel;
+
+    fn run(build: impl FnOnce(&mut ProgramBuilder)) -> (Vec<Diagnostic>, RangeSummary) {
+        let mut b = ProgramBuilder::new();
+        build(&mut b);
+        let p = b.build(TargetModel::bmv2()).unwrap();
+        let mut diags = Vec::new();
+        let stats = analyze_ranges(&p, &mut diags);
+        (diags, stats)
+    }
+
+    #[test]
+    fn certain_truncation_is_an_error_with_chain() {
+        let (diags, stats) = run(|b| {
+            let r = b.add_register("narrow", 16, 4);
+            let a = b.add_action(ActionDef::new(
+                "blow",
+                vec![
+                    Primitive::Shl {
+                        dst: fields::M0,
+                        src: Operand::Const(1),
+                        amount: Operand::Const(40),
+                    },
+                    Primitive::RegWrite {
+                        register: r,
+                        index: Operand::Const(0),
+                        src: Operand::Field(fields::M0),
+                    },
+                ],
+            ));
+            b.set_control(Control::ApplyAction(a));
+        });
+        let d = diags
+            .iter()
+            .find(|d| d.code == LintCode::WidthTruncation)
+            .expect("truncation found");
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.chain.iter().any(|c| c.starts_with("Shl")), "{:?}", d.chain);
+        assert_eq!(stats.unproven, 1);
+    }
+
+    #[test]
+    fn modular_accumulator_is_tolerated() {
+        // 32-bit register: the +1 can exceed the width, but the value
+        // derives from this register's own read, so it is a counter.
+        let (diags, stats) = run(|b| {
+            let r = b.add_register("ctr", 32, 1);
+            let a = b.add_action(ActionDef::new(
+                "bump",
+                vec![
+                    Primitive::RegRead {
+                        dst: fields::M0,
+                        register: r,
+                        index: Operand::Const(0),
+                    },
+                    Primitive::Add {
+                        dst: fields::M0,
+                        a: Operand::Field(fields::M0),
+                        b: Operand::Const(1),
+                    },
+                    Primitive::RegWrite {
+                        register: r,
+                        index: Operand::Const(0),
+                        src: Operand::Field(fields::M0),
+                    },
+                ],
+            ));
+            b.set_control(Control::ApplyAction(a));
+        });
+        assert!(
+            diags.iter().all(|d| d.severity < Severity::Warning),
+            "{diags:?}"
+        );
+        assert_eq!(stats.modular_accumulators, 1);
+        assert_eq!(stats.register_writes, 1);
+    }
+
+    #[test]
+    fn cross_register_store_with_wide_value_is_unproven_info() {
+        let (diags, _) = run(|b| {
+            let src = b.add_register("wide", 64, 1);
+            let dst = b.add_register("narrow", 32, 1);
+            let a = b.add_action(ActionDef::new(
+                "mv",
+                vec![
+                    Primitive::RegRead {
+                        dst: fields::M0,
+                        register: src,
+                        index: Operand::Const(0),
+                    },
+                    Primitive::RegWrite {
+                        register: dst,
+                        index: Operand::Const(0),
+                        src: Operand::Field(fields::M0),
+                    },
+                ],
+            ));
+            b.set_control(Control::ApplyAction(a));
+        });
+        let d = diags
+            .iter()
+            .find(|d| d.code == LintCode::WidthUnproven)
+            .expect("unproven store");
+        assert_eq!(d.severity, Severity::Info);
+    }
+
+    #[test]
+    fn narrow_source_store_is_proven() {
+        let (diags, stats) = run(|b| {
+            let src = b.add_register("narrow", 16, 1);
+            let dst = b.add_register("wide", 32, 1);
+            let a = b.add_action(ActionDef::new(
+                "mv",
+                vec![
+                    Primitive::RegRead {
+                        dst: fields::M0,
+                        register: src,
+                        index: Operand::Const(0),
+                    },
+                    Primitive::RegWrite {
+                        register: dst,
+                        index: Operand::Const(0),
+                        src: Operand::Field(fields::M0),
+                    },
+                ],
+            ));
+            b.set_control(Control::ApplyAction(a));
+        });
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(stats.proven_fits, 1);
+    }
+
+    #[test]
+    fn branch_refinement_narrows_intervals() {
+        // M0 = payload (full range); in the `<= 100` branch a 7-bit
+        // store is provable... but only thanks to the refinement.
+        let (diags, stats) = run(|b| {
+            let r = b.add_register("small", 7, 1);
+            let load = b.add_action(ActionDef::new(
+                "load",
+                vec![Primitive::Set {
+                    dst: fields::M0,
+                    src: Operand::Field(fields::PAYLOAD_VALUE),
+                }],
+            ));
+            let store = b.add_action(ActionDef::new(
+                "store",
+                vec![Primitive::RegWrite {
+                    register: r,
+                    index: Operand::Const(0),
+                    src: Operand::Field(fields::M0),
+                }],
+            ));
+            b.set_control(Control::Seq(vec![
+                Control::ApplyAction(load),
+                Control::If {
+                    cond: Cond::new(Operand::Field(fields::M0), CmpOp::Le, Operand::Const(100)),
+                    then_branch: Box::new(Control::ApplyAction(store)),
+                    else_branch: None,
+                },
+            ]));
+        });
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(stats.proven_fits, 1);
+    }
+
+    #[test]
+    fn certain_mul_overflow_is_error() {
+        let (diags, _) = run(|b| {
+            let a = b.add_action(ActionDef::new(
+                "big",
+                vec![Primitive::Mul {
+                    dst: fields::M0,
+                    a: Operand::Const(1 << 33),
+                    b: Operand::Const(1 << 33),
+                }],
+            ));
+            b.set_control(Control::ApplyAction(a));
+        });
+        assert!(diags
+            .iter()
+            .any(|d| d.code == LintCode::WidthTruncation && d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn possible_mul_overflow_is_info() {
+        let (diags, _) = run(|b| {
+            let a = b.add_action(ActionDef::new(
+                "maybe",
+                vec![Primitive::Mul {
+                    dst: fields::M0,
+                    a: Operand::Field(fields::PAYLOAD_VALUE),
+                    b: Operand::Const(2),
+                }],
+            ));
+            b.set_control(Control::ApplyAction(a));
+        });
+        let d = diags
+            .iter()
+            .find(|d| d.code == LintCode::MulOverflow)
+            .expect("possible overflow recorded");
+        assert_eq!(d.severity, Severity::Info);
+    }
+
+    #[test]
+    fn certain_index_oob_is_error() {
+        let (diags, _) = run(|b| {
+            let r = b.add_register("tiny", 64, 2);
+            let a = b.add_action(ActionDef::new(
+                "oob",
+                vec![Primitive::RegWrite {
+                    register: r,
+                    index: Operand::Const(5),
+                    src: Operand::Const(0),
+                }],
+            ));
+            b.set_control(Control::ApplyAction(a));
+        });
+        assert!(diags
+            .iter()
+            .any(|d| d.code == LintCode::RegisterIndexRange && d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn hash_proves_index_bounds() {
+        let (diags, _) = run(|b| {
+            let r = b.add_register("sketch", 32, 1 << 10);
+            let a = b.add_action(ActionDef::new(
+                "row",
+                vec![
+                    Primitive::Hash {
+                        dst: fields::M0,
+                        src: Operand::Field(fields::IPV4_DST),
+                        salt: 7,
+                        width_log2: 10,
+                    },
+                    Primitive::RegWrite {
+                        register: r,
+                        index: Operand::Field(fields::M0),
+                        src: Operand::Const(1),
+                    },
+                ],
+            ));
+            b.set_control(Control::ApplyAction(a));
+        });
+        assert!(
+            diags.iter().all(|d| d.code != LintCode::RegisterIndexRange),
+            "{diags:?}"
+        );
+    }
+}

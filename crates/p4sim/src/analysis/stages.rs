@@ -1,0 +1,399 @@
+//! PISA stage allocation.
+//!
+//! Consumes the [`TableDepGraph`] and places every control unit into a
+//! pipeline stage under the target's per-stage limits
+//! ([`TargetModel::tables_per_stage`], [`TargetModel::registers_per_stage`]):
+//! a unit goes to the earliest stage after all of its dependency
+//! predecessors, bumped later while the stage is full. Direct (keyless)
+//! actions occupy a stage's VLIW slots but no match-table slot, so only
+//! table nodes count against `tables_per_stage`. Registers count in the
+//! stage where their first accessor lands.
+//!
+//! The allocator also enforces the PISA register discipline — **at most
+//! one read-modify-write point per register per packet path** — on
+//! targets with [`TargetModel::single_register_access`] (it is reported
+//! as a note on software targets, where re-reading a register is merely
+//! slow, not impossible).
+
+use super::diag::{Diagnostic, LintCode, Severity};
+use super::tdg::{paths, Item, NodeKind, TableDepGraph};
+use crate::action::Operand;
+use crate::pipeline::Pipeline;
+use crate::target::TargetModel;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What one stage hosts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageUse {
+    /// Table ids matched in this stage.
+    pub tables: Vec<usize>,
+    /// Direct action ids executed in this stage.
+    pub actions: Vec<usize>,
+    /// Registers whose stateful ALU lives in this stage.
+    pub registers: BTreeSet<usize>,
+}
+
+/// The allocator's result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageAllocation {
+    /// Stage of each TDG node (1-based; index = node id).
+    pub node_stage: Vec<u32>,
+    /// Per-stage contents (index 0 = stage 1).
+    pub stages: Vec<StageUse>,
+    /// Pipeline depth in stages (0 for an empty program).
+    pub depth: u32,
+    /// Whether the depth fits the target's stage count and every unit
+    /// was placeable under the per-stage limits.
+    pub fits: bool,
+}
+
+/// Places the graph's units into stages and reports violations.
+#[must_use]
+pub fn allocate(
+    p: &Pipeline,
+    tdg: &TableDepGraph,
+    target: &TargetModel,
+    diags: &mut Vec<Diagnostic>,
+) -> StageAllocation {
+    let n = tdg.nodes.len();
+    let mut node_stage = vec![0u32; n];
+    let mut stages: Vec<StageUse> = Vec::new();
+    let mut fits = true;
+
+    // The bump loop always terminates: some later stage is empty.
+    let stage_cap = u32::try_from(n).unwrap_or(u32::MAX).saturating_add(1);
+
+    for node in &tdg.nodes {
+        let mut s = 1u32;
+        for e in tdg.preds(node.id) {
+            s = s.max(node_stage[e.from].saturating_add(1));
+        }
+        let is_table = matches!(node.kind, NodeKind::Table { .. });
+        let needed_regs = u32::try_from(node.registers.len()).unwrap_or(u32::MAX);
+        if needed_regs > target.registers_per_stage {
+            diags.push(Diagnostic::new(
+                LintCode::StageResourceUnallocatable,
+                Severity::Error,
+                node.kind.label(),
+                format!(
+                    "unit touches {} distinct registers but the target offers {} per stage — no stage can host it",
+                    node.registers.len(),
+                    target.registers_per_stage
+                ),
+            ));
+            fits = false;
+        } else {
+            loop {
+                let use_at = stages.get(s as usize - 1);
+                let tables_full = is_table
+                    && use_at.is_some_and(|u| {
+                        u32::try_from(u.tables.len()).unwrap_or(u32::MAX) >= target.tables_per_stage
+                    });
+                let regs_full = use_at.is_some_and(|u| {
+                    let new = node.registers.difference(&u.registers).count();
+                    u32::try_from(u.registers.len() + new).unwrap_or(u32::MAX)
+                        > target.registers_per_stage
+                });
+                if (tables_full || regs_full) && s < stage_cap {
+                    s += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        while stages.len() < s as usize {
+            stages.push(StageUse::default());
+        }
+        let slot = &mut stages[s as usize - 1];
+        match node.kind {
+            NodeKind::Table { table, .. } => slot.tables.push(table),
+            NodeKind::Action { action, .. } => slot.actions.push(action),
+        }
+        slot.registers.extend(node.registers.iter().copied());
+        node_stage[node.id] = s;
+    }
+
+    let depth = u32::try_from(stages.len()).unwrap_or(u32::MAX);
+    if depth > target.max_stages {
+        diags.push(Diagnostic::new(
+            LintCode::StageOverflow,
+            Severity::Error,
+            format!("target `{}`", target.name),
+            format!(
+                "stage allocation needs {depth} stages but the target provides {}",
+                target.max_stages
+            ),
+        ));
+        fits = false;
+    }
+
+    register_discipline(p, target, diags);
+
+    StageAllocation {
+        node_stage,
+        stages,
+        depth,
+        fits,
+    }
+}
+
+/// Registers an item of a path touches, via its actions.
+fn item_registers(p: &Pipeline, item: Item) -> BTreeSet<usize> {
+    let actions: Vec<usize> = match item {
+        Item::Table(t) => super::tdg::table_actions(p, t),
+        Item::Action(a) => vec![a],
+    };
+    let mut out = BTreeSet::new();
+    for a in actions {
+        if let Some(action) = p.actions().get(a) {
+            for prim in &action.primitives {
+                if let Some((r, _)) = prim.register_access() {
+                    out.insert(r);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Checks the one-RMW-point-per-register rule, both inside each action
+/// (at most one read and one write, at the same index) and across the
+/// units of every packet path.
+fn register_discipline(p: &Pipeline, target: &TargetModel, diags: &mut Vec<Diagnostic>) {
+    let severity = if target.single_register_access {
+        Severity::Error
+    } else {
+        Severity::Info
+    };
+    let reg_name = |r: usize| {
+        p.registers()
+            .get(r)
+            .map_or_else(|| format!("#{r}"), |reg| reg.name.clone())
+    };
+
+    // Intra-action: group accesses per register.
+    for action in p.actions() {
+        let mut per_reg: BTreeMap<usize, (Vec<&Operand>, Vec<&Operand>)> = BTreeMap::new();
+        for prim in &action.primitives {
+            if let Some((r, is_write)) = prim.register_access() {
+                let entry = per_reg.entry(r).or_default();
+                let index = match prim {
+                    crate::action::Primitive::RegRead { index, .. }
+                    | crate::action::Primitive::RegWrite { index, .. } => index,
+                    _ => continue,
+                };
+                if is_write {
+                    entry.1.push(index);
+                } else {
+                    entry.0.push(index);
+                }
+            }
+        }
+        for (r, (reads, writes)) in per_reg {
+            let rmw_ok = reads.len() <= 1
+                && writes.len() <= 1
+                && match (reads.first(), writes.first()) {
+                    (Some(ri), Some(wi)) => ri == wi,
+                    _ => true,
+                };
+            if !rmw_ok {
+                diags.push(Diagnostic::new(
+                    LintCode::RegisterMultiAccess,
+                    severity,
+                    format!("action `{}`", action.name),
+                    format!(
+                        "register `{}` is accessed {} time(s) for read and {} for write in one action; a stateful ALU performs one read-modify-write at one index",
+                        reg_name(r),
+                        reads.len(),
+                        writes.len()
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Inter-unit: one RMW point per register per packet path.
+    let mut flagged: BTreeSet<usize> = BTreeSet::new();
+    for path in paths(p.control()) {
+        let mut seen: BTreeMap<usize, usize> = BTreeMap::new();
+        for item in path {
+            for r in item_registers(p, item) {
+                *seen.entry(r).or_insert(0) += 1;
+            }
+        }
+        for (r, count) in seen {
+            if count > 1 && flagged.insert(r) {
+                diags.push(Diagnostic::new(
+                    LintCode::RegisterMultiAccess,
+                    severity,
+                    format!("register `{}`", reg_name(r)),
+                    format!(
+                        "touched by {count} tables/actions on one packet path; a PISA register lives in one stage and supports one access per packet"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{ActionDef, Primitive};
+    use crate::control::Control;
+    use crate::phv::fields;
+    use crate::program::ProgramBuilder;
+    use crate::table::{MatchKind, TableDef};
+
+    fn chain_program(n: usize) -> Pipeline {
+        // n tables, each matching on the field the previous one writes.
+        let mut b = ProgramBuilder::new();
+        let mut tabs = Vec::new();
+        for i in 0..n {
+            let w = b.add_action(ActionDef::new(
+                format!("w{i}"),
+                vec![Primitive::Set {
+                    dst: fields::scratch(u16::try_from(i + 1).unwrap() % 20),
+                    src: Operand::Const(1),
+                }],
+            ));
+            tabs.push(b.add_table(TableDef {
+                name: format!("t{i}"),
+                keys: vec![(
+                    fields::scratch(u16::try_from(i).unwrap() % 20),
+                    MatchKind::Exact,
+                )],
+                max_entries: 1,
+                allowed_actions: vec![w],
+                default_action: None,
+            }));
+        }
+        b.set_control(Control::Seq(tabs.into_iter().map(Control::ApplyTable).collect()));
+        b.build(TargetModel::bmv2()).unwrap()
+    }
+
+    #[test]
+    fn dependent_chain_uses_one_stage_per_table() {
+        let p = chain_program(5);
+        let tdg = TableDepGraph::build(&p);
+        let mut diags = Vec::new();
+        let alloc = allocate(&p, &tdg, &TargetModel::bmv2(), &mut diags);
+        assert_eq!(alloc.depth, 5);
+        assert!(alloc.fits);
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn chain_deeper_than_target_overflows() {
+        let p = chain_program(13);
+        let tdg = TableDepGraph::build(&p);
+        let mut diags = Vec::new();
+        let alloc = allocate(&p, &tdg, &TargetModel::tofino_like(), &mut diags);
+        assert_eq!(alloc.depth, 13);
+        assert!(!alloc.fits);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == LintCode::StageOverflow && d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn independent_tables_bump_when_stage_full() {
+        // 3 independent tables under a 2-tables-per-stage cap: depth 2.
+        let mut b = ProgramBuilder::new();
+        let n = b.add_action(ActionDef::new("n", vec![]));
+        let mut tabs = Vec::new();
+        for i in 0..3u16 {
+            tabs.push(b.add_table(TableDef {
+                name: format!("t{i}"),
+                keys: vec![(fields::scratch(i), MatchKind::Exact)],
+                max_entries: 1,
+                allowed_actions: vec![n],
+                default_action: None,
+            }));
+        }
+        b.set_control(Control::Seq(tabs.into_iter().map(Control::ApplyTable).collect()));
+        let p = b.build(TargetModel::bmv2()).unwrap();
+        let tdg = TableDepGraph::build(&p);
+        let target = TargetModel {
+            tables_per_stage: 2,
+            ..TargetModel::tofino_like()
+        };
+        let mut diags = Vec::new();
+        let alloc = allocate(&p, &tdg, &target, &mut diags);
+        assert_eq!(alloc.depth, 2);
+        assert_eq!(alloc.stages[0].tables.len(), 2);
+        assert_eq!(alloc.stages[1].tables.len(), 1);
+        assert!(alloc.fits);
+    }
+
+    #[test]
+    fn double_register_access_flagged_on_hardware_only() {
+        let mut b = ProgramBuilder::new();
+        let r = b.add_register("shared", 32, 4);
+        let mk = |name: &str| {
+            ActionDef::new(
+                name,
+                vec![
+                    Primitive::RegRead {
+                        dst: fields::M0,
+                        register: r,
+                        index: Operand::Const(0),
+                    },
+                    Primitive::RegWrite {
+                        register: r,
+                        index: Operand::Const(0),
+                        src: Operand::Field(fields::M0),
+                    },
+                ],
+            )
+        };
+        let a1 = b.add_action(mk("first"));
+        let a2 = b.add_action(mk("second"));
+        b.set_control(Control::Seq(vec![
+            Control::ApplyAction(a1),
+            Control::ApplyAction(a2),
+        ]));
+        let p = b.build(TargetModel::bmv2()).unwrap();
+        let tdg = TableDepGraph::build(&p);
+
+        let mut hw = Vec::new();
+        let _ = allocate(&p, &tdg, &TargetModel::tofino_like(), &mut hw);
+        assert!(hw
+            .iter()
+            .any(|d| d.code == LintCode::RegisterMultiAccess && d.severity == Severity::Error));
+
+        let mut sw = Vec::new();
+        let _ = allocate(&p, &tdg, &TargetModel::bmv2(), &mut sw);
+        assert!(sw
+            .iter()
+            .all(|d| d.code != LintCode::RegisterMultiAccess || d.severity == Severity::Info));
+    }
+
+    #[test]
+    fn single_unit_exceeding_register_cap_is_unallocatable() {
+        let mut b = ProgramBuilder::new();
+        let mut prims = Vec::new();
+        for i in 0..3u16 {
+            let r = b.add_register(format!("r{i}"), 32, 2);
+            prims.push(Primitive::RegWrite {
+                register: r,
+                index: Operand::Const(0),
+                src: Operand::Const(1),
+            });
+        }
+        let a = b.add_action(ActionDef::new("wide", prims));
+        b.set_control(Control::ApplyAction(a));
+        let p = b.build(TargetModel::bmv2()).unwrap();
+        let tdg = TableDepGraph::build(&p);
+        let target = TargetModel {
+            registers_per_stage: 2,
+            ..TargetModel::tofino_like()
+        };
+        let mut diags = Vec::new();
+        let alloc = allocate(&p, &tdg, &target, &mut diags);
+        assert!(!alloc.fits);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == LintCode::StageResourceUnallocatable));
+    }
+}

@@ -27,7 +27,12 @@
 //! A static analyser ([`resources`]) reports the quantities the paper's
 //! Sec. 4 discusses: memory footprint, match dependencies between the
 //! rules that can hit the same packet, and the longest sequential
-//! dependency chain inside the program's actions.
+//! dependency chain inside the program's actions. A full compile-time
+//! verifier ([`analysis`]) goes further: it builds the table dependency
+//! graph, allocates tables to PISA stages under the target's per-stage
+//! limits, and runs a value-range analysis proving the statistics
+//! arithmetic cannot overflow the configured widths — the machinery
+//! behind the `stat4-lint` tool.
 //!
 //! ## Layering
 //!
@@ -41,6 +46,9 @@
 //! mechanism for pushing alerts to the controller) are collected in each
 //! packet's [`pipeline::PacketOutcome`].
 
+#![forbid(unsafe_code)]
+
+pub mod analysis;
 pub mod action;
 pub mod control;
 pub mod error;
@@ -56,6 +64,7 @@ pub mod table;
 pub mod target;
 
 pub use action::{ActionDef, Operand, Primitive};
+pub use analysis::{verify, verify_against, Diagnostic, LintCode, Severity, VerifyReport};
 pub use control::{Cond, Control};
 pub use error::{P4Error, P4Result};
 pub use metrics::PipelineMetrics;

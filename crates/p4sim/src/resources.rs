@@ -12,15 +12,22 @@
 //! - **longest sequential dependency chain** — the critical path of
 //!   primitive operations along the worst execution path (the paper: "12
 //!   sequential steps, used to override the oldest counter");
-//! - **pipeline stage estimate** — the depth of the table-dependency
-//!   chain, which must not exceed the target's stage count.
+//! - **pipeline stages** — the depth the [`crate::analysis`] stage
+//!   allocator assigns under the target's per-stage limits, with the
+//!   per-stage footprint.
+//!
+//! Path enumeration and the table read/write sets come from
+//! [`crate::analysis::tdg`] — the same code the static verifier uses,
+//! so the resource report and the lint can never disagree about
+//! dependency structure.
 //!
 //! The byte model is intentionally simple and documented per match kind;
 //! absolute numbers are compared against the paper's in
 //! `EXPERIMENTS.md`, shape first.
 
 use crate::action::ActionDef;
-use crate::control::Control;
+use crate::analysis::tdg::{paths, table_actions, table_reads, table_writes, Item};
+use crate::analysis::{allocate, TableDepGraph};
 use crate::phv::FieldId;
 use crate::pipeline::Pipeline;
 use crate::table::MatchKind;
@@ -29,9 +36,16 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
 
-/// Cap on enumerated execution paths (programs in this repo are tiny;
-/// the cap only guards against pathological inputs).
-const MAX_PATHS: usize = 4096;
+/// One pipeline stage's footprint in the allocation.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageFootprint {
+    /// Match-action tables hosted: `(name, ...)`.
+    pub tables: Vec<String>,
+    /// Direct actions executed (VLIW-only, no table slot).
+    pub actions: Vec<String>,
+    /// Registers whose stateful ALU lives here.
+    pub registers: Vec<String>,
+}
 
 /// The analyser's findings.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -51,10 +65,14 @@ pub struct ResourceReport {
     pub max_tables_per_packet: usize,
     /// Maximum number of match-action dependencies on one path.
     pub match_dependencies: usize,
-    /// Estimated pipeline stages (depth of the table dependency chain).
+    /// Pipeline stages the allocator assigned (depth of the placed
+    /// table-dependency graph under the target's per-stage limits).
     pub stage_estimate: u32,
-    /// Whether the stage estimate fits the analysed target.
+    /// Whether the allocation fits the analysed target (stage count and
+    /// per-stage resource limits).
     pub fits_target: bool,
+    /// What each allocated stage hosts (index 0 = stage 1).
+    pub stage_footprint: Vec<StageFootprint>,
     /// Critical-path length of every action, `(name, steps)`, longest
     /// first — the per-fragment view of the dependency chains (the
     /// paper's "12 sequential steps to override the oldest counter"
@@ -103,7 +121,18 @@ impl fmt::Display for ResourceReport {
             } else {
                 "EXCEEDS TARGET"
             }
-        )
+        )?;
+        for (i, s) in self.stage_footprint.iter().enumerate() {
+            write!(
+                f,
+                "\n  stage {}: {} table(s), {} action(s), {} register(s)",
+                i + 1,
+                s.tables.len(),
+                s.actions.len(),
+                s.registers.len()
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -155,114 +184,11 @@ fn action_chain_steps(a: &ActionDef, target: &TargetModel) -> u64 {
     cp.into_iter().max().unwrap_or(0)
 }
 
-/// One step of an execution path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Item {
-    Table(usize),
-    Action(usize),
-}
-
-/// Enumerates execution paths (sequences of applied tables/actions).
-fn paths(c: &Control) -> Vec<Vec<Item>> {
-    match c {
-        Control::Nop => vec![Vec::new()],
-        Control::Seq(children) => {
-            let mut acc: Vec<Vec<Item>> = vec![Vec::new()];
-            for child in children {
-                let child_paths = paths(child);
-                let mut next = Vec::new();
-                for a in &acc {
-                    for b in &child_paths {
-                        let mut p = a.clone();
-                        p.extend_from_slice(b);
-                        next.push(p);
-                        if next.len() >= MAX_PATHS {
-                            break;
-                        }
-                    }
-                    if next.len() >= MAX_PATHS {
-                        break;
-                    }
-                }
-                acc = next;
-            }
-            acc
-        }
-        Control::ApplyTable(t) => vec![vec![Item::Table(*t)]],
-        Control::ApplyAction(a) => vec![vec![Item::Action(*a)]],
-        Control::If {
-            then_branch,
-            else_branch,
-            ..
-        } => {
-            let mut out = paths(then_branch);
-            match else_branch {
-                Some(e) => out.extend(paths(e)),
-                None => out.push(Vec::new()),
-            }
-            out.truncate(MAX_PATHS);
-            out
-        }
-        // Recirculation multiplies whole-path costs by the pass count at
-        // runtime; the static analyser reports single-pass quantities.
-        Control::Exit | Control::Recirculate => vec![Vec::new()],
-    }
-}
-
-/// Fields any allowed action of table `t` may write.
-fn table_writes(p: &Pipeline, t: usize) -> HashSet<FieldId> {
-    let mut out = HashSet::new();
-    let table = &p.tables()[t];
-    let mut actions: Vec<usize> = table.def.allowed_actions.clone();
-    if let Some((a, _)) = &table.def.default_action {
-        actions.push(*a);
-    }
-    for a in actions {
-        if let Some(action) = p.actions().get(a) {
-            for prim in &action.primitives {
-                if let Some(d) = prim.dst_field() {
-                    out.insert(d);
-                }
-            }
-        }
-    }
-    out
-}
-
-/// Fields table `t` reads: its match keys plus every operand of its
-/// allowed actions.
-fn table_reads(p: &Pipeline, t: usize) -> HashSet<FieldId> {
-    let mut out = HashSet::new();
-    let table = &p.tables()[t];
-    for (f, _) in &table.def.keys {
-        out.insert(*f);
-    }
-    let mut actions: Vec<usize> = table.def.allowed_actions.clone();
-    if let Some((a, _)) = &table.def.default_action {
-        actions.push(*a);
-    }
-    for a in actions {
-        if let Some(action) = p.actions().get(a) {
-            for prim in &action.primitives {
-                for f in prim.src_fields() {
-                    out.insert(f);
-                }
-            }
-        }
-    }
-    out
-}
-
 /// Worst-case chain steps contributed by a path item.
 fn item_chain_steps(p: &Pipeline, item: Item, target: &TargetModel) -> u64 {
     match item {
         Item::Table(t) => {
-            let table = &p.tables()[t];
-            let mut actions: Vec<usize> = table.def.allowed_actions.clone();
-            if let Some((a, _)) = &table.def.default_action {
-                actions.push(*a);
-            }
-            let worst = actions
+            let worst = table_actions(p, t)
                 .into_iter()
                 .filter_map(|a| p.actions().get(a))
                 .map(|a| action_chain_steps(a, target))
@@ -277,6 +203,21 @@ fn item_chain_steps(p: &Pipeline, item: Item, target: &TargetModel) -> u64 {
             .map(|a| action_chain_steps(a, target))
             .unwrap_or(0),
     }
+}
+
+/// Longest sequential dependency chain (in interpreter steps, `Msb`
+/// charged at the target's cost) over any execution path. Shared with
+/// the static verifier's step-budget check.
+pub(crate) fn worst_path_steps(p: &Pipeline, target: &TargetModel) -> u64 {
+    paths(p.control())
+        .iter()
+        .map(|path| {
+            path.iter()
+                .map(|i| item_chain_steps(p, *i, target))
+                .sum::<u64>()
+        })
+        .max()
+        .unwrap_or(0)
 }
 
 /// Analyses a built pipeline.
@@ -321,19 +262,11 @@ pub fn analyze(p: &Pipeline) -> ResourceReport {
         .collect();
     action_chains.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
 
-    let all_paths = paths(p.control());
-    let mut longest_chain_steps = 0u64;
+    let longest_chain_steps = worst_path_steps(p, &target);
+
     let mut max_tables_per_packet = 0usize;
     let mut match_dependencies = 0usize;
-    let mut stage_estimate = 0u32;
-
-    for path in &all_paths {
-        let chain: u64 = path
-            .iter()
-            .map(|i| item_chain_steps(p, *i, &target))
-            .sum();
-        longest_chain_steps = longest_chain_steps.max(chain);
-
+    for path in paths(p.control()) {
         let tables_on_path: Vec<usize> = path
             .iter()
             .filter_map(|i| match i {
@@ -343,23 +276,52 @@ pub fn analyze(p: &Pipeline) -> ResourceReport {
             .collect();
         max_tables_per_packet = max_tables_per_packet.max(tables_on_path.len());
 
-        // Dependency pairs and chain depth among the path's tables.
         let n = tables_on_path.len();
         let mut deps = 0usize;
-        let mut depth = vec![1u32; n];
         for j in 0..n {
             for i in 0..j {
                 let writes = table_writes(p, tables_on_path[i]);
                 let reads = table_reads(p, tables_on_path[j]);
                 if writes.iter().any(|f| reads.contains(f)) {
                     deps += 1;
-                    depth[j] = depth[j].max(depth[i] + 1);
                 }
             }
         }
         match_dependencies = match_dependencies.max(deps);
-        stage_estimate = stage_estimate.max(depth.into_iter().max().unwrap_or(0));
     }
+
+    // Stage placement comes from the real allocator; diagnostics are the
+    // verifier's concern (`crate::analysis::verify`), only the shape is
+    // reported here.
+    let tdg = TableDepGraph::build(p);
+    let mut diags = Vec::new();
+    let allocation = allocate(p, &tdg, &target, &mut diags);
+    let reg_name = |r: usize| {
+        p.registers()
+            .get(r)
+            .map_or_else(|| format!("#{r}"), |reg| reg.name.clone())
+    };
+    let stage_footprint: Vec<StageFootprint> = allocation
+        .stages
+        .iter()
+        .map(|s| StageFootprint {
+            tables: s
+                .tables
+                .iter()
+                .map(|t| p.tables()[*t].def.name.clone())
+                .collect(),
+            actions: s
+                .actions
+                .iter()
+                .map(|a| {
+                    p.actions()
+                        .get(*a)
+                        .map_or_else(|| format!("#{a}"), |x| x.name.clone())
+                })
+                .collect(),
+            registers: s.registers.iter().map(|r| reg_name(*r)).collect(),
+        })
+        .collect();
 
     ResourceReport {
         registers,
@@ -369,8 +331,9 @@ pub fn analyze(p: &Pipeline) -> ResourceReport {
         longest_chain_steps,
         max_tables_per_packet,
         match_dependencies,
-        stage_estimate,
-        fits_target: stage_estimate <= target.max_stages,
+        stage_estimate: allocation.depth,
+        fits_target: allocation.fits,
+        stage_footprint,
         action_chains,
     }
 }
@@ -396,6 +359,7 @@ mod tests {
         assert_eq!(r.registers[0], ("a".into(), 800));
         assert_eq!(r.table_bytes, 0);
         assert_eq!(r.longest_chain_steps, 0);
+        assert!(r.stage_footprint.is_empty());
     }
 
     #[test]
@@ -498,6 +462,9 @@ mod tests {
         assert_eq!(r.match_dependencies, 1);
         assert_eq!(r.stage_estimate, 2);
         assert!(r.fits_target);
+        assert_eq!(r.stage_footprint.len(), 2);
+        assert_eq!(r.stage_footprint[0].tables, vec!["t1".to_string()]);
+        assert_eq!(r.stage_footprint[1].tables, vec!["t2".to_string()]);
     }
 
     #[test]
@@ -526,6 +493,7 @@ mod tests {
         let r = analyze(&p);
         assert_eq!(r.match_dependencies, 0);
         assert_eq!(r.stage_estimate, 1, "independent tables pack together");
+        assert_eq!(r.stage_footprint[0].tables.len(), 2);
     }
 
     #[test]

@@ -38,6 +38,16 @@ pub struct TargetModel {
     pub max_recirculations: u32,
     /// Register cell width in bits for the resource model.
     pub register_width_bits: u32,
+    /// Match-action tables one stage can host (the stage allocator in
+    /// [`crate::analysis`] bumps tables to later stages past this).
+    pub tables_per_stage: u32,
+    /// Distinct registers whose stateful ALUs one stage can host.
+    pub registers_per_stage: u32,
+    /// Whether a register may be touched by at most one read-modify-write
+    /// point per packet path (true for PISA hardware, where a register
+    /// lives in exactly one stage's stateful ALU; false for software
+    /// targets like bmv2).
+    pub single_register_access: bool,
 }
 
 impl TargetModel {
@@ -55,6 +65,9 @@ impl TargetModel {
             step_budget: 100_000,
             max_recirculations: 16,
             register_width_bits: 64,
+            tables_per_stage: u32::MAX,
+            registers_per_stage: u32::MAX,
+            single_register_access: false,
         }
     }
 
@@ -72,6 +85,9 @@ impl TargetModel {
             step_budget: 10_000,
             max_recirculations: 1,
             register_width_bits: 32,
+            tables_per_stage: 8,
+            registers_per_stage: 8,
+            single_register_access: true,
         }
     }
 }
@@ -94,6 +110,9 @@ mod tests {
         assert!(b.allow_dynamic_shift && !t.allow_dynamic_shift);
         assert!(t.max_stages < b.max_stages);
         assert!(t.msb_cost < b.msb_cost, "TCAM-assisted MSB is cheap");
+        assert!(t.tables_per_stage < b.tables_per_stage);
+        assert!(t.registers_per_stage < b.registers_per_stage);
+        assert!(t.single_register_access && !b.single_register_access);
     }
 
     #[test]

@@ -1,0 +1,373 @@
+//! Golden diagnostics for known-bad programs, and the allocator's
+//! behaviour-equivalence property.
+//!
+//! Each fixture is a program that *builds* fine on bmv2 and must be
+//! rejected by the verifier with a specific stable lint code when
+//! checked against hardware-like limits — the seeded corpus CI pins
+//! `stat4-lint` against.
+
+use p4sim::analysis::{allocate, TableDepGraph};
+use p4sim::phv::fields;
+use p4sim::{
+    verify, verify_against, ActionDef, Control, LintCode, MatchKind, Operand, Phv, Primitive,
+    ProgramBuilder, Severity, TableDef, TargetModel,
+};
+
+fn has(report: &p4sim::VerifyReport, code: LintCode, severity: Severity) -> bool {
+    report
+        .diagnostics
+        .iter()
+        .any(|d| d.code == code && d.severity == severity)
+}
+
+/// Division is unrepresentable in the IR; the division-free discipline's
+/// remaining hazard is runtime multiplication, which bmv2 executes and
+/// hardware cannot.
+#[test]
+fn runtime_mul_is_s4l001_on_hardware() {
+    let mut b = ProgramBuilder::new();
+    let a = b.add_action(ActionDef::new(
+        "square",
+        vec![Primitive::Mul {
+            dst: fields::M0,
+            a: Operand::Field(fields::PAYLOAD_VALUE),
+            b: Operand::Field(fields::PAYLOAD_VALUE),
+        }],
+    ));
+    b.set_control(Control::ApplyAction(a));
+    let p = b.build(TargetModel::bmv2()).expect("legal on bmv2");
+
+    let report = verify_against(&p, &TargetModel::tofino_like());
+    assert!(has(&report, LintCode::RuntimeMul, Severity::Error), "{report}");
+    assert!(!report.passes(false));
+    assert!(report.to_json().contains("\"code\":\"S4L001\""));
+
+    // The same program is clean against its own (software) target.
+    assert!(verify(&p).passes(false));
+}
+
+#[test]
+fn dynamic_shift_is_s4l002_on_hardware() {
+    let mut b = ProgramBuilder::new();
+    let a = b.add_action(ActionDef::new(
+        "var_shift",
+        vec![Primitive::Shl {
+            dst: fields::M0,
+            src: Operand::Const(1),
+            amount: Operand::Field(fields::PAYLOAD_VALUE),
+        }],
+    ));
+    b.set_control(Control::ApplyAction(a));
+    let p = b.build(TargetModel::bmv2()).expect("legal on bmv2");
+    let report = verify_against(&p, &TargetModel::tofino_like());
+    assert!(has(&report, LintCode::DynamicShift, Severity::Error), "{report}");
+}
+
+/// A 13-deep chain of match-dependent tables cannot fit the 12-stage
+/// hardware preset.
+#[test]
+fn deep_table_chain_is_s4l003_on_hardware() {
+    let mut b = ProgramBuilder::new();
+    let mut tabs = Vec::new();
+    for i in 0..13u16 {
+        let w = b.add_action(ActionDef::new(
+            format!("w{i}"),
+            vec![Primitive::Set {
+                dst: fields::scratch((i + 1) % 20),
+                src: Operand::Const(1),
+            }],
+        ));
+        tabs.push(b.add_table(TableDef {
+            name: format!("t{i}"),
+            keys: vec![(fields::scratch(i % 20), MatchKind::Exact)],
+            max_entries: 1,
+            allowed_actions: vec![w],
+            default_action: None,
+        }));
+    }
+    b.set_control(Control::Seq(
+        tabs.into_iter().map(Control::ApplyTable).collect(),
+    ));
+    let p = b.build(TargetModel::bmv2()).unwrap();
+
+    let hw = verify_against(&p, &TargetModel::tofino_like());
+    assert!(has(&hw, LintCode::StageOverflow, Severity::Error), "{hw}");
+    assert_eq!(hw.allocation.depth, 13);
+    assert!(!hw.allocation.fits);
+
+    let sw = verify(&p);
+    assert_eq!(sw.allocation.depth, 13, "same chain, unlimited stages");
+    assert!(sw.allocation.fits);
+}
+
+/// Two separate read-modify-write points on one register: legal (if
+/// slow) on bmv2, impossible on a PISA stateful ALU.
+#[test]
+fn register_double_access_is_s4l004_on_hardware() {
+    let mut b = ProgramBuilder::new();
+    let r = b.add_register("ewma", 64, 16);
+    let rmw = |name: &str| {
+        ActionDef::new(
+            name,
+            vec![
+                Primitive::RegRead {
+                    dst: fields::M0,
+                    register: 0,
+                    index: Operand::Const(3),
+                },
+                Primitive::Add {
+                    dst: fields::M0,
+                    a: Operand::Field(fields::M0),
+                    b: Operand::Const(1),
+                },
+                Primitive::RegWrite {
+                    register: 0,
+                    index: Operand::Const(3),
+                    src: Operand::Field(fields::M0),
+                },
+            ],
+        )
+    };
+    assert_eq!(r, 0);
+    let a1 = b.add_action(rmw("touch_once"));
+    let a2 = b.add_action(rmw("touch_again"));
+    b.set_control(Control::Seq(vec![
+        Control::ApplyAction(a1),
+        Control::ApplyAction(a2),
+    ]));
+    let p = b.build(TargetModel::bmv2()).unwrap();
+
+    let hw = verify_against(&p, &TargetModel::tofino_like());
+    assert!(has(&hw, LintCode::RegisterMultiAccess, Severity::Error), "{hw}");
+
+    // On software the same pattern is a note, never fatal.
+    let sw = verify(&p);
+    assert!(sw.passes(true), "{sw}");
+    assert!(sw
+        .diagnostics
+        .iter()
+        .any(|d| d.code == LintCode::RegisterMultiAccess && d.severity == Severity::Info));
+}
+
+/// A value provably wider than the destination register: certain
+/// truncation, an error on every target.
+#[test]
+fn provable_truncation_is_s4l005_everywhere() {
+    let mut b = ProgramBuilder::new();
+    let r = b.add_register("counter16", 16, 4);
+    let a = b.add_action(ActionDef::new(
+        "overflow",
+        vec![
+            Primitive::Shl {
+                dst: fields::M0,
+                src: Operand::Const(1),
+                amount: Operand::Const(40),
+            },
+            Primitive::RegWrite {
+                register: r,
+                index: Operand::Const(0),
+                src: Operand::Field(fields::M0),
+            },
+        ],
+    ));
+    b.set_control(Control::ApplyAction(a));
+    let p = b.build(TargetModel::bmv2()).unwrap();
+
+    let report = verify(&p);
+    assert!(has(&report, LintCode::WidthTruncation, Severity::Error), "{report}");
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == LintCode::WidthTruncation)
+        .unwrap();
+    assert!(
+        d.chain.iter().any(|c| c.starts_with("Shl")),
+        "diagnostic names the producing primitive: {:?}",
+        d.chain
+    );
+}
+
+/// Exceeding the step budget is a warning: the program still runs, the
+/// worst-case bound is just violated. `--deny warnings` promotes it.
+#[test]
+fn step_budget_is_s4l007_warning() {
+    let mut b = ProgramBuilder::new();
+    let mut prims = Vec::new();
+    // A 12-step dependent chain, echoing the paper's "12 sequential
+    // steps" override path.
+    prims.push(Primitive::Set {
+        dst: fields::M0,
+        src: Operand::Const(0),
+    });
+    for _ in 0..11 {
+        prims.push(Primitive::Add {
+            dst: fields::M0,
+            a: Operand::Field(fields::M0),
+            b: Operand::Const(1),
+        });
+    }
+    let a = b.add_action(ActionDef::new("override_oldest", prims));
+    b.set_control(Control::ApplyAction(a));
+    let p = b.build(TargetModel::bmv2()).unwrap();
+
+    let tight = TargetModel {
+        step_budget: 10,
+        ..TargetModel::tofino_like()
+    };
+    let report = verify_against(&p, &tight);
+    assert_eq!(report.worst_chain_steps, 12);
+    assert!(has(&report, LintCode::StepBudget, Severity::Warning), "{report}");
+    assert!(report.passes(false), "a warning is not an error");
+    assert!(!report.passes(true), "--deny warnings rejects it");
+}
+
+/// An index that provably misses the register is an error; the hash
+/// fragment's width-bounded index is proven fine.
+#[test]
+fn index_out_of_range_is_s4l008() {
+    let mut b = ProgramBuilder::new();
+    let r = b.add_register("cells", 64, 4);
+    let a = b.add_action(ActionDef::new(
+        "oob",
+        vec![Primitive::RegWrite {
+            register: r,
+            index: Operand::Const(9),
+            src: Operand::Const(1),
+        }],
+    ));
+    b.set_control(Control::ApplyAction(a));
+    let p = b.build(TargetModel::bmv2()).unwrap();
+    let report = verify(&p);
+    assert!(has(&report, LintCode::RegisterIndexRange, Severity::Error), "{report}");
+}
+
+// ---------------------------------------------------------------------
+// Allocation equivalence: executing units stage by stage — in any order
+// within a stage — is indistinguishable from sequential execution,
+// because every dependency edge (including anti- and register edges)
+// forces a stage boundary.
+// ---------------------------------------------------------------------
+
+/// One randomly generated control unit.
+#[derive(Debug, Clone, Copy)]
+struct UnitSpec {
+    kind: u8,
+    dst: u16,
+    src: u16,
+    addend: u64,
+    reg: usize,
+    cell: u64,
+}
+
+const NREGS: usize = 3;
+const CELLS: usize = 4;
+
+fn build_pipeline(specs: &[UnitSpec], order: &[usize]) -> p4sim::Pipeline {
+    let mut b = ProgramBuilder::new();
+    for r in 0..NREGS {
+        b.add_register(format!("r{r}"), 64, CELLS);
+    }
+    for (i, s) in specs.iter().enumerate() {
+        let dst = fields::scratch(s.dst % 20);
+        let src = fields::scratch(s.src % 20);
+        let prims = match s.kind % 3 {
+            0 => vec![Primitive::Set {
+                dst,
+                src: Operand::Const(s.addend),
+            }],
+            1 => vec![Primitive::Add {
+                dst,
+                a: Operand::Field(src),
+                b: Operand::Const(s.addend),
+            }],
+            _ => vec![
+                Primitive::RegRead {
+                    dst,
+                    register: s.reg % NREGS,
+                    index: Operand::Const(s.cell % CELLS as u64),
+                },
+                Primitive::Add {
+                    dst,
+                    a: Operand::Field(dst),
+                    b: Operand::Const(s.addend),
+                },
+                Primitive::RegWrite {
+                    register: s.reg % NREGS,
+                    index: Operand::Const(s.cell % CELLS as u64),
+                    src: Operand::Field(dst),
+                },
+            ],
+        };
+        b.add_action(ActionDef::new(format!("u{i}"), prims));
+    }
+    b.set_control(Control::Seq(
+        order.iter().map(|&i| Control::ApplyAction(i)).collect(),
+    ));
+    b.build(TargetModel::bmv2()).unwrap()
+}
+
+fn run_and_snapshot(p: &mut p4sim::Pipeline, packets: u32) -> (Vec<u64>, Vec<Vec<u64>>) {
+    let mut last_scratch = Vec::new();
+    for k in 0..packets {
+        let mut phv = Phv::new();
+        phv.set(fields::PAYLOAD_VALUE, u64::from(k) * 17 + 1);
+        p.process_phv(&mut phv).unwrap();
+        last_scratch = (0..24).map(|i| phv.get(fields::scratch(i))).collect();
+    }
+    let regs = p
+        .registers()
+        .iter()
+        .map(|r| r.cells.clone())
+        .collect::<Vec<_>>();
+    (last_scratch, regs)
+}
+
+mod stage_equivalence {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn within_stage_reordering_preserves_behavior(
+            raw in proptest::collection::vec(
+                ((0u8..3, 0u16..20, 0u16..20), (0u64..1000, 0usize..super::NREGS, 0u64..super::CELLS as u64)),
+                1..8,
+            )
+        ) {
+            let specs: Vec<UnitSpec> = raw
+                .iter()
+                .map(|&((kind, dst, src), (addend, reg, cell))| UnitSpec {
+                    kind, dst, src, addend, reg, cell,
+                })
+                .collect();
+            let n = specs.len();
+            let sequential_order: Vec<usize> = (0..n).collect();
+            let mut seq = build_pipeline(&specs, &sequential_order);
+
+            // Allocate stages, then execute stage by stage with each
+            // stage's units REVERSED — the adversarial within-stage
+            // order.
+            let tdg = TableDepGraph::build(&seq);
+            let mut diags = Vec::new();
+            let alloc = allocate(&seq, &tdg, &TargetModel::bmv2(), &mut diags);
+            let mut staged_order: Vec<usize> = (0..n).collect();
+            staged_order.sort_by_key(|&i| (alloc.node_stage[i], std::cmp::Reverse(i)));
+            let mut staged = build_pipeline(&specs, &staged_order);
+
+            // Every dependency edge crosses a stage boundary.
+            for e in &tdg.edges {
+                prop_assert!(
+                    alloc.node_stage[e.from] < alloc.node_stage[e.to],
+                    "edge {} -> {} within stage {}",
+                    e.from, e.to, alloc.node_stage[e.from]
+                );
+            }
+
+            let (scratch_a, regs_a) = run_and_snapshot(&mut seq, 3);
+            let (scratch_b, regs_b) = run_and_snapshot(&mut staged, 3);
+            prop_assert_eq!(scratch_a, scratch_b);
+            prop_assert_eq!(regs_a, regs_b);
+        }
+    }
+}

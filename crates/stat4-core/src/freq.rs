@@ -61,6 +61,41 @@ impl FrequencyDist {
         })
     }
 
+    /// Seeds a distribution directly from per-cell counters (cell 0 =
+    /// `min`), recomputing the moments with the same saturating
+    /// arithmetic `observe` uses. Exists so tests can reach the
+    /// near-ceiling states that would take 2⁶⁴ observations to produce.
+    ///
+    /// # Errors
+    ///
+    /// [`Stat4Error::InvalidDomain`] if `counts` is empty or wider than
+    /// 2³² cells.
+    #[doc(hidden)]
+    pub fn from_raw_counts(min: i64, counts: Vec<u64>) -> Stat4Result<Self> {
+        if counts.is_empty() || counts.len() > (1usize << 32) {
+            return Err(Stat4Error::InvalidDomain { min, max: min });
+        }
+        let max = min + (counts.len() as i64 - 1);
+        let mut n_distinct = 0u64;
+        let mut total = 0u64;
+        let mut sumsq = 0u128;
+        for &f in &counts {
+            if f != 0 {
+                n_distinct += 1;
+            }
+            total = total.saturating_add(f);
+            sumsq = sumsq.saturating_add(u128::from(f) * u128::from(f));
+        }
+        Ok(Self {
+            min,
+            max,
+            counts,
+            n_distinct,
+            total,
+            sumsq,
+        })
+    }
+
     /// Inclusive lower bound of the domain.
     #[must_use]
     pub fn min_value(&self) -> i64 {
@@ -106,9 +141,12 @@ impl FrequencyDist {
             self.n_distinct += 1;
         }
         // Xsumsq += (f+1)² − f² = 2f + 1 — the constant-work update.
-        self.sumsq += 2 * u128::from(f) + 1;
-        self.total += 1;
-        self.counts[idx] = f + 1;
+        // All three accumulators saturate explicitly at their register
+        // ceiling instead of wrapping (or panicking in debug builds):
+        // a pinned counter is what a fixed-width switch register does.
+        self.sumsq = self.sumsq.saturating_add(2 * u128::from(f) + 1);
+        self.total = self.total.saturating_add(1);
+        self.counts[idx] = f.saturating_add(1);
         Ok(())
     }
 
@@ -131,9 +169,11 @@ impl FrequencyDist {
                 op: "forget on zero count",
             });
         }
-        // Xsumsq -= f² − (f−1)² = 2f − 1.
-        self.sumsq -= 2 * u128::from(f) - 1;
-        self.total -= 1;
+        // Xsumsq -= f² − (f−1)² = 2f − 1. Saturating like `observe`:
+        // once any accumulator has pinned at its ceiling the moments are
+        // no longer exact, so the inverse update must not trap either.
+        self.sumsq = self.sumsq.saturating_sub(2 * u128::from(f) - 1);
+        self.total = self.total.saturating_sub(1);
         self.counts[idx] = f - 1;
         if f == 1 {
             self.n_distinct -= 1;
@@ -378,6 +418,49 @@ mod tests {
         let items: Vec<_> = d.iter_nonzero().collect();
         assert_eq!(items, vec![(-2, 1), (2, 2)]);
         assert_eq!(d.counts(), &[1, 0, 0, 0, 2]);
+    }
+
+    /// A cell pinned at `u64::MAX` must saturate, not wrap (release) or
+    /// panic (debug): wrapping to 0 would silently corrupt `n_distinct`.
+    #[test]
+    fn observe_saturates_at_counter_ceiling() {
+        let mut d = FrequencyDist::from_raw_counts(0, vec![u64::MAX, 3]).unwrap();
+        let (n, total) = (d.n_distinct(), d.xsum());
+        d.observe(0).unwrap();
+        assert_eq!(d.frequency(0), u64::MAX, "count pins at the ceiling");
+        assert_eq!(d.n_distinct(), n, "a pinned cell stays distinct");
+        assert_eq!(d.xsum(), total, "total already saturated");
+    }
+
+    /// `total` saturates independently of any single cell.
+    #[test]
+    fn total_saturates() {
+        let mut d = FrequencyDist::from_raw_counts(0, vec![u64::MAX - 1, 1]).unwrap();
+        assert_eq!(d.xsum(), u64::MAX, "sum of cells saturates");
+        d.observe(1).unwrap();
+        assert_eq!(d.xsum(), u64::MAX);
+        assert_eq!(d.frequency(1), 2, "the cell itself is still exact");
+    }
+
+    /// `forget` on a saturated state must not trap on the moment
+    /// subtraction either.
+    #[test]
+    fn forget_on_saturated_state_does_not_trap() {
+        let mut d = FrequencyDist::from_raw_counts(0, vec![u64::MAX]).unwrap();
+        d.forget(0).unwrap();
+        assert_eq!(d.frequency(0), u64::MAX - 1);
+        assert_eq!(d.n_distinct(), 1);
+    }
+
+    #[test]
+    fn from_raw_counts_matches_observes() {
+        let mut a = FrequencyDist::new(0, 3).unwrap();
+        for v in [0, 1, 1, 3, 3, 3] {
+            a.observe(v).unwrap();
+        }
+        let b = FrequencyDist::from_raw_counts(0, vec![1, 2, 0, 3]).unwrap();
+        assert_eq!(a, b);
+        assert!(FrequencyDist::from_raw_counts(0, vec![]).is_err());
     }
 
     #[test]

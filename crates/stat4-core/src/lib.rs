@@ -48,6 +48,8 @@
 //! assert!(stats.is_upper_outlier(250, 2));
 //! assert!(!stats.is_upper_outlier(103, 2));
 //! ```
+#![forbid(unsafe_code)]
+
 
 pub mod check;
 pub mod cusum;

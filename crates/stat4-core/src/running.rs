@@ -85,7 +85,7 @@ impl RunningStats {
     /// Adds a new value `x` to the distribution: `N += 1`,
     /// `Xsum += x`, `Xsumsq += x²`. Constant work.
     pub fn push(&mut self, x: i64) {
-        self.n += 1;
+        self.n = self.n.saturating_add(1);
         self.sum = self.sum.saturating_add(x);
         self.sumsq = self.sumsq.saturating_add(x.saturating_mul(x));
         self.sd_cache = None;
@@ -95,7 +95,7 @@ impl RunningStats {
     /// add. Exactly the state a single tracker would hold after pushing
     /// both value streams in any order (absent saturation).
     pub fn absorb(&mut self, other: &Self) {
-        self.n += other.n;
+        self.n = self.n.saturating_add(other.n);
         self.sum = self.sum.saturating_add(other.sum);
         self.sumsq = self.sumsq.saturating_add(other.sumsq);
         self.sd_cache = None;
@@ -383,6 +383,36 @@ mod tests {
         s.push(1000);
         let sd2 = s.sd_cached();
         assert!(sd2 > sd1);
+    }
+
+    /// Extreme values saturate every accumulator instead of trapping in
+    /// debug builds — the library-side mirror of a fixed-width register.
+    #[test]
+    fn push_saturates_on_extreme_values() {
+        let mut s = RunningStats::new();
+        s.push(i64::MAX);
+        s.push(i64::MAX);
+        assert_eq!(s.xsum(), i64::MAX);
+        assert_eq!(s.xsumsq(), i64::MAX);
+        // Saturated states keep the variance clamp at zero rather than
+        // producing a garbage negative value.
+        let _ = s.variance_nx();
+        s.push(i64::MIN);
+        assert_eq!(s.n(), 3);
+    }
+
+    /// Merging two near-ceiling trackers must not wrap `N`.
+    #[test]
+    fn absorb_saturates_n() {
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        a.push(1);
+        b.push(2);
+        a.n = u64::MAX - 1;
+        b.n = 3;
+        a.absorb(&b);
+        assert_eq!(a.n(), u64::MAX);
+        assert_eq!(a.xsum(), 3);
     }
 
     #[test]

@@ -84,12 +84,15 @@ impl Scale {
     }
 
     /// Inverse of the quantisation midpoint, for reporting: the raw value
-    /// a scaled bucket's centre represents.
+    /// a scaled bucket's centre represents. Saturates at the `i64` range
+    /// instead of overflowing the widening shift (`shift` may be up to
+    /// 62, so `scaled << shift` does not fit `i64` for large buckets).
     #[must_use]
     pub fn unapply(&self, scaled: i64) -> i64 {
-        (scaled << self.shift)
-            .saturating_add(1i64 << self.shift >> 1)
-            .saturating_add(self.baseline)
+        let raw = (i128::from(scaled) << self.shift)
+            + i128::from(1i64 << self.shift >> 1)
+            + i128::from(self.baseline);
+        i64::try_from(raw).unwrap_or(if raw < 0 { i64::MIN } else { i64::MAX })
     }
 
     /// Worst-case absolute quantisation error in raw units.
@@ -149,6 +152,17 @@ mod tests {
                 "raw = {raw} rt = {rt}"
             );
         }
+    }
+
+    /// `unapply` of a large bucket at a large shift must saturate, not
+    /// overflow the `i64` shift (a debug-mode panic before the widening).
+    #[test]
+    fn unapply_saturates_instead_of_overflowing() {
+        let s = Scale::new(0, 62, i64::MAX).unwrap();
+        assert_eq!(s.unapply(i64::MAX >> 1), i64::MAX);
+        assert_eq!(s.unapply(i64::MIN >> 1), i64::MIN);
+        let t = Scale::new(i64::MAX, 1, i64::MAX).unwrap();
+        assert_eq!(t.unapply(i64::MAX), i64::MAX);
     }
 
     proptest! {

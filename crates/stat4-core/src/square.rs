@@ -131,6 +131,19 @@ mod tests {
         assert_eq!(approx_square_u64(3), 8);
     }
 
+    /// The widening shifts stay inside `u128` even at the top of the
+    /// input range (e = 63 makes `m << 64` a 127-bit quantity, and the
+    /// refined sum is bounded by the true square `< 2¹²⁸`).
+    #[test]
+    fn no_overflow_at_word_boundary() {
+        for x in [u64::MAX, u64::MAX - 1, 1 << 63, (1 << 63) - 1] {
+            let truth = u128::from(x) * u128::from(x);
+            assert!(approx_square(x) <= truth, "x = {x}");
+            assert!(approx_square_refined(x) <= truth, "x = {x}");
+            assert!(approx_square(x) >= truth / 2, "x = {x}");
+        }
+    }
+
     #[test]
     fn error_band_shrinks_with_refinement() {
         let max_err = |f: fn(u64) -> u128| -> f64 {

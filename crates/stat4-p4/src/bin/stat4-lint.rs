@@ -1,0 +1,141 @@
+//! `stat4-lint` — compile-time verification of every built-in Stat4
+//! data-plane program.
+//!
+//! For each shipped pipeline (echo on both targets, the case study,
+//! both median variants, the sketch app, and the standalone algorithm
+//! fragments) this runs the p4sim verifier — table-dependency stage
+//! allocation plus value-range analysis — against the target the
+//! program was built for, and reports the findings.
+//!
+//! ```text
+//! stat4-lint [--deny warnings] [--json] [--verbose]
+//! ```
+//!
+//! Exit status is non-zero when any program has an error-severity
+//! finding, or any warning-severity finding under `--deny warnings`.
+//! Info-severity notes (things the analysis could not *prove* but that
+//! are not certain violations) never fail the lint; `--verbose` shows
+//! them.
+
+use std::process::ExitCode;
+
+use p4sim::Severity;
+use stat4_p4::lint::builtin_suite;
+
+struct Options {
+    deny_warnings: bool,
+    json: bool,
+    verbose: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        deny_warnings: false,
+        json: false,
+        verbose: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => match args.next().as_deref() {
+                Some("warnings") => opts.deny_warnings = true,
+                other => {
+                    return Err(format!(
+                        "--deny takes `warnings`, got {}",
+                        other.unwrap_or("nothing")
+                    ))
+                }
+            },
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--json" => opts.json = true,
+            "--verbose" | "-v" => opts.verbose = true,
+            "--help" | "-h" => {
+                println!(
+                    "stat4-lint: verify every built-in Stat4 data-plane program\n\n\
+                     Usage: stat4-lint [--deny warnings] [--json] [--verbose]\n\n\
+                     Options:\n  \
+                     --deny warnings  treat warning-severity findings as fatal\n  \
+                     --json           emit one JSON object per program\n  \
+                     --verbose, -v    also show info-severity notes"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("stat4-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let suite = builtin_suite();
+    let mut failed = 0usize;
+
+    if opts.json {
+        let entries: Vec<String> = suite
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"name\":{},\"pass\":{},\"report\":{}}}",
+                    p4sim::analysis::json_string(e.name),
+                    e.report.passes(opts.deny_warnings),
+                    e.report.to_json()
+                )
+            })
+            .collect();
+        println!("[{}]", entries.join(","));
+        failed = suite
+            .iter()
+            .filter(|e| !e.report.passes(opts.deny_warnings))
+            .count();
+    } else {
+        for e in &suite {
+            let pass = e.report.passes(opts.deny_warnings);
+            let verdict = if pass { "ok" } else { "FAIL" };
+            println!(
+                "{verdict:4} {:45} [{}] {} stage(s), {} error(s), {} warning(s), {} note(s)",
+                e.name,
+                e.report.target,
+                e.report.allocation.depth,
+                e.report.errors(),
+                e.report.warnings(),
+                e.report.infos()
+            );
+            for d in &e.report.diagnostics {
+                let show = match d.severity {
+                    Severity::Error | Severity::Warning => true,
+                    Severity::Info => opts.verbose,
+                };
+                if show {
+                    println!("       {d}");
+                }
+            }
+            if !pass {
+                failed += 1;
+            }
+        }
+        println!(
+            "{} program(s) linted, {} failed{}",
+            suite.len(),
+            failed,
+            if opts.deny_warnings {
+                " (warnings denied)"
+            } else {
+                ""
+            }
+        );
+    }
+
+    if failed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

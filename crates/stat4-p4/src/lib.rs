@@ -38,6 +38,7 @@ pub mod casestudy;
 pub mod config;
 pub mod echo;
 pub mod fragments;
+pub mod lint;
 pub mod median;
 pub mod sketch_app;
 pub mod scratch;

@@ -1,0 +1,181 @@
+//! Lint harness over every built-in stat4-p4 program.
+//!
+//! [`builtin_suite`] builds each shipped pipeline — the echo app on
+//! both targets, the case study, both median variants, the sketch app,
+//! and the standalone algorithm fragments — and runs the p4sim
+//! compile-time verifier ([`p4sim::verify`]) on each, against the
+//! target the program was built for. The `stat4-lint` binary and the
+//! CI gate are thin wrappers over this function, and the unit tests
+//! here pin the invariant the repo promises: every built-in program is
+//! free of errors *and* warnings on its own target.
+
+use crate::echo::VarianceMode;
+use crate::{fragments, scratch};
+use crate::{
+    CaseStudyApp, CaseStudyParams, EchoApp, MedianApp, MedianAppParams, SketchApp,
+    SketchAppParams, Stat4Config,
+};
+use p4sim::control::Control;
+use p4sim::phv::fields;
+use p4sim::program::ProgramBuilder;
+use p4sim::{verify, ActionDef, FieldId, Pipeline, TargetModel, VerifyReport};
+
+/// One linted built-in program: a display name plus the verifier's
+/// findings for it on its own target.
+pub struct LintEntry {
+    /// Program name as shown by `stat4-lint`.
+    pub name: &'static str,
+    /// Verifier output (target name, diagnostics, stage allocation,
+    /// range-analysis summary).
+    pub report: VerifyReport,
+}
+
+fn entry(name: &'static str, pipeline: &Pipeline) -> LintEntry {
+    LintEntry {
+        name,
+        report: verify(pipeline),
+    }
+}
+
+/// Input/output fields used by the standalone fragment pipelines.
+const IN: FieldId = fields::PAYLOAD_VALUE;
+const OUT: FieldId = scratch::SD;
+
+fn fragment_pipeline(
+    target: TargetModel,
+    build: impl FnOnce(&mut ProgramBuilder) -> Control,
+) -> Pipeline {
+    let mut b = ProgramBuilder::new();
+    let c = build(&mut b);
+    b.set_control(c);
+    b.build(target).expect("built-in fragment pipeline must build")
+}
+
+/// Builds every built-in program and verifies it against the target it
+/// ships for. Panics only if a built-in fails to *build* — lint
+/// findings are returned in the entries, not panicked on.
+#[must_use]
+pub fn builtin_suite() -> Vec<LintEntry> {
+    let mut out = Vec::new();
+
+    let echo = EchoApp::build(&Stat4Config::default()).expect("echo/bmv2 builds");
+    out.push(entry("echo (bmv2, exact-mul)", &echo.pipeline));
+
+    let echo_hw = EchoApp::build_with(
+        &Stat4Config::default(),
+        TargetModel::tofino_like(),
+        VarianceMode::UnrolledShiftAdd { bits: 16 },
+    )
+    .expect("echo/tofino builds");
+    out.push(entry("echo (tofino-like, shift-add)", &echo_hw.pipeline));
+
+    let case = CaseStudyApp::build(CaseStudyParams::default()).expect("case study builds");
+    out.push(entry("casestudy (bmv2)", &case.pipeline));
+
+    let median = MedianApp::build(MedianAppParams::default()).expect("median builds");
+    out.push(entry("median (bmv2)", &median.pipeline));
+
+    let median_recirc = MedianApp::build(MedianAppParams {
+        converge_with_recirculation: true,
+        ..MedianAppParams::default()
+    })
+    .expect("median/recirculation builds");
+    out.push(entry("median (bmv2, recirculating)", &median_recirc.pipeline));
+
+    let sketch = SketchApp::build(SketchAppParams::default()).expect("sketch builds");
+    out.push(entry("sketch (tofino-like)", &sketch.pipeline));
+
+    // Standalone fragment pipelines — the paper's algorithms in
+    // isolation, each on the weakest target it is legal for.
+    let isqrt = fragment_pipeline(TargetModel::bmv2(), |b| {
+        fragments::isqrt_fragment(b, IN, OUT)
+    });
+    out.push(entry("fragment: isqrt (bmv2)", &isqrt));
+
+    let isqrt_hw = fragment_pipeline(TargetModel::tofino_like(), |b| {
+        fragments::isqrt_fragment_const_shifts(b, IN, OUT)
+    });
+    out.push(entry("fragment: isqrt const-shift (tofino-like)", &isqrt_hw));
+
+    let square = fragment_pipeline(TargetModel::bmv2(), |b| {
+        fragments::approx_square_fragment(b, IN, OUT)
+    });
+    out.push(entry("fragment: approx-square (bmv2)", &square));
+
+    let var_sd = fragment_pipeline(TargetModel::bmv2(), fragments::variance_sd_fragment);
+    out.push(entry("fragment: variance+sd (bmv2)", &var_sd));
+
+    let ewma = fragment_pipeline(TargetModel::bmv2(), |b| {
+        let reg = b.add_register("ewma_acc", 64, 1);
+        fragments::ewma_fragment(b, reg, 0, IN, OUT, 3)
+    });
+    out.push(entry("fragment: ewma (bmv2)", &ewma));
+
+    let mul = fragment_pipeline(TargetModel::tofino_like(), |b| {
+        let a = b.add_action(ActionDef::new(
+            "mul16",
+            fragments::mul_unrolled_primitives(IN, fields::PKT_LEN, OUT, 16),
+        ));
+        Control::ApplyAction(a)
+    });
+    out.push(entry("fragment: unrolled-mul (tofino-like)", &mul));
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_builtin_is_clean_under_deny_warnings() {
+        for e in builtin_suite() {
+            assert!(
+                e.report.passes(true),
+                "{} on {} has lint findings:\n{}",
+                e.name,
+                e.report.target,
+                e.report
+            );
+        }
+    }
+
+    #[test]
+    fn suite_covers_both_targets() {
+        let suite = builtin_suite();
+        assert!(suite.iter().any(|e| e.report.target == "bmv2"));
+        assert!(suite.iter().any(|e| e.report.target == "tofino-like"));
+    }
+
+    /// The shift-add variance forces the echo app through more
+    /// dependent actions and the per-stage caps bite, so the hardware
+    /// allocation must be strictly deeper than the software one.
+    #[test]
+    fn echo_hardware_allocation_is_deeper_than_software() {
+        let suite = builtin_suite();
+        let depth = |prefix: &str| {
+            suite
+                .iter()
+                .find(|e| e.name.starts_with(prefix))
+                .expect("suite entry")
+                .report
+                .allocation
+                .depth
+        };
+        let sw = depth("echo (bmv2");
+        let hw = depth("echo (tofino");
+        assert!(
+            hw > sw,
+            "expected tofino echo deeper than bmv2 echo, got {hw} vs {sw}"
+        );
+        assert_eq!(sw, 4, "echo on bmv2 should allocate to 4 stages");
+        assert_eq!(hw, 5, "echo on tofino-like should allocate to 5 stages");
+        for e in builtin_suite() {
+            assert!(
+                e.report.allocation.fits,
+                "{} overflows its target's stages",
+                e.name
+            );
+        }
+    }
+}

@@ -44,6 +44,8 @@
 //! `p4sim_stage_latency_ns`, `anomaly_detection_delay_ns`. Per-shard
 //! series carry a `shard="<i>"` label; per-stage series a
 //! `table="<name>"` label.
+#![forbid(unsafe_code)]
+
 
 pub mod check;
 pub mod expo;
