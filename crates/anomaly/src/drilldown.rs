@@ -18,10 +18,37 @@
 //! time for fresh statistics to accumulate), which is what makes the
 //! paper's end-to-end pinpoint latency "2–3 seconds" despite detection
 //! happening within one interval.
+//!
+//! # Self-healing control loop
+//!
+//! The control channel is allowed to be lossy (see
+//! `faultinject::FaultSchedule`): any rebind request may be dropped or
+//! reordered in flight. The controller therefore treats each rebind as
+//! an acknowledged *transaction*:
+//!
+//! - the whole transaction (clear bindings, reset the distribution,
+//!   bump the generation register, install the new bindings) travels
+//!   as ONE atomic [`p4sim::RuntimeRequest::Batch`] message — it is
+//!   applied in full or lost in full, never half-applied;
+//! - the batch carries a tag; the switch's [`ControlMsg::Response`]
+//!   acks it;
+//! - a timer re-sends the transaction while it is unacked, with
+//!   exponential backoff ([`DrilldownController::ack_timeout`]
+//!   doubling per attempt);
+//! - re-sends are idempotent: the batch starts from a table clear and
+//!   stamps the binding *generation*, so applying it twice converges
+//!   to the same switch state;
+//! - imbalance digests carry the generation they were computed under;
+//!   digests from an older generation (in flight across a rebind, or
+//!   emitted from a partially-applied one) are rejected as stale.
+//!
+//! [`DrilldownStats`] counts every retry, ack, timeout and stale
+//! digest, so chaos runs can assert the loop actually healed.
 
 use crate::alerts::Alert;
 use netsim::control::ControlMsg;
 use netsim::node::{Node, NodeCtx, NodeId};
+use netsim::SimTime;
 use p4sim::pipeline::DigestRecord;
 use stat4_p4::binding;
 use stat4_p4::{CaseStudyHandles, DIGEST_IMBALANCE, DIGEST_SPIKE};
@@ -78,6 +105,39 @@ pub struct DrilldownTopology {
     pub hosts_per_subnet: u8,
 }
 
+/// Reliability counters for the self-healing control loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrilldownStats {
+    /// Rebind transactions started (one per phase transition).
+    pub rebinds: u64,
+    /// Control requests sent, including re-sends.
+    pub requests_sent: u64,
+    /// Responses matched to an outstanding request tag.
+    pub acks: u64,
+    /// Whole-transaction re-sends after an ack timeout.
+    pub retries: u64,
+    /// Ack timers that fired with requests still unacked.
+    pub timeouts: u64,
+    /// Transactions abandoned after exhausting the retry budget.
+    pub gave_up: u64,
+    /// Imbalance digests rejected for carrying an older generation.
+    pub stale_digests: u64,
+}
+
+/// One in-flight rebind transaction awaiting acks.
+#[derive(Debug, Clone)]
+struct PendingRebind {
+    /// Binding generation the transaction installs (also the timer
+    /// token, so late timers of superseded transactions are ignored).
+    generation: u64,
+    /// The full request list, kept for idempotent re-sends.
+    reqs: Vec<p4sim::RuntimeRequest>,
+    /// Tag of the unacked batch message, if one is in flight.
+    outstanding: Option<u64>,
+    /// Re-send attempts so far.
+    attempt: u32,
+}
+
 /// The controller node.
 pub struct DrilldownController {
     handles: CaseStudyHandles,
@@ -89,10 +149,19 @@ pub struct DrilldownController {
     pub alerts: Vec<Alert>,
     /// The run's timeline.
     pub report: DrilldownReport,
+    /// Reliability counters (retries, acks, stale digests).
+    pub stats: DrilldownStats,
+    /// Base ack timeout for a rebind transaction; doubles with each
+    /// retry (exponential backoff). Should comfortably exceed one
+    /// control-channel round trip.
+    pub ack_timeout: SimTime,
+    /// Re-sends allowed per transaction before giving up.
+    pub max_retries: u32,
     next_tag: u64,
     /// Current binding generation; imbalance digests stamped with an
     /// older generation were in flight across a rebind and are ignored.
     generation: u64,
+    pending: Option<PendingRebind>,
 }
 
 impl DrilldownController {
@@ -107,39 +176,89 @@ impl DrilldownController {
             phase: DrilldownPhase::WatchingPrefix,
             alerts: Vec::new(),
             report: DrilldownReport::default(),
+            stats: DrilldownStats::default(),
+            ack_timeout: 10 * netsim::MILLIS,
+            max_retries: 8,
             next_tag: 1,
             generation: 0,
+            pending: None,
         }
     }
 
-    fn send(&mut self, ctx: &mut NodeCtx, req: p4sim::RuntimeRequest) {
-        let tag = self.next_tag;
-        self.next_tag += 1;
-        ctx.send_control(self.switch, ControlMsg::Request { tag, req });
-    }
-
+    /// Starts an acknowledged rebind transaction: clear old bindings,
+    /// reset the distribution, bump the generation register, install
+    /// `binds`. The whole list is kept for idempotent re-sends until
+    /// every request is acked.
     fn rebind(&mut self, ctx: &mut NodeCtx, binds: Vec<p4sim::RuntimeRequest>) {
         self.generation += 1;
-        self.send(ctx, binding::clear_bindings_h(&self.handles));
-        for req in binding::reset_distribution_h(&self.handles) {
-            self.send(ctx, req);
-        }
-        self.send(
-            ctx,
-            p4sim::RuntimeRequest::WriteRegister {
-                register: self.handles.generation_reg,
-                index: 0,
-                value: self.generation,
+        let mut reqs = vec![binding::clear_bindings_h(&self.handles)];
+        reqs.extend(binding::reset_distribution_h(&self.handles));
+        reqs.push(p4sim::RuntimeRequest::WriteRegister {
+            register: self.handles.generation_reg,
+            index: 0,
+            value: self.generation,
+        });
+        reqs.extend(binds);
+        self.stats.rebinds += 1;
+        // A still-unacked older transaction is superseded: its state is
+        // about to be overwritten anyway, and its late timer is ignored
+        // by the generation check.
+        self.pending = Some(PendingRebind {
+            generation: self.generation,
+            reqs,
+            outstanding: None,
+            attempt: 0,
+        });
+        self.send_transaction(ctx);
+    }
+
+    /// (Re-)sends the pending transaction as ONE atomic
+    /// [`p4sim::RuntimeRequest::Batch`] message and arms the ack timer
+    /// with exponentially backed-off delay.
+    ///
+    /// Atomicity is what makes the loop safe on a faulty channel: the
+    /// batch either reaches the switch whole (clear + generation bump +
+    /// binds applied back-to-back, so no digest is ever computed on
+    /// half-applied bindings) or is lost whole and re-sent on timeout.
+    /// Duplicated deliveries reapply cleanly because the batch starts
+    /// from a table clear.
+    fn send_transaction(&mut self, ctx: &mut NodeCtx) {
+        let Some(mut p) = self.pending.take() else {
+            return;
+        };
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        p.outstanding = Some(tag);
+        ctx.send_control(
+            self.switch,
+            ControlMsg::Request {
+                tag,
+                req: p4sim::RuntimeRequest::Batch(p.reqs.clone()),
             },
         );
-        for req in binds {
-            self.send(ctx, req);
+        self.stats.requests_sent += 1;
+        let backoff = self.ack_timeout << p.attempt.min(6);
+        ctx.set_timer(backoff, p.generation);
+        self.pending = Some(p);
+    }
+
+    fn on_response(&mut self, tag: u64) {
+        let Some(p) = self.pending.as_mut() else {
+            return;
+        };
+        if p.outstanding == Some(tag) {
+            self.stats.acks += 1;
+            self.pending = None;
         }
     }
 
     /// True when an imbalance digest belongs to the current bindings.
-    fn digest_is_current(&self, digest: &DigestRecord) -> bool {
-        digest.values.last().copied() == Some(self.generation)
+    fn digest_is_current(&mut self, digest: &DigestRecord) -> bool {
+        let current = digest.values.last().copied() == Some(self.generation);
+        if !current {
+            self.stats.stale_digests += 1;
+        }
+        current
     }
 
     fn on_digest(&mut self, ctx: &mut NodeCtx, digest: &DigestRecord) {
@@ -209,11 +328,34 @@ impl Node for DrilldownController {
     fn on_frame(&mut self, _ctx: &mut NodeCtx, _port: usize, _frame: bytes::Bytes) {}
 
     fn on_control(&mut self, ctx: &mut NodeCtx, _from: NodeId, msg: ControlMsg) {
-        if let ControlMsg::Digest { digest, .. } = msg {
-            self.on_digest(ctx, &digest);
+        match msg {
+            ControlMsg::Digest { digest, .. } => self.on_digest(ctx, &digest),
+            // Acks for the pending rebind transaction. A duplicated
+            // response acks an already-cleared tag and is ignored, so
+            // the loop is idempotent under control-channel duplication.
+            ControlMsg::Response { tag, .. } => self.on_response(tag),
+            _ => {}
         }
-        // Responses are fire-and-forget: the runtime layer reports
-        // errors in RuntimeResponse, surfaced by experiments if needed.
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx, token: u64) {
+        // Only the pending transaction's own timer matters; timers of
+        // superseded or fully-acked transactions arrive late and miss.
+        let Some(p) = self.pending.as_mut() else {
+            return;
+        };
+        if p.generation != token || p.outstanding.is_none() {
+            return;
+        }
+        self.stats.timeouts += 1;
+        if p.attempt >= self.max_retries {
+            self.stats.gave_up += 1;
+            self.pending = None;
+            return;
+        }
+        p.attempt += 1;
+        self.stats.retries += 1;
+        self.send_transaction(ctx);
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -357,6 +499,137 @@ mod tests {
         let ctl = sim.node_as::<DrilldownController>(controller).unwrap();
         assert_eq!(ctl.phase, DrilldownPhase::WatchingPrefix);
         assert!(ctl.alerts.is_empty(), "alerts: {:?}", ctl.alerts);
+    }
+
+    /// The self-healing loop under chaos: with 25% control-message
+    /// loss plus jitter, rebind requests get dropped in flight — the
+    /// ack timers must re-send them until the drill-down completes.
+    #[test]
+    fn drilldown_heals_over_lossy_control_channel() {
+        let params = CaseStudyParams {
+            interval_log2: 20,
+            window_size: 32,
+            min_intervals: 8,
+            config: Stat4Config {
+                counter_num: 2,
+                counter_size: 256,
+                width_bits: 64,
+            },
+            ..CaseStudyParams::default()
+        };
+        let workload = SpikeWorkload {
+            background_pps: 20_000,
+            spike_multiplier: 10,
+            spike_start_range: (40_000_000, 60_000_000),
+            duration: 600_000_000,
+            seed: 11,
+            ..SpikeWorkload::default()
+        };
+        let (schedule, truth) = workload.generate();
+        let app = CaseStudyApp::build(params).unwrap();
+        let handles = app.handles();
+
+        let mut sim = Simulation::new();
+        sim.set_fault_schedule(
+            faultinject::FaultSchedule::parse("ctrl_loss=0.25,ctrl_delay_ns=300us", 2).unwrap(),
+        );
+        let source = sim.add_node(Box::new(TrafficSource::new(Box::new(TraceGen::new(
+            schedule,
+        )))));
+        let sink = sim.add_node(Box::new(SinkHost::new(Arc::new(AtomicU64::new(0)))));
+        let switch = sim.add_node(Box::new(P4SwitchNode::new(app.pipeline)));
+        let controller = sim.add_node(Box::new(DrilldownController::new(
+            handles,
+            switch,
+            DrilldownTopology {
+                net: 10,
+                subnets: 6,
+                hosts_per_subnet: 6,
+            },
+        )));
+        sim.node_as_mut::<P4SwitchNode>(switch).unwrap().controller = Some(controller);
+        sim.connect(source, 0, switch, 0, 20 * MICROS);
+        sim.connect(switch, 1, sink, 0, 20 * MICROS);
+        sim.connect_control(switch, controller, 2 * MILLIS);
+        sim.run();
+
+        let ctl = sim.node_as::<DrilldownController>(controller).unwrap();
+        assert!(
+            matches!(ctl.phase, DrilldownPhase::Done { .. }),
+            "drill-down must complete despite loss: phase = {:?}, stats = {:?}",
+            ctl.phase,
+            ctl.stats
+        );
+        assert_eq!(ctl.report.dest, Some(truth.spike_dest), "right victim");
+        // The chaos actually bit and the loop actually healed.
+        assert!(
+            sim.fault_stats.control_dropped > 0,
+            "schedule dropped nothing: {:?}",
+            sim.fault_stats
+        );
+        assert!(ctl.stats.acks > 0, "{:?}", ctl.stats);
+        assert!(
+            ctl.stats.retries > 0,
+            "lost rebind requests must trigger re-sends: {:?}",
+            ctl.stats
+        );
+        assert_eq!(ctl.stats.gave_up, 0, "{:?}", ctl.stats);
+    }
+
+    /// Two chaos runs with one seed are bit-identical; the timeline is
+    /// reproducible for debugging.
+    #[test]
+    fn lossy_drilldown_is_seed_deterministic() {
+        let run = |seed: u64| {
+            let params = CaseStudyParams {
+                interval_log2: 20,
+                window_size: 32,
+                min_intervals: 8,
+                ..CaseStudyParams::default()
+            };
+            let (schedule, _) = SpikeWorkload {
+                background_pps: 20_000,
+                spike_multiplier: 10,
+                spike_start_range: (40_000_000, 60_000_000),
+                duration: 300_000_000,
+                seed: 11,
+                ..SpikeWorkload::default()
+            }
+            .generate();
+            let app = CaseStudyApp::build(params).unwrap();
+            let handles = app.handles();
+            let mut sim = Simulation::new();
+            sim.set_fault_schedule(
+                faultinject::FaultSchedule::parse("ctrl_loss=0.2,ctrl_delay_ns=200us", seed)
+                    .unwrap(),
+            );
+            let source = sim.add_node(Box::new(TrafficSource::new(Box::new(TraceGen::new(
+                schedule,
+            )))));
+            let sink = sim.add_node(Box::new(SinkHost::new(Arc::new(AtomicU64::new(0)))));
+            let switch = sim.add_node(Box::new(P4SwitchNode::new(app.pipeline)));
+            let controller = sim.add_node(Box::new(DrilldownController::new(
+                handles,
+                switch,
+                DrilldownTopology {
+                    net: 10,
+                    subnets: 6,
+                    hosts_per_subnet: 6,
+                },
+            )));
+            sim.node_as_mut::<P4SwitchNode>(switch).unwrap().controller = Some(controller);
+            sim.connect(source, 0, switch, 0, 20 * MICROS);
+            sim.connect(switch, 1, sink, 0, 20 * MICROS);
+            sim.connect_control(switch, controller, 2 * MILLIS);
+            sim.run();
+            let ctl = sim.node_as::<DrilldownController>(controller).unwrap();
+            (ctl.report, ctl.stats, ctl.alerts.clone())
+        };
+        let a = run(3);
+        let b = run(3);
+        assert_eq!(a, b);
+        let c = run(4);
+        assert_ne!(a.1, c.1, "different seed, different chaos");
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod synflood;
 pub use alerts::Alert;
 pub use metrics::{Check, DetectorMetrics};
 pub use classify::DriftMonitor;
-pub use drilldown::{DrilldownController, DrilldownPhase, DrilldownReport};
+pub use drilldown::{DrilldownController, DrilldownPhase, DrilldownReport, DrilldownStats};
 pub use epoch::EpochSynFloodDetector;
 pub use polling::PollingController;
 pub use shift::PercentileShiftDetector;

@@ -1,0 +1,376 @@
+//! Declarative fault specification and its textual grammar.
+
+use std::fmt;
+
+/// What happens to a shard thread when its fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardFaultKind {
+    /// The shard sleeps for this many (simulated-work) nanoseconds
+    /// before finishing its epoch; state survives.
+    Stall {
+        /// Stall duration in nanoseconds.
+        ns: u64,
+    },
+    /// The shard thread panics mid-epoch; the supervisor quarantines it.
+    Panic,
+    /// The shard stops cleanly but permanently; quarantined like a
+    /// panic but without unwinding.
+    Crash,
+}
+
+/// One scheduled shard fault: shard `shard` misbehaves at epoch `epoch`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardFault {
+    /// Shard index the fault applies to.
+    pub shard: usize,
+    /// Epoch (0-based) at which the fault fires.
+    pub epoch: u64,
+    /// What the shard does.
+    pub kind: ShardFaultKind,
+}
+
+/// One scheduled single-event-upset: flip `bit` of `cell` in register
+/// `register` just before packet `at_packet` is processed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeuFault {
+    /// Register name as declared in the program.
+    pub register: String,
+    /// Cell index within the register array.
+    pub cell: usize,
+    /// Bit position to flip (0 = LSB).
+    pub bit: u8,
+    /// 0-based index of the packet before which the flip lands.
+    pub at_packet: u64,
+}
+
+/// A window of forced misses on one table: every lookup of `table`
+/// while the pipeline's packet counter is in `[from_packet, to_packet)`
+/// misses regardless of installed entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableMissWindow {
+    /// Table name as declared in the program.
+    pub table: String,
+    /// First affected packet index (inclusive).
+    pub from_packet: u64,
+    /// First unaffected packet index (exclusive).
+    pub to_packet: u64,
+}
+
+/// A link-flap window: data-plane frames sent while the simulation
+/// clock is in `[from_ns, to_ns)` are silently dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkFlap {
+    /// Window start in simulation nanoseconds (inclusive).
+    pub from_ns: u64,
+    /// Window end in simulation nanoseconds (exclusive).
+    pub to_ns: u64,
+}
+
+/// Declarative description of every fault a run may experience.
+///
+/// Probabilities drive seeded per-ordinal decisions in
+/// [`crate::FaultSchedule`]; the explicit lists fire unconditionally at
+/// their scheduled points. The default spec is empty: every decision
+/// method answers "no fault".
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSpec {
+    /// Probability in `[0, 1]` that any given control message (or
+    /// replay epoch report) is dropped.
+    pub ctrl_loss: f64,
+    /// Probability in `[0, 1]` that a control message is duplicated.
+    pub ctrl_dup: f64,
+    /// Maximum extra control-message delay; actual jitter is uniform
+    /// in `[0, ctrl_delay_ns]` per message. Delay variance is what
+    /// reorders messages relative to their send order.
+    pub ctrl_delay_ns: u64,
+    /// Data-plane link-flap windows.
+    pub link_flaps: Vec<LinkFlap>,
+    /// Scheduled shard faults.
+    pub shard_faults: Vec<ShardFault>,
+    /// Scheduled register bit flips.
+    pub seus: Vec<SeuFault>,
+    /// Forced table-miss windows.
+    pub table_miss: Vec<TableMissWindow>,
+}
+
+/// A fault-spec string failed to parse; the message says where and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err(entry: &str, why: impl fmt::Display) -> SpecError {
+    SpecError(format!("`{entry}`: {why}"))
+}
+
+/// Parses `1500`, `250us`, `4ms`, `2s` into nanoseconds.
+fn parse_duration_ns(s: &str) -> Result<u64, String> {
+    let (digits, mult) = if let Some(d) = s.strip_suffix("us") {
+        (d, 1_000)
+    } else if let Some(d) = s.strip_suffix("ms") {
+        (d, 1_000_000)
+    } else if let Some(d) = s.strip_suffix("ns") {
+        (d, 1)
+    } else if let Some(d) = s.strip_suffix('s') {
+        (d, 1_000_000_000)
+    } else {
+        (s, 1)
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("`{s}` is not a duration (expected e.g. `1500`, `250us`, `4ms`)"))?;
+    n.checked_mul(mult)
+        .ok_or_else(|| format!("duration `{s}` overflows u64 nanoseconds"))
+}
+
+fn parse_prob(entry: &str, v: &str) -> Result<f64, SpecError> {
+    let p: f64 = v
+        .parse()
+        .map_err(|_| err(entry, format_args!("`{v}` is not a probability")))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(err(entry, format_args!("probability {p} outside [0, 1]")));
+    }
+    Ok(p)
+}
+
+/// Parses `S@E` into (shard, epoch).
+fn parse_shard_at(entry: &str, v: &str) -> Result<(usize, u64), SpecError> {
+    let (s, e) = v
+        .split_once('@')
+        .ok_or_else(|| err(entry, "expected `<shard>@<epoch>`"))?;
+    let shard = s
+        .parse()
+        .map_err(|_| err(entry, format_args!("`{s}` is not a shard index")))?;
+    let epoch = e
+        .parse()
+        .map_err(|_| err(entry, format_args!("`{e}` is not an epoch number")))?;
+    Ok((shard, epoch))
+}
+
+impl FaultSpec {
+    /// Parses the comma-separated `key=value` grammar described in the
+    /// crate docs. Whitespace around entries is ignored; keys may
+    /// repeat (repeated probability keys keep the last value, repeated
+    /// event keys accumulate). An empty string parses to the empty
+    /// spec.
+    pub fn parse(spec: &str) -> Result<Self, SpecError> {
+        let mut out = Self::default();
+        for entry in spec.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (key, val) = entry
+                .split_once('=')
+                .ok_or_else(|| err(entry, "expected `key=value`"))?;
+            match key {
+                "ctrl_loss" => out.ctrl_loss = parse_prob(entry, val)?,
+                "ctrl_dup" => out.ctrl_dup = parse_prob(entry, val)?,
+                "ctrl_delay_ns" | "ctrl_delay" => {
+                    out.ctrl_delay_ns =
+                        parse_duration_ns(val).map_err(|e| err(entry, e))?;
+                }
+                "link_flap" => {
+                    let v = val
+                        .strip_prefix('@')
+                        .ok_or_else(|| err(entry, "expected `@<from>..<to>`"))?;
+                    let (from, to) = v
+                        .split_once("..")
+                        .ok_or_else(|| err(entry, "expected `@<from>..<to>`"))?;
+                    let from_ns = parse_duration_ns(from).map_err(|e| err(entry, e))?;
+                    let to_ns = parse_duration_ns(to).map_err(|e| err(entry, e))?;
+                    if from_ns >= to_ns {
+                        return Err(err(entry, "flap window is empty"));
+                    }
+                    out.link_flaps.push(LinkFlap { from_ns, to_ns });
+                }
+                "shard_crash" | "shard_panic" => {
+                    let (shard, epoch) = parse_shard_at(entry, val)?;
+                    let kind = if key == "shard_crash" {
+                        ShardFaultKind::Crash
+                    } else {
+                        ShardFaultKind::Panic
+                    };
+                    out.shard_faults.push(ShardFault { shard, epoch, kind });
+                }
+                "shard_stall" => {
+                    let (head, dur) = val
+                        .split_once(':')
+                        .ok_or_else(|| err(entry, "expected `<shard>@<epoch>:<duration>`"))?;
+                    let (shard, epoch) = parse_shard_at(entry, head)?;
+                    let ns = parse_duration_ns(dur).map_err(|e| err(entry, e))?;
+                    out.shard_faults.push(ShardFault {
+                        shard,
+                        epoch,
+                        kind: ShardFaultKind::Stall { ns },
+                    });
+                }
+                "seu" => {
+                    // register:cell:bit@packet
+                    let (head, pkt) = val
+                        .split_once('@')
+                        .ok_or_else(|| err(entry, "expected `<reg>:<cell>:<bit>@<packet>`"))?;
+                    let mut parts = head.split(':');
+                    let (reg, cell, bit) = match (parts.next(), parts.next(), parts.next(), parts.next())
+                    {
+                        (Some(r), Some(c), Some(b), None) => (r, c, b),
+                        _ => return Err(err(entry, "expected `<reg>:<cell>:<bit>@<packet>`")),
+                    };
+                    let cell = cell
+                        .parse()
+                        .map_err(|_| err(entry, format_args!("`{cell}` is not a cell index")))?;
+                    let bit: u8 = bit
+                        .parse()
+                        .map_err(|_| err(entry, format_args!("`{bit}` is not a bit position")))?;
+                    if bit > 63 {
+                        return Err(err(entry, format_args!("bit {bit} outside 0..=63")));
+                    }
+                    let at_packet = pkt
+                        .parse()
+                        .map_err(|_| err(entry, format_args!("`{pkt}` is not a packet index")))?;
+                    out.seus.push(SeuFault {
+                        register: reg.to_string(),
+                        cell,
+                        bit,
+                        at_packet,
+                    });
+                }
+                "table_miss" => {
+                    let (table, range) = val
+                        .split_once('@')
+                        .ok_or_else(|| err(entry, "expected `<table>@<from>..<to>`"))?;
+                    let (from, to) = range
+                        .split_once("..")
+                        .ok_or_else(|| err(entry, "expected `<table>@<from>..<to>`"))?;
+                    let from_packet = from
+                        .parse()
+                        .map_err(|_| err(entry, format_args!("`{from}` is not a packet index")))?;
+                    let to_packet = to
+                        .parse()
+                        .map_err(|_| err(entry, format_args!("`{to}` is not a packet index")))?;
+                    if from_packet >= to_packet {
+                        return Err(err(entry, "miss window is empty"));
+                    }
+                    out.table_miss.push(TableMissWindow {
+                        table: table.to_string(),
+                        from_packet,
+                        to_packet,
+                    });
+                }
+                other => {
+                    return Err(err(
+                        entry,
+                        format_args!(
+                            "unknown fault key `{other}` (known: ctrl_loss, ctrl_dup, \
+                             ctrl_delay_ns, link_flap, shard_crash, shard_panic, \
+                             shard_stall, seu, table_miss)"
+                        ),
+                    ))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// True when the spec declares no faults at all — the schedule will
+    /// never perturb anything and every layer takes its fast path.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ctrl_loss == 0.0
+            && self.ctrl_dup == 0.0
+            && self.ctrl_delay_ns == 0
+            && self.link_flaps.is_empty()
+            && self.shard_faults.is_empty()
+            && self.seus.is_empty()
+            && self.table_miss.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_string_is_empty_spec() {
+        let s = FaultSpec::parse("").unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s, FaultSpec::default());
+    }
+
+    #[test]
+    fn full_grammar_round_trips_into_fields() {
+        let s = FaultSpec::parse(
+            "ctrl_loss=0.30, ctrl_dup=0.05, ctrl_delay_ns=250us, \
+             link_flap=@5ms..9ms, shard_crash=1@3, shard_panic=0@2, \
+             shard_stall=2@4:1500000, seu=syn_count:12:7@40000, \
+             table_miss=binding@100..200",
+        )
+        .unwrap();
+        assert!((s.ctrl_loss - 0.30).abs() < 1e-12);
+        assert!((s.ctrl_dup - 0.05).abs() < 1e-12);
+        assert_eq!(s.ctrl_delay_ns, 250_000);
+        assert_eq!(
+            s.link_flaps,
+            vec![LinkFlap { from_ns: 5_000_000, to_ns: 9_000_000 }]
+        );
+        assert_eq!(s.shard_faults.len(), 3);
+        assert_eq!(
+            s.shard_faults[0],
+            ShardFault { shard: 1, epoch: 3, kind: ShardFaultKind::Crash }
+        );
+        assert_eq!(
+            s.shard_faults[2],
+            ShardFault { shard: 2, epoch: 4, kind: ShardFaultKind::Stall { ns: 1_500_000 } }
+        );
+        assert_eq!(
+            s.seus,
+            vec![SeuFault { register: "syn_count".into(), cell: 12, bit: 7, at_packet: 40_000 }]
+        );
+        assert_eq!(
+            s.table_miss,
+            vec![TableMissWindow { table: "binding".into(), from_packet: 100, to_packet: 200 }]
+        );
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn bad_entries_are_rejected_with_context() {
+        for bad in [
+            "ctrl_loss=1.5",
+            "ctrl_loss=maybe",
+            "nonsense=1",
+            "shard_crash=1",
+            "shard_stall=1@2",
+            "seu=reg:0:64@5",
+            "seu=reg:0@5",
+            "link_flap=@9ms..5ms",
+            "table_miss=t@5..5",
+            "ctrl_delay_ns=4x",
+            "justakey",
+        ] {
+            let e = FaultSpec::parse(bad).unwrap_err();
+            assert!(e.to_string().contains("bad fault spec"), "{bad}: {e}");
+        }
+    }
+
+    #[test]
+    fn durations_accept_suffixes() {
+        for (txt, ns) in [("1500", 1_500), ("250us", 250_000), ("4ms", 4_000_000), ("2s", 2_000_000_000), ("7ns", 7)] {
+            let s = FaultSpec::parse(&format!("ctrl_delay_ns={txt}")).unwrap();
+            assert_eq!(s.ctrl_delay_ns, ns, "{txt}");
+        }
+    }
+
+    #[test]
+    fn repeated_event_keys_accumulate() {
+        let s = FaultSpec::parse("shard_crash=0@1,shard_crash=1@1,seu=a:0:1@2,seu=b:0:1@3").unwrap();
+        assert_eq!(s.shard_faults.len(), 2);
+        assert_eq!(s.seus.len(), 2);
+    }
+}

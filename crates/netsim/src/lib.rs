@@ -39,7 +39,7 @@ pub mod switch;
 pub use control::{ControlMsg, RecordingController};
 pub use host::{SinkHost, TrafficGen, TrafficSource};
 pub use node::{Emission, Node, NodeCtx, NodeId};
-pub use sim::Simulation;
+pub use sim::{FaultStats, Simulation};
 pub use switch::{P4SwitchNode, SwitchTimings};
 
 /// Nanoseconds — the simulator's time unit.

@@ -4,8 +4,31 @@ use crate::control::ControlMsg;
 use crate::node::{Emission, Node, NodeCtx, NodeId};
 use crate::SimTime;
 use bytes::Bytes;
+use faultinject::FaultSchedule;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+
+/// What the installed fault schedule actually did to this simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Control messages dropped in flight.
+    pub control_dropped: u64,
+    /// Control messages delivered twice.
+    pub control_duplicated: u64,
+    /// Control messages that picked up extra (possibly reordering)
+    /// jitter beyond the configured channel delay.
+    pub control_jittered: u64,
+    /// Data-plane frames lost to link-flap windows.
+    pub frames_flapped: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.control_dropped + self.control_duplicated + self.control_jittered + self.frames_flapped
+    }
+}
 
 /// A queued event.
 #[derive(Debug)]
@@ -55,6 +78,14 @@ pub struct Simulation {
     pub frames_delivered: u64,
     /// Events processed, for stats.
     pub events_processed: u64,
+    /// Injected faults (empty by default). Decisions are keyed on a
+    /// per-send control-message ordinal, which the single-threaded
+    /// event loop assigns deterministically.
+    faults: FaultSchedule,
+    /// Ordinal of the next control-message send.
+    ctrl_seq: u64,
+    /// What the schedule actually did.
+    pub fault_stats: FaultStats,
 }
 
 impl Default for Simulation {
@@ -78,7 +109,17 @@ impl Simulation {
             now: 0,
             frames_delivered: 0,
             events_processed: 0,
+            faults: FaultSchedule::none(),
+            ctrl_seq: 0,
+            fault_stats: FaultStats::default(),
         }
+    }
+
+    /// Installs a fault schedule. Subsequent control-message sends and
+    /// frame transmissions consult it; an empty schedule (the default)
+    /// perturbs nothing.
+    pub fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        self.faults = schedule;
     }
 
     /// Adds a node, returning its id.
@@ -198,6 +239,13 @@ impl Simulation {
         for e in emissions {
             match e {
                 Emission::SendFrame { port, frame } => {
+                    if self.faults.link_down_at(self.now) {
+                        // Link flap: the frame leaves the NIC and dies
+                        // on the wire. Transmit occupancy is not
+                        // charged — the sender cannot tell.
+                        self.fault_stats.frames_flapped += 1;
+                        continue;
+                    }
                     if let Some(&link) = self.links.get(&(source, port)) {
                         // FIFO serialisation: the frame starts
                         // transmitting when the link is free.
@@ -233,13 +281,37 @@ impl Simulation {
                     msg,
                     extra_delay,
                 } => {
+                    let ord = self.ctrl_seq;
+                    self.ctrl_seq += 1;
+                    if self.faults.drop_control(ord) {
+                        self.fault_stats.control_dropped += 1;
+                        continue;
+                    }
                     let delay = self
                         .control_delays
                         .get(&(source, dst))
                         .copied()
                         .unwrap_or(0);
+                    let jitter = self.faults.control_extra_delay_ns(ord);
+                    if jitter > 0 {
+                        self.fault_stats.control_jittered += 1;
+                    }
+                    if self.faults.duplicate_control(ord) {
+                        // The duplicate takes its own jitter draw, so
+                        // the two copies can arrive in either order.
+                        self.fault_stats.control_duplicated += 1;
+                        let dup_jitter = self.faults.control_extra_delay_ns(u64::MAX - ord);
+                        self.push(
+                            self.now + delay + extra_delay + dup_jitter,
+                            EventKind::Control {
+                                node: dst,
+                                from: source,
+                                msg: msg.clone(),
+                            },
+                        );
+                    }
                     self.push(
-                        self.now + delay + extra_delay,
+                        self.now + delay + extra_delay + jitter,
                         EventKind::Control {
                             node: dst,
                             from: source,

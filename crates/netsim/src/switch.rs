@@ -75,6 +75,7 @@ impl P4SwitchNode {
         match req {
             RuntimeRequest::ReadRegisterRange { len, .. } => self.timings.per_cell_read * *len,
             RuntimeRequest::ReadRegister { .. } => self.timings.per_cell_read,
+            RuntimeRequest::Batch(reqs) => reqs.iter().map(|r| self.read_cost(r)).sum(),
             _ => 0,
         }
     }

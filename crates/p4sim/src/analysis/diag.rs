@@ -84,6 +84,12 @@ pub enum LintCode {
     /// `S4L011` — a left shift can push set bits past the 64-bit PHV
     /// word (possible wrap; certain wraps use `S4L005`).
     ShiftOverflow,
+    /// `S4L012` — a register's declared width leaves no headroom for
+    /// the SEU-recovery saturation path on a target that reserves
+    /// guard bits (`TargetModel::seu_headroom_bits`): an out-of-width
+    /// bit flip cannot be detected, so corruption wraps silently
+    /// instead of saturating.
+    SeuHeadroom,
 }
 
 impl LintCode {
@@ -102,6 +108,7 @@ impl LintCode {
             LintCode::StageResourceUnallocatable => "S4L009",
             LintCode::MulOverflow => "S4L010",
             LintCode::ShiftOverflow => "S4L011",
+            LintCode::SeuHeadroom => "S4L012",
         }
     }
 }

@@ -221,6 +221,34 @@ fn target_legality(p: &Pipeline, target: &TargetModel, diags: &mut Vec<Diagnosti
     }
 }
 
+/// Checks that every register leaves room for the target's SEU-recovery
+/// guard bits: the saturating recovery path (see [`crate::fault`])
+/// detects a bit flip by the value exceeding the register's width mask,
+/// which is only possible when `width_bits + seu_headroom_bits` still
+/// fits the 64-bit cell. Targets with `seu_headroom_bits == 0` demand
+/// no hardening and are never flagged.
+fn seu_headroom(p: &Pipeline, target: &TargetModel, diags: &mut Vec<Diagnostic>) {
+    if target.seu_headroom_bits == 0 {
+        return;
+    }
+    for reg in p.registers() {
+        if reg.width_bits + target.seu_headroom_bits > 64 {
+            diags.push(Diagnostic::new(
+                LintCode::SeuHeadroom,
+                Severity::Warning,
+                format!("register `{}`", reg.name),
+                format!(
+                    "declared width {} bits leaves no room for the {} guard bit(s) `{}` reserves for SEU-recovery saturation; an out-of-width flip wraps silently (cap the width at {} bits or drop the hardening requirement)",
+                    reg.width_bits,
+                    target.seu_headroom_bits,
+                    target.name,
+                    64 - target.seu_headroom_bits
+                ),
+            ));
+        }
+    }
+}
+
 /// Verifies a built pipeline against its own target.
 #[must_use]
 pub fn verify(p: &Pipeline) -> VerifyReport {
@@ -234,6 +262,7 @@ pub fn verify(p: &Pipeline) -> VerifyReport {
 pub fn verify_against(p: &Pipeline, target: &TargetModel) -> VerifyReport {
     let mut diags = Vec::new();
     target_legality(p, target, &mut diags);
+    seu_headroom(p, target, &mut diags);
 
     let tdg = TableDepGraph::build(p);
     let allocation = allocate(p, &tdg, target, &mut diags);

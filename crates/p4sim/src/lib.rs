@@ -52,6 +52,7 @@ pub mod analysis;
 pub mod action;
 pub mod control;
 pub mod error;
+pub mod fault;
 pub mod metrics;
 pub mod parser;
 pub mod phv;
@@ -67,6 +68,7 @@ pub use action::{ActionDef, Operand, Primitive};
 pub use analysis::{verify, verify_against, Diagnostic, LintCode, Severity, VerifyReport};
 pub use control::{Cond, Control};
 pub use error::{P4Error, P4Result};
+pub use fault::{FaultHook, MissWindow, ScheduledFaults, SeuEvent, SeuRecovery};
 pub use metrics::PipelineMetrics;
 pub use parser::parse_frame;
 pub use phv::{FieldId, Phv};

@@ -4,6 +4,7 @@
 use crate::action::{ActionDef, Operand, Primitive};
 use crate::control::Control;
 use crate::error::{P4Error, P4Result};
+use crate::fault::FaultHook;
 use crate::parser::parse_frame;
 use crate::phv::{fields, Phv, DROP_PORT};
 use crate::table::Table;
@@ -69,6 +70,7 @@ pub struct Pipeline {
     pub(crate) tables: Vec<Table>,
     pub(crate) control: Control,
     pub(crate) packets_processed: u64,
+    pub(crate) fault_hook: Option<Box<dyn FaultHook>>,
 }
 
 impl Pipeline {
@@ -86,7 +88,20 @@ impl Pipeline {
             tables,
             control,
             packets_processed: 0,
+            fault_hook: None,
         }
+    }
+
+    /// Installs (or with `None`, removes) a fault-injection hook. The
+    /// hook sees every subsequent packet; see [`crate::fault`].
+    pub fn set_fault_hook(&mut self, hook: Option<Box<dyn FaultHook>>) {
+        self.fault_hook = hook;
+    }
+
+    /// The installed fault hook, if any (telemetry reads its counters).
+    #[must_use]
+    pub fn fault_hook(&self) -> Option<&dyn FaultHook> {
+        self.fault_hook.as_deref()
     }
 
     /// The target this program was validated against.
@@ -150,6 +165,10 @@ impl Pipeline {
     /// Propagates interpreter errors.
     pub fn process_phv(&mut self, phv: &mut Phv) -> P4Result<PacketOutcome> {
         let mut outcome = PacketOutcome::default();
+        if let Some(mut hook) = self.fault_hook.take() {
+            hook.before_packet(self.packets_processed, &mut self.registers);
+            self.fault_hook = Some(hook);
+        }
         let control = self.control.clone();
         self.exec_control(&control, phv, &mut outcome)?;
         while outcome.recirculate_requested {
@@ -206,7 +225,15 @@ impl Pipeline {
                     kind: "table",
                     id: *tid,
                 })?;
-                let hit = table.lookup(phv).cloned();
+                let forced_miss = self
+                    .fault_hook
+                    .as_ref()
+                    .is_some_and(|h| h.force_miss(self.packets_processed, &table.def.name));
+                let hit = if forced_miss {
+                    None
+                } else {
+                    table.lookup(phv).cloned()
+                };
                 outcome.tables_applied.push((*tid, hit.is_some()));
                 let invocation = match hit {
                     Some(e) => Some((e.action, e.action_data)),
@@ -677,6 +704,46 @@ mod tests {
         let mut phv0 = Phv::new();
         p.process_phv(&mut phv0).unwrap();
         assert_eq!(phv0.get(M1_TEST), 0, "msb(0) = 0");
+    }
+
+    #[test]
+    fn fault_hook_seu_flip_corrupts_register_before_packet() {
+        use crate::fault::{ScheduledFaults, SeuEvent, SeuRecovery};
+        let mut p = counting_pipeline();
+        p.set_fault_hook(Some(Box::new(ScheduledFaults::new(
+            vec![SeuEvent { register: "counters".into(), cell: 3, bit: 10, at_packet: 1 }],
+            vec![],
+            SeuRecovery::None,
+        ))));
+        // Packet 0: no fault yet, counts 100 into cell 3.
+        p.process_phv(&mut phv_to(0x0a01_0203, 100)).unwrap();
+        assert_eq!(p.registers()[0].cells[3], 100);
+        // Packet 1: flip bit 10 first, then count 60 more.
+        p.process_phv(&mut phv_to(0x0a01_0203, 60)).unwrap();
+        assert_eq!(p.registers()[0].cells[3], (100 ^ (1 << 10)) + 60);
+        // Cloning the pipeline clones the hook.
+        let _ = p.clone();
+    }
+
+    #[test]
+    fn fault_hook_forced_miss_runs_default_action() {
+        use crate::fault::{MissWindow, ScheduledFaults, SeuRecovery};
+        let mut p = counting_pipeline();
+        p.set_fault_hook(Some(Box::new(ScheduledFaults::new(
+            vec![],
+            vec![MissWindow { table: "bind".into(), from_packet: 0, to_packet: 1 }],
+            SeuRecovery::None,
+        ))));
+        // Packet 0 is inside the miss window: matching traffic is not
+        // counted, the default action still forwards.
+        let out = p.process_phv(&mut phv_to(0x0a01_0203, 100)).unwrap();
+        assert_eq!(out.tables_applied, vec![(0, false)]);
+        assert_eq!(out.egress, Some(1));
+        assert_eq!(p.registers()[0].cells[3], 0);
+        // Packet 1 is past the window: normal hit.
+        let out = p.process_phv(&mut phv_to(0x0a01_0203, 100)).unwrap();
+        assert_eq!(out.tables_applied, vec![(0, true)]);
+        assert_eq!(p.registers()[0].cells[3], 100);
     }
 
     #[test]

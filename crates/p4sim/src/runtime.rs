@@ -79,6 +79,19 @@ pub enum RuntimeRequest {
         /// Register id.
         register: usize,
     },
+    /// Apply a sequence of requests as one control-plane operation.
+    ///
+    /// A multi-step reconfiguration (clear a binding table, install new
+    /// bindings, bump the generation register) must never be observed
+    /// half-applied: on a lossy or reordering control channel, sending
+    /// the steps as separate messages lets some land and others vanish.
+    /// A batch travels in a single message, so it arrives — and applies
+    /// back-to-back, with no packets or other requests interleaved — or
+    /// it doesn't arrive at all. Sub-requests run in order; the first
+    /// failure stops the batch and is returned (already-applied
+    /// sub-requests are not rolled back). The response is that of the
+    /// last sub-request, so a batch may end in a read.
+    Batch(Vec<RuntimeRequest>),
 }
 
 /// Reply to a [`RuntimeRequest`].
@@ -226,6 +239,13 @@ impl Pipeline {
                 r.cells.fill(0);
                 Ok(RuntimeResponse::Ok)
             }
+            RuntimeRequest::Batch(reqs) => {
+                let mut last = RuntimeResponse::Ok;
+                for r in reqs {
+                    last = self.runtime_inner(r)?;
+                }
+                Ok(last)
+            }
         }
     }
 
@@ -281,6 +301,75 @@ mod tests {
         });
         b.set_control(Control::ApplyTable(t));
         (b.build(TargetModel::bmv2()).unwrap(), t, reg)
+    }
+
+    #[test]
+    fn batch_applies_in_order_and_is_replayable() {
+        let (mut p, t, reg) = pipeline();
+        // The drill-down shape: clear, rebind, bump generation, in one
+        // atomic message. Ends in a read so the response is checkable.
+        let batch = RuntimeRequest::Batch(vec![
+            RuntimeRequest::ClearTable { table: t },
+            RuntimeRequest::InsertEntry {
+                table: t,
+                entry: Entry {
+                    key: vec![MatchValue::Exact(9)],
+                    priority: 0,
+                    action: 0,
+                    action_data: vec![2],
+                },
+            },
+            RuntimeRequest::WriteRegister {
+                register: reg,
+                index: 1,
+                value: 5,
+            },
+            RuntimeRequest::ReadRegister {
+                register: reg,
+                index: 1,
+            },
+        ]);
+        assert_eq!(p.runtime(&batch), RuntimeResponse::Value(5));
+        // A duplicated delivery (retry after a lost ack) reapplies
+        // cleanly because the batch starts from a table clear.
+        assert_eq!(p.runtime(&batch), RuntimeResponse::Value(5));
+    }
+
+    #[test]
+    fn batch_stops_at_first_error() {
+        let (mut p, _, reg) = pipeline();
+        let batch = RuntimeRequest::Batch(vec![
+            RuntimeRequest::WriteRegister {
+                register: reg,
+                index: 0,
+                value: 1,
+            },
+            RuntimeRequest::ReadRegister {
+                register: reg,
+                index: 999,
+            },
+            RuntimeRequest::WriteRegister {
+                register: reg,
+                index: 2,
+                value: 7,
+            },
+        ]);
+        assert!(!p.runtime(&batch).is_ok());
+        // The pre-error write landed; the post-error write never ran.
+        assert_eq!(
+            p.runtime(&RuntimeRequest::ReadRegister {
+                register: reg,
+                index: 0
+            }),
+            RuntimeResponse::Value(1)
+        );
+        assert_eq!(
+            p.runtime(&RuntimeRequest::ReadRegister {
+                register: reg,
+                index: 2
+            }),
+            RuntimeResponse::Value(0)
+        );
     }
 
     #[test]

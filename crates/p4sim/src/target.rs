@@ -48,6 +48,14 @@ pub struct TargetModel {
     /// lives in exactly one stage's stateful ALU; false for software
     /// targets like bmv2).
     pub single_register_access: bool,
+    /// Guard bits the SEU-recovery saturation path reserves *above*
+    /// each register's declared width: a flip that lands in the guard
+    /// range is detected (value exceeds the width mask) and clamped
+    /// (see `fault::SeuRecovery::Saturate`). Registers declared so
+    /// wide that `width_bits + seu_headroom_bits > 64` leave the
+    /// recovery nothing to detect with — the `S4L012` lint. Both
+    /// standard presets set 0 (no SEU hardening demanded).
+    pub seu_headroom_bits: u32,
 }
 
 impl TargetModel {
@@ -68,6 +76,7 @@ impl TargetModel {
             tables_per_stage: u32::MAX,
             registers_per_stage: u32::MAX,
             single_register_access: false,
+            seu_headroom_bits: 0,
         }
     }
 
@@ -88,6 +97,7 @@ impl TargetModel {
             tables_per_stage: 8,
             registers_per_stage: 8,
             single_register_access: true,
+            seu_headroom_bits: 0,
         }
     }
 }

@@ -241,6 +241,54 @@ fn index_out_of_range_is_s4l008() {
     assert!(has(&report, LintCode::RegisterIndexRange, Severity::Error), "{report}");
 }
 
+/// A register declared at the full 64-bit cell width leaves no guard
+/// bits for the SEU-recovery saturation path on a target that reserves
+/// headroom — the recovery cannot detect out-of-width flips.
+#[test]
+fn missing_seu_headroom_is_s4l012_warning() {
+    let mut b = ProgramBuilder::new();
+    let wide = b.add_register("xsum_full", 64, 8);
+    let narrow = b.add_register("xsum_guarded", 32, 8);
+    let a = b.add_action(ActionDef::new(
+        "acc",
+        vec![
+            Primitive::RegWrite {
+                register: wide,
+                index: Operand::Const(0),
+                src: Operand::Field(fields::PKT_LEN),
+            },
+            Primitive::RegWrite {
+                register: narrow,
+                index: Operand::Const(1),
+                src: Operand::Field(fields::PKT_LEN),
+            },
+        ],
+    ));
+    b.set_control(Control::ApplyAction(a));
+    let p = b.build(TargetModel::bmv2()).expect("builds on bmv2");
+
+    let hardened = TargetModel {
+        seu_headroom_bits: 2,
+        ..TargetModel::tofino_like()
+    };
+    let report = verify_against(&p, &hardened);
+    assert!(has(&report, LintCode::SeuHeadroom, Severity::Warning), "{report}");
+    assert!(report.to_json().contains("\"code\":\"S4L012\""));
+    let flagged: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == LintCode::SeuHeadroom)
+        .collect();
+    assert_eq!(flagged.len(), 1, "only the full-width register is flagged");
+    assert!(flagged[0].context.contains("xsum_full"));
+    assert!(report.passes(false), "a warning is not an error");
+    assert!(!report.passes(true), "--deny warnings rejects it");
+
+    // Standard presets reserve no headroom: never flagged.
+    let stock = verify_against(&p, &TargetModel::tofino_like());
+    assert!(!stock.diagnostics.iter().any(|d| d.code == LintCode::SeuHeadroom));
+}
+
 // ---------------------------------------------------------------------
 // Allocation equivalence: executing units stage by stage — in any order
 // within a stage — is indistinguishable from sequential execution,

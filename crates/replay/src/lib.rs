@@ -31,11 +31,23 @@
 //!   merged aggregates, so its verdicts are shard-count invariant *by
 //!   construction*: a 1-shard and an 8-shard replay hand it
 //!   bit-identical inputs.
+//! - **Supervision** — shard threads run under a supervisor
+//!   ([`run_replay_with_faults`]): a panicked or crashed shard is
+//!   *quarantined* — its state is excluded from all future merges (a
+//!   dead pipe's registers are unreadable) and its traffic reroutes to
+//!   the next survivor in ring order — and the run completes in
+//!   degraded mode, reporting coverage and incidents in
+//!   [`ReplayHealth`] instead of propagating the failure. Faults are
+//!   driven by a seeded [`faultinject::FaultSchedule`], so every chaos
+//!   run replays bit-identically from its `(spec, seed)` pair.
 //!
 //! The conformance suite (`tests/conformance.rs`) asserts exactly that:
 //! for the `synflood` and `mix` workloads, 2/4/8-shard runs produce the
 //! same merged statistics and the same alert sequence as the
-//! single-shard run.
+//! single-shard run. The chaos suite (`tests/chaos.rs`) adds the
+//! degraded-mode guarantees: under a schedule with a shard crash and
+//! 30% report loss the flood is still detected, and reruns of one seed
+//! are byte-identical.
 
 pub mod metrics;
 
@@ -44,6 +56,7 @@ pub use metrics::{ReplayTelemetry, ShardMetrics};
 use anomaly::epoch::EpochSynFloodDetector;
 use anomaly::synflood::{SynFloodConfig, KIND_SYN};
 use anomaly::Alert;
+use faultinject::{FaultSchedule, ShardFaultKind};
 use packet::{EtherType, EthernetFrame, IpProtocol, Ipv4Packet, TcpSegment, UdpDatagram};
 use stat4_core::freq::FrequencyDist;
 use stat4_core::percentile::{PercentileSet, Quantile};
@@ -194,6 +207,73 @@ impl ShardState {
     }
 }
 
+/// Why the supervisor quarantined a shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IncidentKind {
+    /// The shard thread panicked (injected or organic); the panic
+    /// message is captured when it is a string.
+    Panicked(String),
+    /// A scheduled crash stopped the shard cleanly but permanently.
+    Crashed,
+    /// The shard's state would not fold into the merged view.
+    MergeFailed(String),
+}
+
+/// One quarantine event: `shard` left the run at `epoch`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardIncident {
+    /// Index of the quarantined shard.
+    pub shard: usize,
+    /// Epoch (detector-interval ordinal) at which it was quarantined.
+    pub epoch: u64,
+    /// What happened.
+    pub kind: IncidentKind,
+}
+
+/// Degraded-mode summary of a (possibly faulted) replay run. A pure
+/// function of the schedule and the fault schedule — no wall-clock
+/// fields — so same-seed reruns compare equal.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ReplayHealth {
+    /// Shards the run was configured with.
+    pub shards_configured: usize,
+    /// Shards still alive at the end of the run.
+    pub shards_alive: usize,
+    /// Every quarantine event, in occurrence order.
+    pub incidents: Vec<ShardIncident>,
+    /// Frames in the schedule.
+    pub packets_offered: u64,
+    /// Frames reflected in the final merged view.
+    pub packets_ingested: u64,
+    /// Frames missing from the merged view: slices of shards that died
+    /// mid-epoch plus the discarded history of quarantined shards.
+    pub packets_lost: u64,
+    /// Frames redirected from a quarantined shard to a survivor.
+    pub packets_rerouted: u64,
+    /// Epoch reports lost on the control channel (those intervals were
+    /// never observed by the detector; their SYNs carried forward).
+    pub reports_dropped: u64,
+}
+
+impl ReplayHealth {
+    /// Fraction of offered frames present in the merged view (`1.0`
+    /// for an empty schedule).
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.packets_offered == 0 {
+            return 1.0;
+        }
+        self.packets_ingested as f64 / self.packets_offered as f64
+    }
+
+    /// True when the run survived any fault: lost data, a quarantine,
+    /// or a dropped epoch report.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        !self.incidents.is_empty() || self.reports_dropped > 0 || self.packets_lost > 0
+    }
+}
+
 /// What a replay run produced.
 #[derive(Debug)]
 pub struct ReplayOutcome {
@@ -209,6 +289,9 @@ pub struct ReplayOutcome {
     pub epochs: u64,
     /// Wall-clock replay time.
     pub elapsed: std::time::Duration,
+    /// Degraded-mode summary: surviving shards, quarantine incidents,
+    /// coverage, rerouted frames, dropped reports.
+    pub health: ReplayHealth,
     /// Everything the engine observed about itself: per-shard metric
     /// sets, epoch/merge timings, detector fires, trace events.
     pub telemetry: ReplayTelemetry,
@@ -231,28 +314,136 @@ impl ReplayOutcome {
 /// Replays a time-sorted schedule through `cfg.shards` worker threads
 /// and returns the merged state plus the central detector's alerts.
 ///
-/// Each detector interval is one *epoch*: the interval's frames are
-/// split by flow hash, every shard ingests its slice on its own thread
-/// (in `cfg.batch`-sized batches), the threads join, shard state is
-/// folded into a fresh merged view, and the detector consumes the
-/// merged aggregates. Per-shard state persists across epochs; only the
-/// merged view is rebuilt.
+/// Equivalent to [`run_replay_with_faults`] with an empty
+/// [`FaultSchedule`] — no faults, full coverage.
 ///
 /// # Panics
 ///
-/// Panics if `cfg.shards` is zero or a shard state merge fails (states
-/// are constructed from one config, so geometries always match).
+/// Panics if `cfg.shards` is zero.
 #[must_use]
 pub fn run_replay(schedule: &Schedule, cfg: &ReplayConfig) -> ReplayOutcome {
+    run_replay_with_faults(schedule, cfg, &FaultSchedule::none())
+}
+
+/// The next surviving shard after `home` in ring order, if any.
+fn next_alive(alive: &[bool], home: usize) -> Option<usize> {
+    (1..alive.len())
+        .map(|d| (home + d) % alive.len())
+        .find(|&s| alive[s])
+}
+
+/// Renders a caught panic payload (best effort: `&str` and `String`
+/// payloads, which covers every `panic!` with a message).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("shard thread panicked (non-string payload)")
+    }
+}
+
+/// Folds every surviving shard into a fresh merged view. A shard whose
+/// state will not merge (geometry mismatch — impossible when all
+/// states come from one config, but treated as pipe corruption rather
+/// than a reason to kill the run) is quarantined instead of panicking.
+fn merge_surviving(
+    shards: &[ShardState],
+    alive: &mut [bool],
+    cfg: &ReplayConfig,
+    epoch_idx: u64,
+    incidents: &mut Vec<ShardIncident>,
+) -> ShardState {
+    let mut merged = ShardState::new(cfg);
+    for (s, state) in shards.iter().enumerate() {
+        if !alive[s] {
+            continue;
+        }
+        // Merge into a trial copy: a mid-merge mismatch must not leave
+        // half a shard's trackers in the global view.
+        let mut trial = merged.clone();
+        match trial.merge_from(state) {
+            Ok(()) => merged = trial,
+            Err(e) => {
+                alive[s] = false;
+                incidents.push(ShardIncident {
+                    shard: s,
+                    epoch: epoch_idx,
+                    kind: IncidentKind::MergeFailed(e.to_string()),
+                });
+            }
+        }
+    }
+    merged
+}
+
+/// [`run_replay`] under a seeded fault schedule, supervised.
+///
+/// Each detector interval is one *epoch*: the interval's frames are
+/// split by flow hash, every surviving shard ingests its slice on its
+/// own thread (in `cfg.batch`-sized batches), the threads join, shard
+/// state is folded into a fresh merged view, and the detector consumes
+/// the merged aggregates. Per-shard state persists across epochs; only
+/// the merged view is rebuilt.
+///
+/// The supervisor consults `faults` at three points:
+///
+/// - **Shard faults** ([`FaultSchedule::shard_fault`]). A `Stall`
+///   sleeps the shard thread (state survives; only wall-clock timings
+///   change). A `Panic` unwinds the shard thread; the supervisor
+///   catches the failed join. A `Crash` stops the shard cleanly before
+///   its thread spawns. Panicked and crashed shards are *quarantined*:
+///   their slice of the fault epoch is lost, their accumulated state is
+///   excluded from all future merges (a dead pipe's registers are
+///   unreadable), and their traffic reroutes to the next survivor in
+///   ring order from the following epoch on. Because an injected panic
+///   fires before the shard touches any state, the quarantined state
+///   is always a clean epoch boundary — the outcome does not depend on
+///   where mid-epoch the unwind happened.
+/// - **Report loss** ([`FaultSchedule::drop_epoch_report`]). A dropped
+///   epoch report means the detector never observes that interval; its
+///   SYN count carries forward, exactly as cumulative switch registers
+///   would, and the next delivered report observes the per-interval
+///   average of the span it covers — the controller's best rate
+///   estimate from a multi-interval register delta, which keeps a run
+///   of lost reports from masquerading as a spike.
+/// - **Merge failures** are quarantined per [`merge_surviving`], never
+///   propagated.
+///
+/// The run always completes: the returned [`ReplayHealth`] reports
+/// surviving shards, coverage and every incident. With an empty
+/// schedule the behaviour is bit-identical to [`run_replay`].
+///
+/// # Panics
+///
+/// Panics if `cfg.shards` is zero.
+#[must_use]
+pub fn run_replay_with_faults(
+    schedule: &Schedule,
+    cfg: &ReplayConfig,
+    faults: &FaultSchedule,
+) -> ReplayOutcome {
     assert!(cfg.shards >= 1, "need at least one shard");
     let interval = cfg.detector.interval_ns.max(1);
     let batch = cfg.batch.max(1);
 
     let mut shards: Vec<ShardState> = (0..cfg.shards).map(|_| ShardState::new(cfg)).collect();
+    let mut alive: Vec<bool> = vec![true; cfg.shards];
+    let mut incidents: Vec<ShardIncident> = Vec::new();
     let mut detector = EpochSynFloodDetector::new(cfg.detector);
     let mut telemetry = ReplayTelemetry::new(cfg.shards);
     let mut packets: u64 = 0;
     let mut epochs: u64 = 0;
+    let mut packets_rerouted: u64 = 0;
+    let mut reports_dropped: u64 = 0;
+    // SYNs from intervals whose epoch report was lost; folded into the
+    // next delivered report (switch registers are cumulative). The
+    // delivered report spans `carried_epochs + 1` intervals, so the
+    // detector observes the per-interval average — otherwise a run of
+    // dropped reports would masquerade as a spike.
+    let mut carried_syns: i64 = 0;
+    let mut carried_epochs: i64 = 0;
 
     let started = std::time::Instant::now();
 
@@ -267,77 +458,173 @@ pub fn run_replay(schedule: &Schedule, cfg: &ReplayConfig) -> ReplayOutcome {
         }
         let epoch_frames = &schedule[i..j];
         i = j;
+        let incidents_before = incidents.len();
 
         // Deterministic flow-affine split of this epoch's frames.
+        // Frames whose home shard was quarantined in an earlier epoch
+        // reroute to the next survivor in ring order (the controller's
+        // repartitioning); with no survivors at all they are lost.
         let mut work: Vec<Vec<&bytes::Bytes>> = vec![Vec::new(); cfg.shards];
         for (_, frame) in epoch_frames {
-            work[workloads::shard::shard_of(frame, cfg.shards)].push(frame);
+            let home = workloads::shard::shard_of(frame, cfg.shards);
+            let target = if alive[home] {
+                Some(home)
+            } else {
+                next_alive(&alive, home)
+            };
+            if let Some(t) = target {
+                if t != home {
+                    packets_rerouted += 1;
+                }
+                work[t].push(frame);
+            }
         }
 
-        // One thread per shard; the scope end is the epoch barrier.
-        // Each thread updates its own ShardMetrics (single-owner, no
-        // atomics) at batch granularity and reports its busy time so
-        // barrier idle time can be attributed after the join.
+        // Scheduled faults for this epoch. Crashes are handled here on
+        // the supervisor side — the shard is quarantined before its
+        // thread would spawn, so its slice of this interval is lost.
+        let mut recover_started: Option<std::time::Instant> = None;
+        let plan: Vec<Option<ShardFaultKind>> = (0..cfg.shards)
+            .map(|s| {
+                if alive[s] {
+                    faults.shard_fault(epoch_idx, s)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for (s, fault) in plan.iter().enumerate() {
+            let Some(kind) = fault else { continue };
+            telemetry.faults_injected.inc();
+            if *kind == ShardFaultKind::Crash {
+                recover_started.get_or_insert_with(std::time::Instant::now);
+                alive[s] = false;
+                incidents.push(ShardIncident {
+                    shard: s,
+                    epoch: epoch_idx,
+                    kind: IncidentKind::Crashed,
+                });
+            }
+        }
+
+        // One thread per surviving shard; the scope end is the epoch
+        // barrier. Each thread updates its own ShardMetrics
+        // (single-owner, no atomics) at batch granularity and reports
+        // its busy time so barrier idle time can be attributed after
+        // the join. A failed join quarantines the shard instead of
+        // propagating the panic.
         telemetry.trace.begin("ingest", epoch_idx);
         let epoch_started = std::time::Instant::now();
-        let ingest_ns: Vec<u64> = std::thread::scope(|scope| {
-            let handles: Vec<_> = shards
+        let results: Vec<(usize, Result<u64, String>)> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (s, ((state, m), list)) in shards
                 .iter_mut()
                 .zip(telemetry.shards.iter_mut())
                 .zip(&work)
-                .map(|((state, m), list)| {
-                    scope.spawn(move || {
-                        let busy = std::time::Instant::now();
-                        for chunk in list.chunks(batch) {
-                            for frame in chunk {
-                                state.ingest(frame);
-                            }
-                            m.packets.add(chunk.len() as u64);
-                            m.batches.inc();
-                            m.batch_size.record(chunk.len() as u64);
+                .enumerate()
+            {
+                if !alive[s] {
+                    continue;
+                }
+                let fault = plan[s];
+                let handle = scope.spawn(move || {
+                    match fault {
+                        // Before any ingest, so the quarantined state
+                        // is a clean epoch boundary.
+                        Some(ShardFaultKind::Panic) => {
+                            panic!("injected fault: shard {s} panicked at epoch {epoch_idx}")
                         }
-                        let ns = u64::try_from(busy.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                        m.ingest_ns.add(ns);
-                        ns
-                    })
-                })
-                .collect();
+                        Some(ShardFaultKind::Stall { ns }) => {
+                            std::thread::sleep(std::time::Duration::from_nanos(ns));
+                        }
+                        _ => {}
+                    }
+                    let busy = std::time::Instant::now();
+                    for chunk in list.chunks(batch) {
+                        for frame in chunk {
+                            state.ingest(frame);
+                        }
+                        m.packets.add(chunk.len() as u64);
+                        m.batches.inc();
+                        m.batch_size.record(chunk.len() as u64);
+                    }
+                    let ns = u64::try_from(busy.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    m.ingest_ns.add(ns);
+                    ns
+                });
+                handles.push((s, handle));
+            }
             handles
                 .into_iter()
-                .map(|h| h.join().expect("shard thread panicked"))
+                .map(|(s, h)| (s, h.join().map_err(panic_message)))
                 .collect()
         });
         let epoch_wall = u64::try_from(epoch_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         telemetry.trace.end("ingest", epoch_idx);
-        for (m, busy) in telemetry.shards.iter_mut().zip(&ingest_ns) {
-            m.barrier_wait_ns.record(epoch_wall.saturating_sub(*busy));
+        for (s, r) in &results {
+            match r {
+                Ok(busy) => {
+                    telemetry.shards[*s]
+                        .barrier_wait_ns
+                        .record(epoch_wall.saturating_sub(*busy));
+                }
+                Err(msg) => {
+                    recover_started.get_or_insert_with(std::time::Instant::now);
+                    alive[*s] = false;
+                    incidents.push(ShardIncident {
+                        shard: *s,
+                        epoch: epoch_idx,
+                        kind: IncidentKind::Panicked(msg.clone()),
+                    });
+                }
+            }
         }
         packets += epoch_frames.len() as u64;
         epochs += 1;
 
-        // Barrier work: fold shard state into a fresh global view and
-        // let the central detector judge the merged aggregates.
+        // Barrier work: fold surviving shard state into a fresh global
+        // view and (unless this epoch's report is lost) let the
+        // central detector judge the merged aggregates.
         telemetry.trace.begin("merge", epoch_idx);
         let merge_started = std::time::Instant::now();
-        let mut merged = ShardState::new(cfg);
-        for s in &shards {
-            merged.merge_from(s).expect("uniform shard geometry");
-        }
+        let merged = merge_surviving(&shards, &mut alive, cfg, epoch_idx, &mut incidents);
         let at = (epoch_idx + 1) * interval;
-        let raised = detector.observe_interval(at, merged.syn_in_interval, &merged.kinds);
-        telemetry
-            .merge_ns
-            .record(u64::try_from(merge_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        let mut raised = Vec::new();
+        if faults.drop_epoch_report(epoch_idx) {
+            reports_dropped += 1;
+            telemetry.reports_dropped.inc();
+            telemetry.trace.instant("report_dropped", epoch_idx);
+            carried_syns += merged.syn_in_interval;
+            carried_epochs += 1;
+        } else {
+            let syn_estimate = (merged.syn_in_interval + carried_syns) / (carried_epochs + 1);
+            raised = detector.observe_interval(at, syn_estimate, &merged.kinds);
+            carried_syns = 0;
+            carried_epochs = 0;
+        }
+        let merge_ns = u64::try_from(merge_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        telemetry.merge_ns.record(merge_ns);
         telemetry.trace.end("merge", epoch_idx);
         if !raised.is_empty() {
             telemetry.trace.instant("alert", epoch_idx);
         }
-        telemetry.epoch_ns.record(
-            epoch_wall.saturating_add(
-                u64::try_from(merge_started.elapsed().as_nanos()).unwrap_or(u64::MAX),
-            ),
-        );
+        telemetry.epoch_ns.record(epoch_wall.saturating_add(merge_ns));
         telemetry.epochs.inc();
+
+        // Quarantine bookkeeping: recovery is complete once the
+        // surviving state is re-merged, so the time-to-recover clock
+        // runs from the first failure this epoch to here.
+        let new_incidents = incidents.len() - incidents_before;
+        if new_incidents > 0 {
+            telemetry.shards_quarantined.add(new_incidents as u64);
+            telemetry.trace.instant("quarantine", epoch_idx);
+            let t0 = recover_started.unwrap_or(merge_started);
+            let spent = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            for _ in 0..new_incidents {
+                telemetry.recover_ns.record(spent);
+            }
+        }
+
         for (s, m) in shards.iter_mut().zip(telemetry.shards.iter_mut()) {
             m.syn_packets.add(u64::try_from(s.syn_in_interval).unwrap_or(0));
             s.syn_in_interval = 0;
@@ -349,10 +636,20 @@ pub fn run_replay(schedule: &Schedule, cfg: &ReplayConfig) -> ReplayOutcome {
     telemetry.alerts.add(detector.alerts.len() as u64);
     telemetry.detector = detector.metrics.clone();
 
-    let mut merged = ShardState::new(cfg);
-    for s in &shards {
-        merged.merge_from(s).expect("uniform shard geometry");
-    }
+    let final_epoch = schedule.last().map_or(0, |(t, _)| t / interval);
+    let merged = merge_surviving(&shards, &mut alive, cfg, final_epoch, &mut incidents);
+    let health = ReplayHealth {
+        shards_configured: cfg.shards,
+        shards_alive: alive.iter().filter(|a| **a).count(),
+        packets_offered: packets,
+        packets_ingested: merged.packets,
+        packets_lost: packets.saturating_sub(merged.packets),
+        packets_rerouted,
+        reports_dropped,
+        incidents,
+    };
+    telemetry.packets_lost.add(health.packets_lost);
+    telemetry.packets_rerouted.add(health.packets_rerouted);
     ReplayOutcome {
         merged,
         alerts: detector.alerts.clone(),
@@ -360,6 +657,7 @@ pub fn run_replay(schedule: &Schedule, cfg: &ReplayConfig) -> ReplayOutcome {
         packets,
         epochs,
         elapsed,
+        health,
         telemetry,
     }
 }
@@ -462,6 +760,7 @@ mod tests {
             packets: 0,
             epochs: 0,
             elapsed: std::time::Duration::ZERO,
+            health: ReplayHealth::default(),
             telemetry: ReplayTelemetry::new(1),
         };
         assert_eq!(out.throughput_pps(), 0.0);
@@ -509,6 +808,52 @@ mod tests {
         }
         // Trace recorded the epoch lifecycle (bounded buffer).
         assert!(!out.telemetry.trace.events().is_empty());
+    }
+
+    #[test]
+    fn faultless_run_reports_full_health() {
+        let s = small_flood();
+        let cfg = ReplayConfig {
+            shards: 4,
+            ..ReplayConfig::default()
+        };
+        let out = run_replay(&s, &cfg);
+        let h = &out.health;
+        assert!(!h.degraded());
+        assert_eq!(h.shards_alive, 4);
+        assert_eq!(h.shards_configured, 4);
+        assert!(h.incidents.is_empty());
+        assert_eq!(h.packets_offered, s.len() as u64);
+        assert_eq!(h.packets_ingested, s.len() as u64);
+        assert_eq!(h.packets_lost, 0);
+        assert_eq!(h.packets_rerouted, 0);
+        assert_eq!(h.reports_dropped, 0);
+        assert!((h.coverage() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn merge_mismatch_quarantines_instead_of_panicking() {
+        // Regression for the old `expect("uniform shard geometry")`
+        // sites: a shard whose state will not fold is quarantined and
+        // reported, not a process abort.
+        let cfg_a = ReplayConfig::default();
+        let mut cfg_b = cfg_a;
+        cfg_b.detector.kinds = cfg_a.detector.kinds + 4;
+        let shards = vec![ShardState::new(&cfg_a), ShardState::new(&cfg_b)];
+        let mut alive = vec![true, true];
+        let mut incidents = Vec::new();
+        let merged = merge_surviving(&shards, &mut alive, &cfg_a, 7, &mut incidents);
+        assert!(alive[0] && !alive[1]);
+        assert_eq!(incidents.len(), 1);
+        assert_eq!(incidents[0].shard, 1);
+        assert_eq!(incidents[0].epoch, 7);
+        assert!(
+            matches!(incidents[0].kind, IncidentKind::MergeFailed(_)),
+            "{:?}",
+            incidents[0].kind
+        );
+        // The survivor's (empty) state still merged cleanly.
+        assert_eq!(merged.packets, 0);
     }
 
     #[test]

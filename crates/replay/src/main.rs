@@ -5,6 +5,7 @@
 //! ```text
 //! replay [synflood|mix] [shards] [interval_ms]
 //!        [--shards N] [--interval-ms M] [--batch B]
+//!        [--faults SPEC] [--seed N]
 //!        [--metrics-out PATH] [--metrics-format prom|json]
 //!        [--trace-out PATH]
 //! ```
@@ -13,15 +14,24 @@
 //! telemetry snapshot to PATH — JSON by default, Prometheus text
 //! exposition with `--metrics-format prom`. `--trace-out` writes the
 //! epoch lifecycle trace as a JSON event array.
+//!
+//! `--faults` runs the replay under a seeded fault schedule (see
+//! `faultinject` for the spec grammar, e.g.
+//! `shard_crash=1@3,ctrl_loss=0.30`); `--seed` picks the chaos seed
+//! (default 0). The run then prints a `chaos:` summary line with the
+//! surviving shard count, coverage, and incident tally — and the same
+//! `(spec, seed)` pair always replays bit-identically.
 
 use anomaly::synflood::SynFloodConfig;
-use replay::{run_replay, ReplayConfig};
+use faultinject::FaultSchedule;
+use replay::{run_replay_with_faults, ReplayConfig};
 use workloads::{PacketMixWorkload, Schedule, SynFloodWorkload};
 
 fn usage() -> ! {
     eprintln!(
         "usage: replay [synflood|mix] [shards] [interval_ms]\n\
          \x20             [--shards N] [--interval-ms M] [--batch B]\n\
+         \x20             [--faults SPEC] [--seed N]\n\
          \x20             [--metrics-out PATH] [--metrics-format prom|json]\n\
          \x20             [--trace-out PATH]"
     );
@@ -34,6 +44,8 @@ struct Options {
     shards: usize,
     interval_ms: u64,
     batch: usize,
+    faults: Option<String>,
+    seed: u64,
     metrics_out: Option<String>,
     metrics_format: MetricsFormat,
     trace_out: Option<String>,
@@ -51,6 +63,8 @@ fn parse_args(args: &[String]) -> Options {
         shards: 4,
         interval_ms: 10,
         batch: 256,
+        faults: None,
+        seed: 0,
         metrics_out: None,
         metrics_format: MetricsFormat::Json,
         trace_out: None,
@@ -75,6 +89,10 @@ fn parse_args(args: &[String]) -> Options {
             }
             "--batch" => {
                 opts.batch = flag_value("--batch").parse().unwrap_or_else(|_| usage());
+            }
+            "--faults" => opts.faults = Some(flag_value("--faults")),
+            "--seed" => {
+                opts.seed = flag_value("--seed").parse().unwrap_or_else(|_| usage());
             }
             "--metrics-out" => opts.metrics_out = Some(flag_value("--metrics-out")),
             "--metrics-format" => {
@@ -167,7 +185,17 @@ fn main() {
             ..SynFloodConfig::default()
         },
     };
-    let out = run_replay(&schedule, &cfg);
+    let faults = match &opts.faults {
+        Some(spec) => match FaultSchedule::parse(spec, opts.seed) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("replay: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => FaultSchedule::none(),
+    };
+    let out = run_replay_with_faults(&schedule, &cfg, &faults);
 
     println!(
         "replayed {} packets over {} epochs on {} shard(s) in {:.1} ms ({:.0} pkt/s)",
@@ -195,6 +223,26 @@ fn main() {
             at as f64 / 1e6
         ),
         None => println!("alerts: none"),
+    }
+    if opts.faults.is_some() {
+        let h = &out.health;
+        println!(
+            "chaos: seed {} | shards alive {}/{}, coverage {:.1}%, incidents {}, \
+             reports dropped {}, rerouted {} frames",
+            opts.seed,
+            h.shards_alive,
+            h.shards_configured,
+            h.coverage() * 100.0,
+            h.incidents.len(),
+            h.reports_dropped,
+            h.packets_rerouted,
+        );
+        for inc in &h.incidents {
+            println!(
+                "chaos: shard {} quarantined at epoch {}: {:?}",
+                inc.shard, inc.epoch, inc.kind
+            );
+        }
     }
 
     if let Some(path) = &opts.metrics_out {

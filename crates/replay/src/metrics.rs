@@ -100,6 +100,23 @@ pub struct ReplayTelemetry {
     /// The central detector's fire counts and detection-delay
     /// histogram (copied out after the run).
     pub detector: DetectorMetrics,
+    /// Shard faults the supervisor injected (stalls, panics, crashes).
+    pub faults_injected: Counter,
+    /// Shards quarantined by the supervisor (panic, crash, or merge
+    /// failure) — each shard counts at most once.
+    pub shards_quarantined: Counter,
+    /// Frames never reflected in the merged view: slices of shards
+    /// that died mid-epoch plus the discarded history of quarantined
+    /// shards.
+    pub packets_lost: Counter,
+    /// Frames redirected from a quarantined shard to a survivor.
+    pub packets_rerouted: Counter,
+    /// Epoch reports lost on the control channel (the detector skipped
+    /// those intervals; SYN counts carried forward).
+    pub reports_dropped: Counter,
+    /// Time from detecting a shard failure to having re-merged the
+    /// surviving state, per quarantine incident, ns.
+    pub recover_ns: LogLinearHistogram,
     /// Epoch lifecycle events (bounded).
     pub trace: Tracer,
     /// Total wall time of the replay, ns.
@@ -120,6 +137,12 @@ impl ReplayTelemetry {
             epoch_ns: LogLinearHistogram::default(),
             merge_ns: LogLinearHistogram::default(),
             detector: DetectorMetrics::new(),
+            faults_injected: Counter::new(),
+            shards_quarantined: Counter::new(),
+            packets_lost: Counter::new(),
+            packets_rerouted: Counter::new(),
+            reports_dropped: Counter::new(),
+            recover_ns: LogLinearHistogram::default(),
             trace: Tracer::new(Self::TRACE_CAPACITY),
             elapsed_ns: 0,
         }
@@ -227,6 +250,42 @@ impl ReplayTelemetry {
             i64::try_from(self.elapsed_ns).unwrap_or(i64::MAX),
         );
         snap.push_counter(
+            "replay_faults_injected_total",
+            "shard faults injected by the supervisor",
+            &[],
+            self.faults_injected.get(),
+        );
+        snap.push_counter(
+            "replay_shards_quarantined_total",
+            "shards quarantined after a panic, crash or merge failure",
+            &[],
+            self.shards_quarantined.get(),
+        );
+        snap.push_counter(
+            "replay_packets_lost_total",
+            "frames missing from the merged view after quarantines",
+            &[],
+            self.packets_lost.get(),
+        );
+        snap.push_counter(
+            "replay_packets_rerouted_total",
+            "frames redirected from quarantined shards to survivors",
+            &[],
+            self.packets_rerouted.get(),
+        );
+        snap.push_counter(
+            "replay_reports_dropped_total",
+            "epoch reports lost on the control channel",
+            &[],
+            self.reports_dropped.get(),
+        );
+        snap.push_histogram(
+            "replay_recover_ns",
+            "time from shard failure to re-merged surviving state",
+            &[],
+            &self.recover_ns,
+        );
+        snap.push_counter(
             "replay_trace_events_total",
             "epoch lifecycle events recorded",
             &[],
@@ -272,6 +331,26 @@ mod tests {
         assert_eq!(snap.counter_sum("replay_shard_packets_total"), 12);
         assert_eq!(snap.counter_sum("replay_packets_total"), 12);
         let text = telemetry::render_prometheus(&snap);
+        telemetry::check_prometheus(&text).expect("valid exposition");
+    }
+
+    #[test]
+    fn fault_counters_render_in_snapshot() {
+        let mut t = ReplayTelemetry::new(1);
+        t.faults_injected.add(3);
+        t.shards_quarantined.inc();
+        t.packets_lost.add(120);
+        t.packets_rerouted.add(45);
+        t.reports_dropped.add(2);
+        t.recover_ns.record(5_000);
+        let snap = t.snapshot();
+        assert_eq!(snap.counter_sum("replay_faults_injected_total"), 3);
+        assert_eq!(snap.counter_sum("replay_shards_quarantined_total"), 1);
+        assert_eq!(snap.counter_sum("replay_packets_lost_total"), 120);
+        assert_eq!(snap.counter_sum("replay_packets_rerouted_total"), 45);
+        assert_eq!(snap.counter_sum("replay_reports_dropped_total"), 2);
+        let text = telemetry::render_prometheus(&snap);
+        assert!(text.contains("replay_recover_ns"));
         telemetry::check_prometheus(&text).expect("valid exposition");
     }
 
