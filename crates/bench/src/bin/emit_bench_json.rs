@@ -1,18 +1,27 @@
-//! Machine-readable replay benchmark: runs the sharded replay engine
-//! at 1/2/4/8 shards over the standard SYN-flood workload and writes
-//! `BENCH_replay.json` — throughput, epoch/merge timing quantiles, and
-//! the detector's detection-delay distribution per shard count.
+//! Machine-readable replay benchmark: runs the persistent-pool replay
+//! engine at 1/2/4/8 shards over the standard SYN-flood workload and
+//! writes `BENCH_replay.json` — throughput, epoch/merge timing
+//! quantiles, the detector's detection-delay distribution, and the
+//! pool-vs-reference speedup per shard count (the reference engine is
+//! the pre-pool per-epoch thread-scope implementation kept as
+//! `replay::reference`).
 //!
 //! ```text
-//! cargo run -p bench --bin emit_bench_json --release [-- OUT.json]
+//! cargo run -p bench --bin emit_bench_json --release [-- [--check] [OUT.json]]
 //! ```
+//!
+//! With `--check` the process exits 1 if the best multi-shard pool
+//! throughput falls below the single-shard pool baseline — the CI
+//! smoke gate for "sharding still pays for itself". The check is
+//! skipped (with a note) on single-core machines, where a multi-shard
+//! win is not physically expected.
 //!
 //! The numbers come straight from the run's telemetry snapshot, so the
 //! benchmark exercises the same instrumentation the `--metrics-out`
 //! CLI path exports; the JSON is hand-rolled (no serde derive) like the
 //! rest of the telemetry layer, keeping the workspace offline-buildable.
 
-use replay::{run_replay, ReplayConfig};
+use replay::{reference, run_replay, ReplayConfig, ReplayOutcome};
 use telemetry::{json_string, LogLinearHistogram};
 use workloads::{Schedule, SynFloodWorkload};
 
@@ -45,54 +54,84 @@ fn hist_json(name: &str, h: &LogLinearHistogram) -> String {
     )
 }
 
+/// Best throughput over `passes` timed runs (after the caller's
+/// warmup), so one scheduler hiccup doesn't skew the published number.
+fn best_pps(passes: usize, run: impl Fn() -> ReplayOutcome) -> (ReplayOutcome, f64) {
+    let mut best: Option<(ReplayOutcome, f64)> = None;
+    for _ in 0..passes {
+        let out = run();
+        let pps = out.throughput_pps();
+        if best.as_ref().is_none_or(|(_, b)| pps > *b) {
+            best = Some((out, pps));
+        }
+    }
+    best.expect("at least one benchmark pass")
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| String::from("BENCH_replay.json"));
+    let mut check = false;
+    let mut out_path = String::from("BENCH_replay.json");
+    for arg in std::env::args().skip(1) {
+        if arg == "--check" {
+            check = true;
+        } else {
+            out_path = arg;
+        }
+    }
     let schedule = workload();
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     println!(
-        "sharded replay benchmark: {} packets, shard counts {SHARD_COUNTS:?}",
+        "sharded replay benchmark: {} packets, shard counts {SHARD_COUNTS:?}, {cores} core(s)",
         schedule.len()
     );
 
     let mut runs = Vec::new();
+    let mut pool_pps = Vec::new();
     for shards in SHARD_COUNTS {
         let cfg = ReplayConfig {
             shards,
             ..ReplayConfig::default()
         };
-        let out = run_replay(&schedule, &cfg);
+        // Warmup pass: fault in the page cache and warm the allocator
+        // before anything is timed.
+        let _ = run_replay(&schedule, &cfg);
+        let (out, pps) = best_pps(3, || run_replay(&schedule, &cfg));
+        let (_, ref_pps) = best_pps(3, || reference::run_replay(&schedule, &cfg));
+        pool_pps.push(pps);
         let t = &out.telemetry;
         let merged = t.merged_shard();
         let delay = &t.detector.detection_delay;
         println!(
-            "  {shards} shard(s): {:>8.0} pkt/s, {} epochs, {} alerts, delay p50 = {:?} ns",
-            out.throughput_pps(),
+            "  {shards} shard(s): {pps:>8.0} pkt/s pool, {ref_pps:>8.0} pkt/s reference \
+             ({:.2}x), {} epochs, {} alerts",
+            pps / ref_pps,
             out.epochs,
             out.alerts.len(),
-            delay.quantile(50),
         );
         runs.push(format!(
             "{{\"shards\":{shards},\"packets\":{},\"epochs\":{},\"alerts\":{},\
-             \"elapsed_ns\":{},\"pps\":{:.0},\"detected_at_ns\":{},\
-             {},{},{},{}}}",
+             \"elapsed_ns\":{},\"pps\":{pps:.0},\"reference_pps\":{ref_pps:.0},\
+             \"speedup_vs_reference\":{:.3},\"detected_at_ns\":{},\
+             {},{},{},{},{},{}}}",
             out.packets,
             out.epochs,
             out.alerts.len(),
             t.elapsed_ns,
-            out.throughput_pps(),
+            pps / ref_pps,
             out.detected_at
                 .map_or(String::from("null"), |v| v.to_string()),
             hist_json("detection_delay_ns", delay),
             hist_json("epoch_ns", &t.epoch_ns),
             hist_json("merge_ns", &t.merge_ns),
             hist_json("barrier_wait_ns", &merged.barrier_wait_ns),
+            hist_json("partition_ns", &t.partition_ns),
+            hist_json("queue_wait_ns", &merged.queue_wait_ns),
         ));
     }
 
     let json = format!(
         "{{\"benchmark\":\"sharded_replay\",\"workload\":\"synflood\",\
-         \"packets\":{},\"runs\":[{}]}}\n",
+         \"packets\":{},\"cores\":{cores},\"runs\":[{}]}}\n",
         schedule.len(),
         runs.join(",")
     );
@@ -101,4 +140,23 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {out_path}");
+
+    if check {
+        if cores < 2 {
+            println!("--check: skipped (single core; multi-shard speedup not expected)");
+            return;
+        }
+        let single = pool_pps[0];
+        let best_multi = pool_pps[1..].iter().copied().fold(f64::MIN, f64::max);
+        if best_multi < single {
+            eprintln!(
+                "--check: FAILED — best multi-shard throughput {best_multi:.0} pkt/s \
+                 is below the 1-shard baseline {single:.0} pkt/s"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "--check: ok — best multi-shard {best_multi:.0} pkt/s >= 1-shard {single:.0} pkt/s"
+        );
+    }
 }

@@ -77,6 +77,39 @@ pub fn merge_registers(dst: &mut Pipeline, src: &Pipeline) -> P4Result<()> {
     Ok(())
 }
 
+/// Renders a `join` panic payload as a string: panics raised with a
+/// message literal or a `format!` land as `&str` / `String`; anything
+/// else gets a placeholder.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload.downcast_ref::<&str>().map_or_else(
+        || {
+            payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| "non-string panic payload".to_owned())
+        },
+        |s| (*s).to_owned(),
+    )
+}
+
+/// Test hook: lets the supervision test below make one worker panic
+/// mid-epoch. Keyed on (shard, batch) so concurrently running tests
+/// with ordinary batch sizes never trip it; 0 means "off".
+#[cfg(test)]
+static PANIC_ON: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+#[cfg(test)]
+fn maybe_injected_panic(shard: usize, batch: usize) {
+    if batch == tests::PANIC_BATCH && shard + 1 == PANIC_ON.load(std::sync::atomic::Ordering::SeqCst)
+    {
+        panic!("injected shard fault for supervision test");
+    }
+}
+
+#[cfg(not(test))]
+#[inline]
+fn maybe_injected_panic(_shard: usize, _batch: usize) {}
+
 /// `N` clones of one pipeline program, each with a private register
 /// file, processed in parallel.
 #[derive(Debug)]
@@ -133,6 +166,17 @@ impl ShardedPipeline {
         self.shards.get_mut(i)
     }
 
+    /// Consumes the sharded pipeline and hands the per-shard pipelines
+    /// back to the caller, index = shard id — the handoff at the end
+    /// of a replay, when ownership of the register files moves to
+    /// whatever merges, checkpoints or inspects them next. Snapshot
+    /// [`Self::metrics`] first if you still need the per-shard metric
+    /// sets; they are dropped here.
+    #[must_use]
+    pub fn into_shards(self) -> Vec<Pipeline> {
+        self.shards
+    }
+
     /// Processes one epoch of pre-split work: `work[i]` is shard `i`'s
     /// time-ordered `(timestamp_ns, frame)` list for this epoch. Each
     /// shard runs on its own OS thread against its own register file;
@@ -145,7 +189,11 @@ impl ShardedPipeline {
     /// # Errors
     ///
     /// [`P4Error::Invalid`] if `work.len() != num_shards()`; otherwise
-    /// the first interpreter error any shard hit.
+    /// the first interpreter error any shard hit. A shard worker that
+    /// *panics* (rather than returning an error) is contained: every
+    /// other shard still drains its list, and the call reports the
+    /// dead shard as [`P4Error::ShardPanicked`] with the captured
+    /// panic message instead of aborting the whole process.
     pub fn process_epoch(&mut self, work: &[Vec<(u64, &[u8])>]) -> P4Result<Vec<EpochReport>> {
         if work.len() != self.shards.len() {
             return Err(P4Error::Invalid {
@@ -164,8 +212,10 @@ impl ShardedPipeline {
                 .iter_mut()
                 .zip(self.metrics.iter_mut())
                 .zip(work)
-                .map(|((pipe, metrics), list)| {
+                .enumerate()
+                .map(|(shard, ((pipe, metrics), list))| {
                     scope.spawn(move || -> P4Result<EpochReport> {
+                        maybe_injected_panic(shard, batch);
                         let started = std::time::Instant::now();
                         let mut report = EpochReport::default();
                         for chunk in list.chunks(batch) {
@@ -185,8 +235,13 @@ impl ShardedPipeline {
                     })
                 })
                 .collect();
-            for h in handles {
-                results.push(h.join().expect("shard thread must not panic"));
+            for (shard, h) in handles.into_iter().enumerate() {
+                results.push(h.join().unwrap_or_else(|payload| {
+                    Err(P4Error::ShardPanicked {
+                        shard,
+                        message: panic_message(payload.as_ref()),
+                    })
+                }));
             }
         });
         results.into_iter().collect()
@@ -424,6 +479,69 @@ mod tests {
         assert_eq!(snap.counter_sum("p4_packets_total"), trace.len() as u64);
         let text = telemetry::render_prometheus(&snap);
         telemetry::check_prometheus(&text).expect("valid exposition");
+    }
+
+    /// Batch-size sentinel that arms [`maybe_injected_panic`]; no
+    /// other test uses this batch size, so the global hook cannot
+    /// misfire on concurrently running tests.
+    pub(super) const PANIC_BATCH: usize = 7777;
+
+    #[test]
+    fn worker_panic_is_contained_and_reported() {
+        let trace = frames(200);
+        let work = split(&trace, 4);
+        let mut sharded = ShardedPipeline::new(&counting_pipeline(), 4).with_batch(PANIC_BATCH);
+
+        PANIC_ON.store(2 + 1, std::sync::atomic::Ordering::SeqCst);
+        let err = sharded.process_epoch(&work).unwrap_err();
+        PANIC_ON.store(0, std::sync::atomic::Ordering::SeqCst);
+
+        match &err {
+            P4Error::ShardPanicked { shard, message } => {
+                assert_eq!(*shard, 2);
+                assert!(
+                    message.contains("injected shard fault"),
+                    "captured message: {message:?}"
+                );
+            }
+            other => panic!("expected ShardPanicked, got {other:?}"),
+        }
+        assert!(err.to_string().contains("shard 2 worker panicked"));
+
+        // The supervisor contained the panic: the pool is still
+        // usable, and the healthy shards' state was not poisoned.
+        let reports = sharded.process_epoch(&work).unwrap();
+        assert_eq!(reports.len(), 4);
+        assert!(sharded.merged().is_ok());
+    }
+
+    #[test]
+    fn panic_payloads_render_as_messages() {
+        for (thunk, want) in [
+            (Box::new(|| panic!("plain literal")) as Box<dyn FnOnce() + Send>, "plain literal"),
+            (Box::new(|| panic!("formatted {}", 7)), "formatted 7"),
+            (Box::new(|| std::panic::panic_any(42u32)), "non-string panic payload"),
+        ] {
+            let payload = std::thread::spawn(thunk).join().unwrap_err();
+            assert_eq!(panic_message(payload.as_ref()), want);
+        }
+    }
+
+    #[test]
+    fn into_shards_hands_off_register_state() {
+        let trace = frames(500);
+        let mut sharded = ShardedPipeline::new(&counting_pipeline(), 4);
+        sharded.process_epoch(&split(&trace, 4)).unwrap();
+        let merged_before = sharded.merged().unwrap();
+
+        let shards = sharded.into_shards();
+        assert_eq!(shards.len(), 4);
+        let mut merged_after = shards[0].clone();
+        for s in &shards[1..] {
+            merge_registers(&mut merged_after, s).unwrap();
+        }
+        assert_eq!(merged_after.registers(), merged_before.registers());
+        assert_eq!(merged_after.packets_processed(), trace.len() as u64);
     }
 
     #[test]

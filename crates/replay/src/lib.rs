@@ -16,11 +16,20 @@
 //!   5-tuple)
 //! ```
 //!
-//! - **Sharding** — [`workloads::shard::split`] hashes each frame's
-//!   flow 5-tuple, so splitting is deterministic and flow-affine.
-//! - **Epochs** — time is cut into detector intervals; each epoch, one
-//!   OS thread per shard ingests that shard's slice of the interval in
-//!   batches, then all threads join at a barrier.
+//! - **Sharding** — [`workloads::shard`] hashes each frame's flow
+//!   5-tuple, so splitting is deterministic and flow-affine.
+//! - **Worker pool** — one OS thread per shard, spawned **once per
+//!   run** and fed through bounded per-shard channels ([`mod@pool`]
+//!   internals): each detector interval (epoch) the coordinator moves
+//!   the shard's state plus the interval's frame list to the worker,
+//!   pre-partitions the *next* interval while the workers ingest, and
+//!   recycles the frame buffers run-long. The original engine — which
+//!   re-spawned a `std::thread::scope` worker set every interval — is
+//!   kept as [`reference`] and is the conformance baseline the pool is
+//!   tested bit-identical against (`tests/pool.rs`).
+//! - **Epochs** — time is cut into detector intervals; each epoch,
+//!   every surviving worker ingests its slice of the interval in
+//!   batches, then all replies join at the coordinator's barrier.
 //! - **Merge** — shard state folds into a global [`ShardState`] via
 //!   [`stat4_core::Mergeable`]: `RunningStats` / `FrequencyDist` /
 //!   `CountMinSketch` merge by summing (order-free, bit-identical to a
@@ -50,13 +59,14 @@
 //! are byte-identical.
 
 pub mod metrics;
+mod pool;
+pub mod reference;
 
 pub use metrics::{ReplayTelemetry, ShardMetrics};
 
-use anomaly::epoch::EpochSynFloodDetector;
 use anomaly::synflood::{SynFloodConfig, KIND_SYN};
 use anomaly::Alert;
-use faultinject::{FaultSchedule, ShardFaultKind};
+use faultinject::FaultSchedule;
 use packet::{EtherType, EthernetFrame, IpProtocol, Ipv4Packet, TcpSegment, UdpDatagram};
 use stat4_core::freq::FrequencyDist;
 use stat4_core::percentile::{PercentileSet, Quantile};
@@ -205,6 +215,36 @@ impl ShardState {
         self.syn_in_interval += other.syn_in_interval;
         Ok(())
     }
+
+    /// Why [`merge_from`](Self::merge_from) would fail for `other`, or
+    /// `None` if the two states are merge-compatible. Mirrors each
+    /// tracker's own geometry check (same order, same `what` strings),
+    /// so callers can validate up front and then merge in place —
+    /// without the trial-clone a fallible in-place merge would need to
+    /// stay atomic.
+    #[must_use]
+    pub fn merge_mismatch(&self, other: &Self) -> Option<&'static str> {
+        if self.kinds.min_value() != other.kinds.min_value()
+            || self.kinds.max_value() != other.kinds.max_value()
+        {
+            return Some("frequency domains");
+        }
+        if self.dst_sketch.rows() != other.dst_sketch.rows()
+            || self.dst_sketch.width_log2() != other.dst_sketch.width_log2()
+        {
+            return Some("sketch geometries");
+        }
+        if self.len_median.domain() != other.len_median.domain() {
+            return Some("percentile domains");
+        }
+        if self.len_median.marker_count() != other.len_median.marker_count()
+            || (0..self.len_median.marker_count())
+                .any(|i| self.len_median.quantile(i) != other.len_median.quantile(i))
+        {
+            return Some("quantile sets");
+        }
+        None
+    }
 }
 
 /// Why the supervisor quarantined a shard.
@@ -326,7 +366,7 @@ pub fn run_replay(schedule: &Schedule, cfg: &ReplayConfig) -> ReplayOutcome {
 }
 
 /// The next surviving shard after `home` in ring order, if any.
-fn next_alive(alive: &[bool], home: usize) -> Option<usize> {
+pub(crate) fn next_alive(alive: &[bool], home: usize) -> Option<usize> {
     (1..alive.len())
         .map(|d| (home + d) % alive.len())
         .find(|&s| alive[s])
@@ -334,7 +374,7 @@ fn next_alive(alive: &[bool], home: usize) -> Option<usize> {
 
 /// Renders a caught panic payload (best effort: `&str` and `String`
 /// payloads, which covers every `panic!` with a message).
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -348,32 +388,56 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// state will not merge (geometry mismatch — impossible when all
 /// states come from one config, but treated as pipe corruption rather
 /// than a reason to kill the run) is quarantined instead of panicking.
-fn merge_surviving(
+///
+/// Geometry is validated **before** any tracker is touched
+/// ([`ShardState::merge_mismatch`]), so the merge itself runs in place
+/// on the accumulating view. The previous implementation merged into a
+/// trial clone per shard to stay atomic under a mid-merge mismatch —
+/// O(shards²) copies of the full tracker set every epoch; validate-
+/// then-merge keeps the same quarantine behaviour with zero clones.
+pub(crate) fn merge_surviving(
     shards: &[ShardState],
     alive: &mut [bool],
     cfg: &ReplayConfig,
     epoch_idx: u64,
     incidents: &mut Vec<ShardIncident>,
 ) -> ShardState {
+    let entries: Vec<(usize, &ShardState)> = shards.iter().enumerate().collect();
+    merge_surviving_entries(&entries, alive, cfg, epoch_idx, incidents)
+}
+
+/// [`merge_surviving`] over an explicit `(shard index, state)` list —
+/// the pool engine owns its states in `Option` slots, so it hands in
+/// references to whichever slots are populated rather than a
+/// contiguous slice.
+pub(crate) fn merge_surviving_entries(
+    entries: &[(usize, &ShardState)],
+    alive: &mut [bool],
+    cfg: &ReplayConfig,
+    epoch_idx: u64,
+    incidents: &mut Vec<ShardIncident>,
+) -> ShardState {
     let mut merged = ShardState::new(cfg);
-    for (s, state) in shards.iter().enumerate() {
+    for &(s, state) in entries {
         if !alive[s] {
             continue;
         }
-        // Merge into a trial copy: a mid-merge mismatch must not leave
-        // half a shard's trackers in the global view.
-        let mut trial = merged.clone();
-        match trial.merge_from(state) {
-            Ok(()) => merged = trial,
-            Err(e) => {
-                alive[s] = false;
-                incidents.push(ShardIncident {
-                    shard: s,
-                    epoch: epoch_idx,
-                    kind: IncidentKind::MergeFailed(e.to_string()),
-                });
-            }
+        if let Some(what) = merged.merge_mismatch(state) {
+            alive[s] = false;
+            incidents.push(ShardIncident {
+                shard: s,
+                epoch: epoch_idx,
+                // Same rendering as Stat4Error::MergeMismatch, which
+                // the trial-merge path used to surface.
+                kind: IncidentKind::MergeFailed(format!(
+                    "cannot merge trackers with different {what}"
+                )),
+            });
+            continue;
         }
+        merged
+            .merge_from(state)
+            .expect("validated merge cannot fail");
     }
     merged
 }
@@ -415,6 +479,12 @@ fn merge_surviving(
 /// surviving shards, coverage and every incident. With an empty
 /// schedule the behaviour is bit-identical to [`run_replay`].
 ///
+/// Since the worker-pool rewrite this runs on the persistent pool
+/// engine ([`mod@pool`]); [`reference::run_replay_with_faults`] keeps
+/// the original per-epoch thread-scope engine as the conformance
+/// baseline — outcomes (merged state, alerts, health, telemetry
+/// counter sums) are bit-identical between the two.
+///
 /// # Panics
 ///
 /// Panics if `cfg.shards` is zero.
@@ -424,242 +494,7 @@ pub fn run_replay_with_faults(
     cfg: &ReplayConfig,
     faults: &FaultSchedule,
 ) -> ReplayOutcome {
-    assert!(cfg.shards >= 1, "need at least one shard");
-    let interval = cfg.detector.interval_ns.max(1);
-    let batch = cfg.batch.max(1);
-
-    let mut shards: Vec<ShardState> = (0..cfg.shards).map(|_| ShardState::new(cfg)).collect();
-    let mut alive: Vec<bool> = vec![true; cfg.shards];
-    let mut incidents: Vec<ShardIncident> = Vec::new();
-    let mut detector = EpochSynFloodDetector::new(cfg.detector);
-    let mut telemetry = ReplayTelemetry::new(cfg.shards);
-    let mut packets: u64 = 0;
-    let mut epochs: u64 = 0;
-    let mut packets_rerouted: u64 = 0;
-    let mut reports_dropped: u64 = 0;
-    // SYNs from intervals whose epoch report was lost; folded into the
-    // next delivered report (switch registers are cumulative). The
-    // delivered report spans `carried_epochs + 1` intervals, so the
-    // detector observes the per-interval average — otherwise a run of
-    // dropped reports would masquerade as a spike.
-    let mut carried_syns: i64 = 0;
-    let mut carried_epochs: i64 = 0;
-
-    let started = std::time::Instant::now();
-
-    // Cut the schedule into epochs (one detector interval each). The
-    // schedule is time-sorted, so each epoch is a contiguous run.
-    let mut i = 0;
-    while i < schedule.len() {
-        let epoch_idx = schedule[i].0 / interval;
-        let mut j = i;
-        while j < schedule.len() && schedule[j].0 / interval == epoch_idx {
-            j += 1;
-        }
-        let epoch_frames = &schedule[i..j];
-        i = j;
-        let incidents_before = incidents.len();
-
-        // Deterministic flow-affine split of this epoch's frames.
-        // Frames whose home shard was quarantined in an earlier epoch
-        // reroute to the next survivor in ring order (the controller's
-        // repartitioning); with no survivors at all they are lost.
-        let mut work: Vec<Vec<&bytes::Bytes>> = vec![Vec::new(); cfg.shards];
-        for (_, frame) in epoch_frames {
-            let home = workloads::shard::shard_of(frame, cfg.shards);
-            let target = if alive[home] {
-                Some(home)
-            } else {
-                next_alive(&alive, home)
-            };
-            if let Some(t) = target {
-                if t != home {
-                    packets_rerouted += 1;
-                }
-                work[t].push(frame);
-            }
-        }
-
-        // Scheduled faults for this epoch. Crashes are handled here on
-        // the supervisor side — the shard is quarantined before its
-        // thread would spawn, so its slice of this interval is lost.
-        let mut recover_started: Option<std::time::Instant> = None;
-        let plan: Vec<Option<ShardFaultKind>> = (0..cfg.shards)
-            .map(|s| {
-                if alive[s] {
-                    faults.shard_fault(epoch_idx, s)
-                } else {
-                    None
-                }
-            })
-            .collect();
-        for (s, fault) in plan.iter().enumerate() {
-            let Some(kind) = fault else { continue };
-            telemetry.faults_injected.inc();
-            if *kind == ShardFaultKind::Crash {
-                recover_started.get_or_insert_with(std::time::Instant::now);
-                alive[s] = false;
-                incidents.push(ShardIncident {
-                    shard: s,
-                    epoch: epoch_idx,
-                    kind: IncidentKind::Crashed,
-                });
-            }
-        }
-
-        // One thread per surviving shard; the scope end is the epoch
-        // barrier. Each thread updates its own ShardMetrics
-        // (single-owner, no atomics) at batch granularity and reports
-        // its busy time so barrier idle time can be attributed after
-        // the join. A failed join quarantines the shard instead of
-        // propagating the panic.
-        telemetry.trace.begin("ingest", epoch_idx);
-        let epoch_started = std::time::Instant::now();
-        let results: Vec<(usize, Result<u64, String>)> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (s, ((state, m), list)) in shards
-                .iter_mut()
-                .zip(telemetry.shards.iter_mut())
-                .zip(&work)
-                .enumerate()
-            {
-                if !alive[s] {
-                    continue;
-                }
-                let fault = plan[s];
-                let handle = scope.spawn(move || {
-                    match fault {
-                        // Before any ingest, so the quarantined state
-                        // is a clean epoch boundary.
-                        Some(ShardFaultKind::Panic) => {
-                            panic!("injected fault: shard {s} panicked at epoch {epoch_idx}")
-                        }
-                        Some(ShardFaultKind::Stall { ns }) => {
-                            std::thread::sleep(std::time::Duration::from_nanos(ns));
-                        }
-                        _ => {}
-                    }
-                    let busy = std::time::Instant::now();
-                    for chunk in list.chunks(batch) {
-                        for frame in chunk {
-                            state.ingest(frame);
-                        }
-                        m.packets.add(chunk.len() as u64);
-                        m.batches.inc();
-                        m.batch_size.record(chunk.len() as u64);
-                    }
-                    let ns = u64::try_from(busy.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                    m.ingest_ns.add(ns);
-                    ns
-                });
-                handles.push((s, handle));
-            }
-            handles
-                .into_iter()
-                .map(|(s, h)| (s, h.join().map_err(panic_message)))
-                .collect()
-        });
-        let epoch_wall = u64::try_from(epoch_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        telemetry.trace.end("ingest", epoch_idx);
-        for (s, r) in &results {
-            match r {
-                Ok(busy) => {
-                    telemetry.shards[*s]
-                        .barrier_wait_ns
-                        .record(epoch_wall.saturating_sub(*busy));
-                }
-                Err(msg) => {
-                    recover_started.get_or_insert_with(std::time::Instant::now);
-                    alive[*s] = false;
-                    incidents.push(ShardIncident {
-                        shard: *s,
-                        epoch: epoch_idx,
-                        kind: IncidentKind::Panicked(msg.clone()),
-                    });
-                }
-            }
-        }
-        packets += epoch_frames.len() as u64;
-        epochs += 1;
-
-        // Barrier work: fold surviving shard state into a fresh global
-        // view and (unless this epoch's report is lost) let the
-        // central detector judge the merged aggregates.
-        telemetry.trace.begin("merge", epoch_idx);
-        let merge_started = std::time::Instant::now();
-        let merged = merge_surviving(&shards, &mut alive, cfg, epoch_idx, &mut incidents);
-        let at = (epoch_idx + 1) * interval;
-        let mut raised = Vec::new();
-        if faults.drop_epoch_report(epoch_idx) {
-            reports_dropped += 1;
-            telemetry.reports_dropped.inc();
-            telemetry.trace.instant("report_dropped", epoch_idx);
-            carried_syns += merged.syn_in_interval;
-            carried_epochs += 1;
-        } else {
-            let syn_estimate = (merged.syn_in_interval + carried_syns) / (carried_epochs + 1);
-            raised = detector.observe_interval(at, syn_estimate, &merged.kinds);
-            carried_syns = 0;
-            carried_epochs = 0;
-        }
-        let merge_ns = u64::try_from(merge_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        telemetry.merge_ns.record(merge_ns);
-        telemetry.trace.end("merge", epoch_idx);
-        if !raised.is_empty() {
-            telemetry.trace.instant("alert", epoch_idx);
-        }
-        telemetry.epoch_ns.record(epoch_wall.saturating_add(merge_ns));
-        telemetry.epochs.inc();
-
-        // Quarantine bookkeeping: recovery is complete once the
-        // surviving state is re-merged, so the time-to-recover clock
-        // runs from the first failure this epoch to here.
-        let new_incidents = incidents.len() - incidents_before;
-        if new_incidents > 0 {
-            telemetry.shards_quarantined.add(new_incidents as u64);
-            telemetry.trace.instant("quarantine", epoch_idx);
-            let t0 = recover_started.unwrap_or(merge_started);
-            let spent = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            for _ in 0..new_incidents {
-                telemetry.recover_ns.record(spent);
-            }
-        }
-
-        for (s, m) in shards.iter_mut().zip(telemetry.shards.iter_mut()) {
-            m.syn_packets.add(u64::try_from(s.syn_in_interval).unwrap_or(0));
-            s.syn_in_interval = 0;
-        }
-    }
-
-    let elapsed = started.elapsed();
-    telemetry.elapsed_ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
-    telemetry.alerts.add(detector.alerts.len() as u64);
-    telemetry.detector = detector.metrics.clone();
-
-    let final_epoch = schedule.last().map_or(0, |(t, _)| t / interval);
-    let merged = merge_surviving(&shards, &mut alive, cfg, final_epoch, &mut incidents);
-    let health = ReplayHealth {
-        shards_configured: cfg.shards,
-        shards_alive: alive.iter().filter(|a| **a).count(),
-        packets_offered: packets,
-        packets_ingested: merged.packets,
-        packets_lost: packets.saturating_sub(merged.packets),
-        packets_rerouted,
-        reports_dropped,
-        incidents,
-    };
-    telemetry.packets_lost.add(health.packets_lost);
-    telemetry.packets_rerouted.add(health.packets_rerouted);
-    ReplayOutcome {
-        merged,
-        alerts: detector.alerts.clone(),
-        detected_at: detector.detected_at,
-        packets,
-        epochs,
-        elapsed,
-        health,
-        telemetry,
-    }
+    pool::run(schedule, cfg, faults)
 }
 
 #[cfg(test)]
@@ -854,6 +689,55 @@ mod tests {
         );
         // The survivor's (empty) state still merged cleanly.
         assert_eq!(merged.packets, 0);
+    }
+
+    #[test]
+    fn coverage_is_finite_on_zero_interval_runs() {
+        // Regression: coverage() used to divide packets_ingested by
+        // packets_offered unguarded, so a zero-interval (empty) run
+        // reported NaN — which poisons JSON exposition and any average
+        // built on top. An empty run is full coverage by definition.
+        let h = ReplayHealth::default();
+        assert_eq!(h.packets_offered, 0);
+        assert!(h.coverage().is_finite());
+        assert_eq!(h.coverage(), 1.0);
+        let out = run_replay(&Schedule::new(), &ReplayConfig::default());
+        assert!(out.health.coverage().is_finite());
+        assert_eq!(out.health.coverage(), 1.0);
+    }
+
+    #[test]
+    fn merge_mismatch_mirrors_merge_from() {
+        // The up-front geometry check must agree with the fallible
+        // merge on every mismatch axis, or the in-place merge loses
+        // its "validated merge cannot fail" invariant.
+        let cfg = ReplayConfig::default();
+        let base = ShardState::new(&cfg);
+        assert_eq!(base.merge_mismatch(&base.clone()), None);
+
+        let mut wide_kinds = cfg;
+        wide_kinds.detector.kinds += 4;
+        let other = ShardState::new(&wide_kinds);
+        assert_eq!(base.merge_mismatch(&other), Some("frequency domains"));
+        let err = base.clone().merge_from(&other).unwrap_err();
+        assert_eq!(err.to_string(), "cannot merge trackers with different frequency domains");
+
+        let mut narrow_sketch = base.clone();
+        narrow_sketch.dst_sketch = CountMinSketch::new(2, 12);
+        assert_eq!(base.merge_mismatch(&narrow_sketch), Some("sketch geometries"));
+        assert!(base.clone().merge_from(&narrow_sketch).is_err());
+
+        let mut short_domain = base.clone();
+        short_domain.len_median =
+            PercentileSet::new(0, MAX_LEN - 1, &[Quantile::percentile(50).unwrap()]).unwrap();
+        assert_eq!(base.merge_mismatch(&short_domain), Some("percentile domains"));
+        assert!(base.clone().merge_from(&short_domain).is_err());
+
+        let mut other_quantiles = base.clone();
+        other_quantiles.len_median =
+            PercentileSet::new(0, MAX_LEN, &[Quantile::percentile(90).unwrap()]).unwrap();
+        assert_eq!(base.merge_mismatch(&other_quantiles), Some("quantile sets"));
+        assert!(base.clone().merge_from(&other_quantiles).is_err());
     }
 
     #[test]

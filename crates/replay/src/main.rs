@@ -21,24 +21,30 @@
 //! (default 0). The run then prints a `chaos:` summary line with the
 //! surviving shard count, coverage, and incident tally — and the same
 //! `(spec, seed)` pair always replays bit-identically.
+//!
+//! Zero is rejected for `--shards`, `--interval-ms` and `--batch` with
+//! a specific message: a zero interval would spin the epoch cutter on
+//! one timestamp forever and a zero batch would divide by zero in the
+//! dispatcher, so they fail loudly at the door instead.
 
 use anomaly::synflood::SynFloodConfig;
 use faultinject::FaultSchedule;
 use replay::{run_replay_with_faults, ReplayConfig};
 use workloads::{PacketMixWorkload, Schedule, SynFloodWorkload};
 
+const USAGE: &str = "usage: replay [synflood|mix] [shards] [interval_ms]\n\
+     \x20             [--shards N] [--interval-ms M] [--batch B]\n\
+     \x20             [--faults SPEC] [--seed N]\n\
+     \x20             [--metrics-out PATH] [--metrics-format prom|json]\n\
+     \x20             [--trace-out PATH]";
+
 fn usage() -> ! {
-    eprintln!(
-        "usage: replay [synflood|mix] [shards] [interval_ms]\n\
-         \x20             [--shards N] [--interval-ms M] [--batch B]\n\
-         \x20             [--faults SPEC] [--seed N]\n\
-         \x20             [--metrics-out PATH] [--metrics-format prom|json]\n\
-         \x20             [--trace-out PATH]"
-    );
+    eprintln!("{USAGE}");
     std::process::exit(2);
 }
 
 /// What the command line asked for.
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct Options {
     workload: String,
     shards: usize,
@@ -51,90 +57,106 @@ struct Options {
     trace_out: Option<String>,
 }
 
-#[derive(Clone, Copy, PartialEq, Eq)]
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            workload: String::from("synflood"),
+            shards: 4,
+            interval_ms: 10,
+            batch: 256,
+            faults: None,
+            seed: 0,
+            metrics_out: None,
+            metrics_format: MetricsFormat::Json,
+            trace_out: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum MetricsFormat {
     Json,
     Prom,
 }
 
-fn parse_args(args: &[String]) -> Options {
-    let mut opts = Options {
-        workload: String::from("synflood"),
-        shards: 4,
-        interval_ms: 10,
-        batch: 256,
-        faults: None,
-        seed: 0,
-        metrics_out: None,
-        metrics_format: MetricsFormat::Json,
-        trace_out: None,
-    };
+/// Parses the argument list, or explains what is wrong with it. Pure
+/// (no printing, no exiting) so the validation — notably the zero
+/// rejections for `--shards` / `--interval-ms` / `--batch` — is unit
+/// testable; `main` turns `Err` into the usage exit.
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
     let mut positional = 0;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        let mut flag_value = |name: &str| -> String {
-            it.next().cloned().unwrap_or_else(|| {
-                eprintln!("replay: {name} needs a value");
-                usage()
-            })
+        let mut flag_value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let parse_num = |name: &str, v: &str| -> Result<u64, String> {
+            v.parse()
+                .map_err(|_| format!("{name} wants a number, got {v:?}"))
         };
         match arg.as_str() {
             "--shards" => {
-                opts.shards = flag_value("--shards").parse().unwrap_or_else(|_| usage());
+                let v = flag_value("--shards")?;
+                opts.shards = parse_num("--shards", &v)? as usize;
             }
             "--interval-ms" => {
-                opts.interval_ms = flag_value("--interval-ms")
-                    .parse()
-                    .unwrap_or_else(|_| usage());
+                let v = flag_value("--interval-ms")?;
+                opts.interval_ms = parse_num("--interval-ms", &v)?;
             }
             "--batch" => {
-                opts.batch = flag_value("--batch").parse().unwrap_or_else(|_| usage());
+                let v = flag_value("--batch")?;
+                opts.batch = parse_num("--batch", &v)? as usize;
             }
-            "--faults" => opts.faults = Some(flag_value("--faults")),
+            "--faults" => opts.faults = Some(flag_value("--faults")?),
             "--seed" => {
-                opts.seed = flag_value("--seed").parse().unwrap_or_else(|_| usage());
+                let v = flag_value("--seed")?;
+                opts.seed = parse_num("--seed", &v)?;
             }
-            "--metrics-out" => opts.metrics_out = Some(flag_value("--metrics-out")),
+            "--metrics-out" => opts.metrics_out = Some(flag_value("--metrics-out")?),
             "--metrics-format" => {
-                opts.metrics_format = match flag_value("--metrics-format").as_str() {
+                opts.metrics_format = match flag_value("--metrics-format")?.as_str() {
                     "json" => MetricsFormat::Json,
                     "prom" => MetricsFormat::Prom,
                     other => {
-                        eprintln!("replay: unknown metrics format {other:?} (want prom|json)");
-                        usage()
+                        return Err(format!("unknown metrics format {other:?} (want prom|json)"))
                     }
                 };
             }
-            "--trace-out" => opts.trace_out = Some(flag_value("--trace-out")),
-            "--help" | "-h" => usage(),
-            flag if flag.starts_with("--") => {
-                eprintln!("replay: unknown flag {flag}");
-                usage()
-            }
+            "--trace-out" => opts.trace_out = Some(flag_value("--trace-out")?),
+            "--help" | "-h" => return Err(String::new()),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             positional_arg => {
                 match positional {
                     0 => opts.workload = positional_arg.to_string(),
-                    1 => opts.shards = positional_arg.parse().unwrap_or_else(|_| usage()),
-                    2 => opts.interval_ms = positional_arg.parse().unwrap_or_else(|_| usage()),
-                    _ => usage(),
+                    1 => opts.shards = parse_num("shards", positional_arg)? as usize,
+                    2 => opts.interval_ms = parse_num("interval_ms", positional_arg)?,
+                    _ => return Err(format!("too many positionals at {positional_arg:?}")),
                 }
                 positional += 1;
             }
         }
     }
     if opts.shards == 0 {
-        eprintln!("replay: shards must be at least 1");
-        usage();
+        return Err(String::from(
+            "--shards 0 makes no sense: the engine needs at least one shard",
+        ));
     }
     if opts.interval_ms == 0 {
-        eprintln!("replay: interval_ms must be at least 1");
-        usage();
+        return Err(String::from(
+            "--interval-ms 0 would spin forever cutting zero-length epochs; \
+             use an interval of at least 1 ms",
+        ));
     }
     if opts.batch == 0 {
-        eprintln!("replay: batch must be at least 1");
-        usage();
+        return Err(String::from(
+            "--batch 0 would divide by zero in the dispatcher; \
+             use a batch of at least 1 frame",
+        ));
     }
-    opts
+    Ok(opts)
 }
 
 fn generate(name: &str) -> Schedule {
@@ -174,7 +196,15 @@ fn write_or_die(path: &str, contents: &str, what: &str) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = parse_args(&args);
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("replay: {msg}");
+            }
+            usage()
+        }
+    };
 
     let schedule = generate(&opts.workload);
     let cfg = ReplayConfig {
@@ -265,5 +295,92 @@ fn main() {
             out.telemetry.trace.events().len(),
             out.telemetry.trace.dropped(),
         );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        let owned: Vec<String> = args.iter().map(ToString::to_string).collect();
+        parse_args(&owned)
+    }
+
+    #[test]
+    fn defaults_with_no_args() {
+        let opts = parse(&[]).unwrap();
+        assert_eq!(opts, Options::default());
+    }
+
+    #[test]
+    fn flags_and_positionals_parse() {
+        let opts = parse(&["mix", "2", "5"]).unwrap();
+        assert_eq!(opts.workload, "mix");
+        assert_eq!(opts.shards, 2);
+        assert_eq!(opts.interval_ms, 5);
+
+        let opts = parse(&[
+            "--shards", "8", "--interval-ms", "20", "--batch", "64", "--faults",
+            "shard_crash=1@3", "--seed", "9", "--metrics-out", "m.json", "--metrics-format",
+            "prom", "--trace-out", "t.json",
+        ])
+        .unwrap();
+        assert_eq!(opts.shards, 8);
+        assert_eq!(opts.interval_ms, 20);
+        assert_eq!(opts.batch, 64);
+        assert_eq!(opts.faults.as_deref(), Some("shard_crash=1@3"));
+        assert_eq!(opts.seed, 9);
+        assert_eq!(opts.metrics_out.as_deref(), Some("m.json"));
+        assert_eq!(opts.metrics_format, MetricsFormat::Prom);
+        assert_eq!(opts.trace_out.as_deref(), Some("t.json"));
+    }
+
+    #[test]
+    fn flags_win_over_positionals() {
+        let opts = parse(&["synflood", "2", "--shards", "8"]).unwrap();
+        assert_eq!(opts.shards, 8);
+    }
+
+    #[test]
+    fn zero_interval_rejected_with_specific_message() {
+        // Regression: a zero interval used to be clamped deep in the
+        // engine (`interval_ns.max(1)`), turning a typo'd flag into a
+        // per-nanosecond epoch busy-loop instead of an error.
+        let err = parse(&["--interval-ms", "0"]).unwrap_err();
+        assert!(err.contains("--interval-ms 0"), "got: {err}");
+        assert!(err.contains("at least 1 ms"), "actionable: {err}");
+    }
+
+    #[test]
+    fn zero_batch_rejected_with_specific_message() {
+        let err = parse(&["--batch", "0"]).unwrap_err();
+        assert!(err.contains("--batch 0"), "got: {err}");
+    }
+
+    #[test]
+    fn zero_shards_rejected_with_specific_message() {
+        let err = parse(&["--shards", "0"]).unwrap_err();
+        assert!(err.contains("--shards 0"), "got: {err}");
+        // Zero via the positional form is caught by the same gate.
+        let err = parse(&["synflood", "0"]).unwrap_err();
+        assert!(err.contains("at least one shard"), "got: {err}");
+    }
+
+    #[test]
+    fn malformed_and_unknown_args_rejected() {
+        assert!(parse(&["--shards"]).unwrap_err().contains("needs a value"));
+        assert!(parse(&["--shards", "many"])
+            .unwrap_err()
+            .contains("wants a number"));
+        assert!(parse(&["--frobnicate"])
+            .unwrap_err()
+            .contains("unknown flag"));
+        assert!(parse(&["--metrics-format", "xml"])
+            .unwrap_err()
+            .contains("unknown metrics format"));
+        assert!(parse(&["a", "1", "2", "3"])
+            .unwrap_err()
+            .contains("too many positionals"));
     }
 }

@@ -35,6 +35,14 @@ pub struct ShardMetrics {
     /// Nanoseconds spent idle at the epoch barrier waiting for the
     /// slowest shard — the straggler signal.
     pub barrier_wait_ns: LogLinearHistogram,
+    /// Nanoseconds each dispatched epoch sat in this shard's bounded
+    /// queue before the worker dequeued it (pool engine; empty on the
+    /// reference engine, which has no queues).
+    pub queue_wait_ns: LogLinearHistogram,
+    /// Epochs in flight in this shard's queue at each dispatch —
+    /// backpressure signal (pool engine; empty on the reference
+    /// engine).
+    pub queue_depth: LogLinearHistogram,
 }
 
 impl Default for ShardMetrics {
@@ -54,6 +62,8 @@ impl ShardMetrics {
             batch_size: LogLinearHistogram::default(),
             ingest_ns: Counter::new(),
             barrier_wait_ns: LogLinearHistogram::default(),
+            queue_wait_ns: LogLinearHistogram::default(),
+            queue_depth: LogLinearHistogram::default(),
         }
     }
 
@@ -80,6 +90,8 @@ impl Mergeable for ShardMetrics {
         self.batch_size.merge_from(&other.batch_size)?;
         self.ingest_ns.merge_from(&other.ingest_ns)?;
         self.barrier_wait_ns.merge_from(&other.barrier_wait_ns)?;
+        self.queue_wait_ns.merge_from(&other.queue_wait_ns)?;
+        self.queue_depth.merge_from(&other.queue_depth)?;
         Ok(())
     }
 }
@@ -117,6 +129,16 @@ pub struct ReplayTelemetry {
     /// Time from detecting a shard failure to having re-merged the
     /// surviving state, per quarantine incident, ns.
     pub recover_ns: LogLinearHistogram,
+    /// Time spent flow-hash partitioning each epoch's frames into
+    /// per-shard work lists (the pre-partition stage), ns.
+    pub partition_ns: LogLinearHistogram,
+    /// Portion of each epoch's partition time that overlapped worker
+    /// ingest — the pool's pipelining win; zero on the reference
+    /// engine, which partitions serially between barriers.
+    pub overlap_ns: LogLinearHistogram,
+    /// Bound of the per-shard dispatch queues (0 = unqueued reference
+    /// engine).
+    pub queue_capacity: u64,
     /// Epoch lifecycle events (bounded).
     pub trace: Tracer,
     /// Total wall time of the replay, ns.
@@ -143,6 +165,9 @@ impl ReplayTelemetry {
             packets_rerouted: Counter::new(),
             reports_dropped: Counter::new(),
             recover_ns: LogLinearHistogram::default(),
+            partition_ns: LogLinearHistogram::default(),
+            overlap_ns: LogLinearHistogram::default(),
+            queue_capacity: 0,
             trace: Tracer::new(Self::TRACE_CAPACITY),
             elapsed_ns: 0,
         }
@@ -210,6 +235,24 @@ impl ReplayTelemetry {
                 "idle time at the epoch barrier per shard",
                 &labels,
                 &s.barrier_wait_ns,
+            );
+            snap.push_histogram(
+                "replay_shard_queue_wait_ns",
+                "time dispatched epochs sat in the shard's queue",
+                &labels,
+                &s.queue_wait_ns,
+            );
+            snap.push_histogram(
+                "replay_shard_queue_depth",
+                "epochs in flight in the shard's queue at dispatch",
+                &labels,
+                &s.queue_depth,
+            );
+            snap.push_gauge(
+                "replay_shard_queue_depth_max",
+                "deepest the shard's dispatch queue got",
+                &labels,
+                i64::try_from(s.queue_depth.max().unwrap_or(0)).unwrap_or(i64::MAX),
             );
         }
         let merged = self.merged_shard();
@@ -285,6 +328,24 @@ impl ReplayTelemetry {
             &[],
             &self.recover_ns,
         );
+        snap.push_histogram(
+            "replay_partition_ns",
+            "time flow-hash partitioning each epoch into shard work lists",
+            &[],
+            &self.partition_ns,
+        );
+        snap.push_histogram(
+            "replay_overlap_ns",
+            "partition time overlapped with worker ingest per epoch",
+            &[],
+            &self.overlap_ns,
+        );
+        snap.push_gauge(
+            "replay_queue_capacity",
+            "bound of the per-shard dispatch queues (0 = unqueued engine)",
+            &[],
+            i64::try_from(self.queue_capacity).unwrap_or(i64::MAX),
+        );
         snap.push_counter(
             "replay_trace_events_total",
             "epoch lifecycle events recorded",
@@ -358,5 +419,31 @@ mod tests {
     fn ingest_pps_zero_when_untimed() {
         let s = ShardMetrics::new();
         assert_eq!(s.ingest_pps(), 0.0);
+    }
+
+    #[test]
+    fn pool_series_render_in_snapshot() {
+        let mut t = ReplayTelemetry::new(2);
+        t.shards[0].queue_wait_ns.record(900);
+        t.shards[0].queue_depth.record(1);
+        t.shards[1].queue_depth.record(2);
+        t.partition_ns.record(12_000);
+        t.overlap_ns.record(9_000);
+        t.queue_capacity = 2;
+        let snap = t.snapshot();
+        let text = telemetry::render_prometheus(&snap);
+        for name in [
+            "replay_shard_queue_wait_ns",
+            "replay_shard_queue_depth",
+            "replay_shard_queue_depth_max",
+            "replay_partition_ns",
+            "replay_overlap_ns",
+            "replay_queue_capacity",
+        ] {
+            assert!(text.contains(name), "{name} missing from exposition");
+        }
+        telemetry::check_prometheus(&text).expect("valid exposition");
+        // The merged set folds the queue histograms too.
+        assert_eq!(t.merged_shard().queue_depth.count(), 2);
     }
 }

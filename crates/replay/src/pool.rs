@@ -1,0 +1,553 @@
+//! The persistent shard worker pool — the crate's production engine.
+//!
+//! The [`reference`](crate::reference) engine pays two coordinator
+//! taxes every detector interval: it spawns and joins a full
+//! `std::thread::scope` worker set, and it flow-hashes every frame of
+//! the interval serially between barriers. This module removes both
+//! while reproducing the reference outcome bit for bit:
+//!
+//! - **Workers spawn once per run.** One OS thread per shard lives for
+//!   the whole replay inside a single `std::thread::scope`, fed
+//!   through a bounded [`sync_channel`] of capacity
+//!   [`QUEUE_CAPACITY`]. An epoch is a message, not a thread.
+//! - **State ping-pongs, never copies.** Each epoch the coordinator
+//!   *moves* the shard's [`ShardState`] plus its frame list to the
+//!   worker and gets both back in the reply — pointer handoffs through
+//!   the channel, zero clones. Merging therefore still happens on the
+//!   coordinator, serialized exactly like the reference engine.
+//! - **Partitioning is a parallel pre-stage.** Flow hashing — the
+//!   expensive, alive-map-independent half of partitioning — runs once
+//!   up front over the whole schedule on scoped threads
+//!   ([`workloads::shard::assignments_parallel`]). The cheap routing
+//!   pass (home → survivor, quarantine reroutes) for interval *k+1*
+//!   runs while the workers ingest interval *k*.
+//! - **Routing is speculative but exact.** Interval *k+1* is routed
+//!   against the alive map *predicted* after *k*: the current map
+//!   minus shards with an injected panic scheduled at *k*. Injected
+//!   faults are deterministic, so the prediction only misses on
+//!   organic failures (a worker dying on its own, a merge mismatch) —
+//!   then the speculative partition is discarded and rebuilt from the
+//!   actual map, keeping outcomes bit-identical to the reference
+//!   engine in every case.
+//! - **Buffers are pooled.** Frame lists return (cleared) in each
+//!   reply and recycle through a spare pool; steady state circulates
+//!   ~2× shards buffers for the whole run instead of reallocating
+//!   `shards` fresh `Vec`s per interval.
+//!
+//! Fault supervision is re-wired onto the pool with identical
+//! semantics: a scheduled crash quarantines the shard before dispatch
+//! (its state stays with the coordinator, excluded from merges); an
+//! injected panic unwinds the worker — the coordinator notices the
+//! reply channel disconnect, joins the dead thread for its payload,
+//! and quarantines the shard (its state died with the worker, which
+//! matches the reference engine's "a dead pipe's registers are
+//! unreadable" exclusion); merge mismatches quarantine at the barrier.
+//! `tests/pool.rs` and `tests/pool_teardown.rs` hold the engine to
+//! bit-identical outcomes and leak-free teardown.
+
+use crate::{
+    merge_surviving_entries, next_alive, panic_message, IncidentKind, ReplayConfig, ReplayHealth,
+    ReplayOutcome, ReplayTelemetry, ShardIncident, ShardState,
+};
+use anomaly::epoch::EpochSynFloodDetector;
+use faultinject::{FaultSchedule, ShardFaultKind};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::time::Instant;
+use workloads::Schedule;
+
+/// Bound of each shard's dispatch queue: one epoch in flight plus the
+/// shutdown marker, so the coordinator never blocks on a send. Depth
+/// beyond 1 would let epoch k+1 start before k's merge — the detector
+/// is sequential, so the pipeline ends at the barrier by design.
+pub(crate) const QUEUE_CAPACITY: usize = 2;
+
+/// Scoped threads for the up-front flow-hash pass. Hashing is pure and
+/// order-preserving, so any thread count yields the same assignment
+/// (`assignments_parallel` falls back to serial for short schedules).
+const PARTITION_THREADS: usize = 4;
+
+/// One epoch's work order for a shard: its state, its routed frame
+/// slice, and any fault scheduled to fire on the worker.
+struct EpochWork<'a> {
+    epoch_idx: u64,
+    fault: Option<ShardFaultKind>,
+    state: ShardState,
+    frames: Vec<&'a bytes::Bytes>,
+    batch: usize,
+    /// Dispatch timestamp, for the queue-wait histogram.
+    sent_at: Instant,
+}
+
+/// Coordinator → worker messages. The size skew between the variants
+/// is deliberate: an `EpochWork` lives in at most one channel slot per
+/// shard at a time (queue depth ≤ 1 by construction), so boxing it
+/// would add a per-epoch allocation to save nothing.
+#[allow(clippy::large_enum_variant)]
+enum Dispatch<'a> {
+    Epoch(EpochWork<'a>),
+    Shutdown,
+}
+
+/// A routed epoch produced speculatively for interval k+1 while k is
+/// in flight, valid only if `assumed_alive` still matches reality when
+/// k+1 dispatches.
+struct RoutedEpoch<'a> {
+    work: Vec<Vec<&'a bytes::Bytes>>,
+    rerouted: u64,
+    assumed_alive: Vec<bool>,
+}
+
+/// Worker → coordinator reply: the state and (cleared) frame buffer
+/// come home, plus the numbers the coordinator needs to reconstruct
+/// the per-batch metrics the reference engine records in-thread.
+struct Reply<'a> {
+    state: ShardState,
+    frames: Vec<&'a bytes::Bytes>,
+    ingested: u64,
+    busy_ns: u64,
+    queue_wait_ns: u64,
+}
+
+#[inline]
+fn elapsed_ns(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// The persistent per-shard worker: block on the queue, run one epoch,
+/// reply, repeat until shutdown or coordinator disconnect. An injected
+/// panic fires before any ingest (same clean-epoch-boundary guarantee
+/// as the reference engine) and unwinds through this loop, dropping
+/// both channel ends — the reply-channel disconnect is how the
+/// supervisor notices.
+fn worker_loop<'a>(shard: usize, rx: &Receiver<Dispatch<'a>>, tx: &SyncSender<Reply<'a>>) {
+    while let Ok(Dispatch::Epoch(mut work)) = rx.recv() {
+        let queue_wait_ns = elapsed_ns(work.sent_at);
+        match work.fault {
+            Some(ShardFaultKind::Panic) => {
+                let epoch_idx = work.epoch_idx;
+                panic!("injected fault: shard {shard} panicked at epoch {epoch_idx}")
+            }
+            Some(ShardFaultKind::Stall { ns }) => {
+                std::thread::sleep(std::time::Duration::from_nanos(ns));
+            }
+            _ => {}
+        }
+        let busy = Instant::now();
+        for chunk in work.frames.chunks(work.batch) {
+            for frame in chunk {
+                work.state.ingest(frame);
+            }
+        }
+        let busy_ns = elapsed_ns(busy);
+        let ingested = work.frames.len() as u64;
+        work.frames.clear();
+        let reply = Reply {
+            state: work.state,
+            frames: work.frames,
+            ingested,
+            busy_ns,
+            queue_wait_ns,
+        };
+        if tx.send(reply).is_err() {
+            return;
+        }
+    }
+}
+
+/// Routes one epoch's frames into per-shard work lists under `alive`:
+/// home shard if alive, else the next survivor in ring order, else the
+/// frame is lost. Buffers come from (and eventually return to) the
+/// spare pool. Returns the lists and the reroute count — the caller
+/// commits the count only when the routing is actually used (a
+/// discarded speculative route must not leak into health accounting).
+fn route<'a>(
+    schedule: &'a Schedule,
+    homes: &[usize],
+    range: std::ops::Range<usize>,
+    alive: &[bool],
+    spare: &mut Vec<Vec<&'a bytes::Bytes>>,
+    shards: usize,
+) -> (Vec<Vec<&'a bytes::Bytes>>, u64) {
+    let mut work: Vec<Vec<&'a bytes::Bytes>> =
+        (0..shards).map(|_| spare.pop().unwrap_or_default()).collect();
+    let mut rerouted = 0u64;
+    for idx in range {
+        let home = homes[idx];
+        let target = if alive[home] {
+            Some(home)
+        } else {
+            next_alive(alive, home)
+        };
+        if let Some(t) = target {
+            if t != home {
+                rerouted += 1;
+            }
+            work[t].push(&schedule[idx].1);
+        }
+    }
+    (work, rerouted)
+}
+
+/// Returns an epoch's buffers to the spare pool, cleared.
+fn recycle<'a>(work: Vec<Vec<&'a bytes::Bytes>>, spare: &mut Vec<Vec<&'a bytes::Bytes>>) {
+    for mut buf in work {
+        buf.clear();
+        spare.push(buf);
+    }
+}
+
+/// [`crate::run_replay_with_faults`] on the persistent worker pool.
+/// Outcome semantics are documented there; this body is required (and
+/// tested) to be a bit-identical drop-in for
+/// [`crate::reference::run_replay_with_faults`].
+#[allow(clippy::too_many_lines)]
+pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedule) -> ReplayOutcome {
+    assert!(cfg.shards >= 1, "need at least one shard");
+    let interval = cfg.detector.interval_ns.max(1);
+    let batch = cfg.batch.max(1);
+    let batch_u64 = batch as u64;
+
+    // Ping-pong slots: `Some` while the coordinator holds the state,
+    // `None` while it is out with the worker (or died with one).
+    let mut states: Vec<Option<ShardState>> =
+        (0..cfg.shards).map(|_| Some(ShardState::new(cfg))).collect();
+    let mut alive: Vec<bool> = vec![true; cfg.shards];
+    let mut incidents: Vec<ShardIncident> = Vec::new();
+    let mut detector = EpochSynFloodDetector::new(cfg.detector);
+    let mut telemetry = ReplayTelemetry::new(cfg.shards);
+    telemetry.queue_capacity = QUEUE_CAPACITY as u64;
+    let mut packets: u64 = 0;
+    let mut epochs: u64 = 0;
+    let mut packets_rerouted: u64 = 0;
+    let mut reports_dropped: u64 = 0;
+    // Report-loss carry-forward — identical to the reference engine:
+    // the next delivered report observes the per-interval average of
+    // the span it covers.
+    let mut carried_syns: i64 = 0;
+    let mut carried_epochs: i64 = 0;
+
+    let started = Instant::now();
+
+    if !schedule.is_empty() {
+        // Parallel pre-partition stage: hash every frame's flow once,
+        // up front. Assignments depend only on frame bytes — the
+        // alive-dependent routing stays per-epoch (and overlapped).
+        let hash_started = Instant::now();
+        let homes = workloads::shard::assignments_parallel(schedule, cfg.shards, PARTITION_THREADS);
+        telemetry.partition_ns.record(elapsed_ns(hash_started));
+
+        // Epoch boundaries: contiguous runs of `t / interval` in the
+        // time-sorted schedule, exactly like the reference engine.
+        let mut ranges: Vec<(u64, std::ops::Range<usize>)> = Vec::new();
+        let mut i = 0;
+        while i < schedule.len() {
+            let epoch_idx = schedule[i].0 / interval;
+            let mut j = i;
+            while j < schedule.len() && schedule[j].0 / interval == epoch_idx {
+                j += 1;
+            }
+            ranges.push((epoch_idx, i..j));
+            i = j;
+        }
+
+        std::thread::scope(|scope| {
+            let mut to_worker: Vec<SyncSender<Dispatch<'_>>> = Vec::with_capacity(cfg.shards);
+            let mut from_worker: Vec<Receiver<Reply<'_>>> = Vec::with_capacity(cfg.shards);
+            let mut handles = Vec::with_capacity(cfg.shards);
+            for s in 0..cfg.shards {
+                let (tx_d, rx_d) = sync_channel::<Dispatch<'_>>(QUEUE_CAPACITY);
+                let (tx_r, rx_r) = sync_channel::<Reply<'_>>(QUEUE_CAPACITY);
+                to_worker.push(tx_d);
+                from_worker.push(rx_r);
+                handles.push(Some(scope.spawn(move || worker_loop(s, &rx_d, &tx_r))));
+            }
+
+            // Run-long buffer pool (~2× shards lists in steady state).
+            let mut spare: Vec<Vec<&bytes::Bytes>> = Vec::new();
+            let mut in_flight: Vec<u64> = vec![0; cfg.shards];
+            let mut speculative: Option<RoutedEpoch> = None;
+
+            for (k, (epoch_idx, range)) in ranges.iter().enumerate() {
+                let epoch_idx = *epoch_idx;
+                let incidents_before = incidents.len();
+
+                // (A) This epoch's routing: the speculative partition
+                // if its predicted alive map held, else a fresh pass.
+                let (mut work, rerouted) = match speculative.take() {
+                    Some(spec) if spec.assumed_alive == alive => (spec.work, spec.rerouted),
+                    other => {
+                        if let Some(spec) = other {
+                            recycle(spec.work, &mut spare);
+                        }
+                        let t0 = Instant::now();
+                        let routed =
+                            route(schedule, &homes, range.clone(), &alive, &mut spare, cfg.shards);
+                        telemetry.partition_ns.record(elapsed_ns(t0));
+                        routed
+                    }
+                };
+                packets_rerouted += rerouted;
+
+                // (B) Fault plan; crashes quarantine before dispatch,
+                // so the crashed shard's slice of this interval is
+                // lost — its state stays parked in its slot.
+                let mut recover_started: Option<Instant> = None;
+                let plan: Vec<Option<ShardFaultKind>> = (0..cfg.shards)
+                    .map(|s| {
+                        if alive[s] {
+                            faults.shard_fault(epoch_idx, s)
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                for (s, fault) in plan.iter().enumerate() {
+                    let Some(kind) = fault else { continue };
+                    telemetry.faults_injected.inc();
+                    if *kind == ShardFaultKind::Crash {
+                        recover_started.get_or_insert_with(Instant::now);
+                        alive[s] = false;
+                        incidents.push(ShardIncident {
+                            shard: s,
+                            epoch: epoch_idx,
+                            kind: IncidentKind::Crashed,
+                        });
+                    }
+                }
+
+                // (C) Dispatch to every surviving worker: move the
+                // state and frame list through the bounded queue.
+                telemetry.trace.begin("ingest", epoch_idx);
+                let epoch_started = Instant::now();
+                let mut dispatched = vec![false; cfg.shards];
+                for s in 0..cfg.shards {
+                    let frames = std::mem::take(&mut work[s]);
+                    if alive[s] {
+                        let state = states[s].take().expect("alive shard holds its state");
+                        let msg = Dispatch::Epoch(EpochWork {
+                            epoch_idx,
+                            fault: plan[s],
+                            state,
+                            frames,
+                            batch,
+                            sent_at: Instant::now(),
+                        });
+                        to_worker[s]
+                            .send(msg)
+                            .expect("dispatch to a live worker cannot fail");
+                        in_flight[s] += 1;
+                        telemetry.shards[s].queue_depth.record(in_flight[s]);
+                        dispatched[s] = true;
+                    } else {
+                        recycle(vec![frames], &mut spare);
+                    }
+                }
+
+                // (D) Pipelined pre-partition: route interval k+1 while
+                // the workers ingest interval k, against the alive map
+                // predicted after k (current minus injected panics at
+                // k — deterministic, so only organic failures miss).
+                let mut spec_route_ns = None;
+                if let Some((_, next_range)) = ranges.get(k + 1) {
+                    let mut pred = alive.clone();
+                    for (s, fault) in plan.iter().enumerate() {
+                        if matches!(fault, Some(ShardFaultKind::Panic)) {
+                            pred[s] = false;
+                        }
+                    }
+                    let t0 = Instant::now();
+                    let (w, r) =
+                        route(schedule, &homes, next_range.clone(), &pred, &mut spare, cfg.shards);
+                    let dur = elapsed_ns(t0);
+                    telemetry.partition_ns.record(dur);
+                    spec_route_ns = Some(dur);
+                    speculative = Some(RoutedEpoch {
+                        work: w,
+                        rerouted: r,
+                        assumed_alive: pred,
+                    });
+                }
+
+                // (E) Collect replies in shard order. A disconnected
+                // reply channel means the worker died: join it for the
+                // panic payload and quarantine (its state is gone).
+                type EpochResult = (usize, Result<(u64, u64, u64), String>);
+                let mut results: Vec<EpochResult> = Vec::with_capacity(cfg.shards);
+                for s in 0..cfg.shards {
+                    if !dispatched[s] {
+                        continue;
+                    }
+                    in_flight[s] -= 1;
+                    match from_worker[s].recv() {
+                        Ok(reply) => {
+                            states[s] = Some(reply.state);
+                            recycle(vec![reply.frames], &mut spare);
+                            results
+                                .push((s, Ok((reply.busy_ns, reply.ingested, reply.queue_wait_ns))));
+                        }
+                        Err(_) => {
+                            let h = handles[s].take().expect("dead worker joined once");
+                            let msg = match h.join() {
+                                Err(payload) => panic_message(payload),
+                                Ok(()) => String::from("shard worker exited without a reply"),
+                            };
+                            results.push((s, Err(msg)));
+                        }
+                    }
+                }
+                let epoch_wall = elapsed_ns(epoch_started);
+                telemetry.trace.end("ingest", epoch_idx);
+                for (s, r) in &results {
+                    match r {
+                        Ok((busy_ns, ingested, queue_wait_ns)) => {
+                            // Reconstruct the reference engine's
+                            // per-chunk records from the counts: `full`
+                            // whole batches plus one remainder batch is
+                            // exactly what `chunks(batch)` yields, and
+                            // `record_n` is bit-identical to repeated
+                            // `record`s.
+                            let full = ingested / batch_u64;
+                            let rem = ingested % batch_u64;
+                            let m = &mut telemetry.shards[*s];
+                            m.packets.add(*ingested);
+                            m.batches.add(full + u64::from(rem > 0));
+                            m.batch_size.record_n(batch_u64, full);
+                            if rem > 0 {
+                                m.batch_size.record(rem);
+                            }
+                            m.ingest_ns.add(*busy_ns);
+                            m.queue_wait_ns.record(*queue_wait_ns);
+                            m.barrier_wait_ns.record(epoch_wall.saturating_sub(*busy_ns));
+                        }
+                        Err(msg) => {
+                            recover_started.get_or_insert_with(Instant::now);
+                            alive[*s] = false;
+                            incidents.push(ShardIncident {
+                                shard: *s,
+                                epoch: epoch_idx,
+                                kind: IncidentKind::Panicked(msg.clone()),
+                            });
+                        }
+                    }
+                }
+                packets += range.len() as u64;
+                epochs += 1;
+
+                // (F) Barrier: merge surviving state (serialized on
+                // the coordinator, like the reference engine) and feed
+                // the central detector unless this report is lost.
+                telemetry.trace.begin("merge", epoch_idx);
+                let merge_started = Instant::now();
+                let entries: Vec<(usize, &ShardState)> = states
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(s, st)| st.as_ref().map(|st| (s, st)))
+                    .collect();
+                let merged =
+                    merge_surviving_entries(&entries, &mut alive, cfg, epoch_idx, &mut incidents);
+                let at = (epoch_idx + 1) * interval;
+                let mut raised = Vec::new();
+                if faults.drop_epoch_report(epoch_idx) {
+                    reports_dropped += 1;
+                    telemetry.reports_dropped.inc();
+                    telemetry.trace.instant("report_dropped", epoch_idx);
+                    carried_syns += merged.syn_in_interval;
+                    carried_epochs += 1;
+                } else {
+                    let syn_estimate =
+                        (merged.syn_in_interval + carried_syns) / (carried_epochs + 1);
+                    raised = detector.observe_interval(at, syn_estimate, &merged.kinds);
+                    carried_syns = 0;
+                    carried_epochs = 0;
+                }
+                let merge_ns = elapsed_ns(merge_started);
+                telemetry.merge_ns.record(merge_ns);
+                telemetry.trace.end("merge", epoch_idx);
+                if !raised.is_empty() {
+                    telemetry.trace.instant("alert", epoch_idx);
+                }
+                telemetry.epoch_ns.record(epoch_wall.saturating_add(merge_ns));
+                telemetry.epochs.inc();
+                if let Some(dur) = spec_route_ns {
+                    // The k+1 routing ran inside k's ingest window;
+                    // anything beyond the wall was coordinator-bound.
+                    telemetry.overlap_ns.record(dur.min(epoch_wall));
+                }
+
+                // (G) Quarantine bookkeeping, same clock semantics as
+                // the reference engine.
+                let new_incidents = incidents.len() - incidents_before;
+                if new_incidents > 0 {
+                    telemetry.shards_quarantined.add(new_incidents as u64);
+                    telemetry.trace.instant("quarantine", epoch_idx);
+                    let t0 = recover_started.unwrap_or(merge_started);
+                    let spent = elapsed_ns(t0);
+                    for _ in 0..new_incidents {
+                        telemetry.recover_ns.record(spent);
+                    }
+                }
+
+                // (H) Fold the closed interval's SYN counts and reset.
+                // Parked (dead-but-present) states carry zero here,
+                // exactly like the reference engine's stale entries.
+                for (st, m) in states.iter_mut().zip(telemetry.shards.iter_mut()) {
+                    if let Some(state) = st {
+                        m.syn_packets
+                            .add(u64::try_from(state.syn_in_interval).unwrap_or(0));
+                        state.syn_in_interval = 0;
+                    }
+                }
+            }
+
+            // Teardown: wake every worker with a shutdown marker (dead
+            // workers' queues are disconnected — ignore), then join.
+            // Panicked workers were joined at quarantine time, so every
+            // remaining join is a clean exit and the scope ends with no
+            // unjoined threads to re-panic on.
+            for tx in &to_worker {
+                let _ = tx.send(Dispatch::Shutdown);
+            }
+            drop(to_worker);
+            for h in &mut handles {
+                if let Some(h) = h.take() {
+                    h.join().expect("idle worker shuts down cleanly");
+                }
+            }
+        });
+    }
+
+    let elapsed = started.elapsed();
+    telemetry.elapsed_ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+    telemetry.alerts.add(detector.alerts.len() as u64);
+    telemetry.detector = detector.metrics.clone();
+
+    let final_epoch = schedule.last().map_or(0, |(t, _)| t / interval);
+    let entries: Vec<(usize, &ShardState)> = states
+        .iter()
+        .enumerate()
+        .filter_map(|(s, st)| st.as_ref().map(|st| (s, st)))
+        .collect();
+    let merged = merge_surviving_entries(&entries, &mut alive, cfg, final_epoch, &mut incidents);
+    let health = ReplayHealth {
+        shards_configured: cfg.shards,
+        shards_alive: alive.iter().filter(|a| **a).count(),
+        packets_offered: packets,
+        packets_ingested: merged.packets,
+        packets_lost: packets.saturating_sub(merged.packets),
+        packets_rerouted,
+        reports_dropped,
+        incidents,
+    };
+    telemetry.packets_lost.add(health.packets_lost);
+    telemetry.packets_rerouted.add(health.packets_rerouted);
+    ReplayOutcome {
+        merged,
+        alerts: detector.alerts.clone(),
+        detected_at: detector.detected_at,
+        packets,
+        epochs,
+        elapsed,
+        health,
+        telemetry,
+    }
+}

@@ -1,0 +1,287 @@
+//! The original per-epoch thread-scope replay engine, kept as the
+//! **conformance baseline** for the persistent worker pool.
+//!
+//! This is the engine the crate shipped before the pool rewrite: every
+//! detector interval it partitions the interval's frames serially on
+//! the coordinator, spawns one scoped thread per surviving shard,
+//! joins them all, merges, and tears the scope down again. Spawn/join
+//! per interval is exactly the overhead the pool removes — but the
+//! outcome (merged state, alerts, health, telemetry counter sums) is a
+//! pure function of the schedule and fault schedule, so the pool is
+//! required to reproduce it bit for bit. `tests/pool.rs` asserts that
+//! equivalence and `crates/bench` measures the speedup against this
+//! module.
+//!
+//! Nothing here is deprecated API surface: it exists so the comparison
+//! target is the real former engine, not a reconstruction.
+
+use crate::{
+    merge_surviving, next_alive, panic_message, IncidentKind, ReplayConfig, ReplayHealth,
+    ReplayOutcome, ReplayTelemetry, ShardIncident, ShardState,
+};
+use anomaly::epoch::EpochSynFloodDetector;
+use faultinject::{FaultSchedule, ShardFaultKind};
+use workloads::Schedule;
+
+/// [`crate::run_replay`] on the reference engine — no faults.
+///
+/// # Panics
+///
+/// Panics if `cfg.shards` is zero.
+#[must_use]
+pub fn run_replay(schedule: &Schedule, cfg: &ReplayConfig) -> ReplayOutcome {
+    run_replay_with_faults(schedule, cfg, &FaultSchedule::none())
+}
+
+/// The pre-pool [`crate::run_replay_with_faults`]: per-epoch scoped
+/// worker threads, serial coordinator-side partitioning, no
+/// pipelining. Semantics documented on the crate-level function; this
+/// body is the behavioural specification the pool engine is tested
+/// against.
+///
+/// # Panics
+///
+/// Panics if `cfg.shards` is zero.
+#[must_use]
+pub fn run_replay_with_faults(
+    schedule: &Schedule,
+    cfg: &ReplayConfig,
+    faults: &FaultSchedule,
+) -> ReplayOutcome {
+    assert!(cfg.shards >= 1, "need at least one shard");
+    let interval = cfg.detector.interval_ns.max(1);
+    let batch = cfg.batch.max(1);
+
+    let mut shards: Vec<ShardState> = (0..cfg.shards).map(|_| ShardState::new(cfg)).collect();
+    let mut alive: Vec<bool> = vec![true; cfg.shards];
+    let mut incidents: Vec<ShardIncident> = Vec::new();
+    let mut detector = EpochSynFloodDetector::new(cfg.detector);
+    let mut telemetry = ReplayTelemetry::new(cfg.shards);
+    let mut packets: u64 = 0;
+    let mut epochs: u64 = 0;
+    let mut packets_rerouted: u64 = 0;
+    let mut reports_dropped: u64 = 0;
+    // SYNs from intervals whose epoch report was lost; folded into the
+    // next delivered report (switch registers are cumulative). The
+    // delivered report spans `carried_epochs + 1` intervals, so the
+    // detector observes the per-interval average — otherwise a run of
+    // dropped reports would masquerade as a spike.
+    let mut carried_syns: i64 = 0;
+    let mut carried_epochs: i64 = 0;
+
+    let started = std::time::Instant::now();
+
+    // Cut the schedule into epochs (one detector interval each). The
+    // schedule is time-sorted, so each epoch is a contiguous run.
+    let mut i = 0;
+    while i < schedule.len() {
+        let epoch_idx = schedule[i].0 / interval;
+        let mut j = i;
+        while j < schedule.len() && schedule[j].0 / interval == epoch_idx {
+            j += 1;
+        }
+        let epoch_frames = &schedule[i..j];
+        i = j;
+        let incidents_before = incidents.len();
+
+        // Deterministic flow-affine split of this epoch's frames.
+        // Frames whose home shard was quarantined in an earlier epoch
+        // reroute to the next survivor in ring order (the controller's
+        // repartitioning); with no survivors at all they are lost.
+        let mut work: Vec<Vec<&bytes::Bytes>> = vec![Vec::new(); cfg.shards];
+        for (_, frame) in epoch_frames {
+            let home = workloads::shard::shard_of(frame, cfg.shards);
+            let target = if alive[home] {
+                Some(home)
+            } else {
+                next_alive(&alive, home)
+            };
+            if let Some(t) = target {
+                if t != home {
+                    packets_rerouted += 1;
+                }
+                work[t].push(frame);
+            }
+        }
+
+        // Scheduled faults for this epoch. Crashes are handled here on
+        // the supervisor side — the shard is quarantined before its
+        // thread would spawn, so its slice of this interval is lost.
+        let mut recover_started: Option<std::time::Instant> = None;
+        let plan: Vec<Option<ShardFaultKind>> = (0..cfg.shards)
+            .map(|s| {
+                if alive[s] {
+                    faults.shard_fault(epoch_idx, s)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for (s, fault) in plan.iter().enumerate() {
+            let Some(kind) = fault else { continue };
+            telemetry.faults_injected.inc();
+            if *kind == ShardFaultKind::Crash {
+                recover_started.get_or_insert_with(std::time::Instant::now);
+                alive[s] = false;
+                incidents.push(ShardIncident {
+                    shard: s,
+                    epoch: epoch_idx,
+                    kind: IncidentKind::Crashed,
+                });
+            }
+        }
+
+        // One thread per surviving shard; the scope end is the epoch
+        // barrier. Each thread updates its own ShardMetrics
+        // (single-owner, no atomics) at batch granularity and reports
+        // its busy time so barrier idle time can be attributed after
+        // the join. A failed join quarantines the shard instead of
+        // propagating the panic.
+        telemetry.trace.begin("ingest", epoch_idx);
+        let epoch_started = std::time::Instant::now();
+        let results: Vec<(usize, Result<u64, String>)> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (s, ((state, m), list)) in shards
+                .iter_mut()
+                .zip(telemetry.shards.iter_mut())
+                .zip(&work)
+                .enumerate()
+            {
+                if !alive[s] {
+                    continue;
+                }
+                let fault = plan[s];
+                let handle = scope.spawn(move || {
+                    match fault {
+                        // Before any ingest, so the quarantined state
+                        // is a clean epoch boundary.
+                        Some(ShardFaultKind::Panic) => {
+                            panic!("injected fault: shard {s} panicked at epoch {epoch_idx}")
+                        }
+                        Some(ShardFaultKind::Stall { ns }) => {
+                            std::thread::sleep(std::time::Duration::from_nanos(ns));
+                        }
+                        _ => {}
+                    }
+                    let busy = std::time::Instant::now();
+                    for chunk in list.chunks(batch) {
+                        for frame in chunk {
+                            state.ingest(frame);
+                        }
+                        m.packets.add(chunk.len() as u64);
+                        m.batches.inc();
+                        m.batch_size.record(chunk.len() as u64);
+                    }
+                    let ns = u64::try_from(busy.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    m.ingest_ns.add(ns);
+                    ns
+                });
+                handles.push((s, handle));
+            }
+            handles
+                .into_iter()
+                .map(|(s, h)| (s, h.join().map_err(panic_message)))
+                .collect()
+        });
+        let epoch_wall = u64::try_from(epoch_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        telemetry.trace.end("ingest", epoch_idx);
+        for (s, r) in &results {
+            match r {
+                Ok(busy) => {
+                    telemetry.shards[*s]
+                        .barrier_wait_ns
+                        .record(epoch_wall.saturating_sub(*busy));
+                }
+                Err(msg) => {
+                    recover_started.get_or_insert_with(std::time::Instant::now);
+                    alive[*s] = false;
+                    incidents.push(ShardIncident {
+                        shard: *s,
+                        epoch: epoch_idx,
+                        kind: IncidentKind::Panicked(msg.clone()),
+                    });
+                }
+            }
+        }
+        packets += epoch_frames.len() as u64;
+        epochs += 1;
+
+        // Barrier work: fold surviving shard state into a fresh global
+        // view and (unless this epoch's report is lost) let the
+        // central detector judge the merged aggregates.
+        telemetry.trace.begin("merge", epoch_idx);
+        let merge_started = std::time::Instant::now();
+        let merged = merge_surviving(&shards, &mut alive, cfg, epoch_idx, &mut incidents);
+        let at = (epoch_idx + 1) * interval;
+        let mut raised = Vec::new();
+        if faults.drop_epoch_report(epoch_idx) {
+            reports_dropped += 1;
+            telemetry.reports_dropped.inc();
+            telemetry.trace.instant("report_dropped", epoch_idx);
+            carried_syns += merged.syn_in_interval;
+            carried_epochs += 1;
+        } else {
+            let syn_estimate = (merged.syn_in_interval + carried_syns) / (carried_epochs + 1);
+            raised = detector.observe_interval(at, syn_estimate, &merged.kinds);
+            carried_syns = 0;
+            carried_epochs = 0;
+        }
+        let merge_ns = u64::try_from(merge_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        telemetry.merge_ns.record(merge_ns);
+        telemetry.trace.end("merge", epoch_idx);
+        if !raised.is_empty() {
+            telemetry.trace.instant("alert", epoch_idx);
+        }
+        telemetry.epoch_ns.record(epoch_wall.saturating_add(merge_ns));
+        telemetry.epochs.inc();
+
+        // Quarantine bookkeeping: recovery is complete once the
+        // surviving state is re-merged, so the time-to-recover clock
+        // runs from the first failure this epoch to here.
+        let new_incidents = incidents.len() - incidents_before;
+        if new_incidents > 0 {
+            telemetry.shards_quarantined.add(new_incidents as u64);
+            telemetry.trace.instant("quarantine", epoch_idx);
+            let t0 = recover_started.unwrap_or(merge_started);
+            let spent = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            for _ in 0..new_incidents {
+                telemetry.recover_ns.record(spent);
+            }
+        }
+
+        for (s, m) in shards.iter_mut().zip(telemetry.shards.iter_mut()) {
+            m.syn_packets.add(u64::try_from(s.syn_in_interval).unwrap_or(0));
+            s.syn_in_interval = 0;
+        }
+    }
+
+    let elapsed = started.elapsed();
+    telemetry.elapsed_ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+    telemetry.alerts.add(detector.alerts.len() as u64);
+    telemetry.detector = detector.metrics.clone();
+
+    let final_epoch = schedule.last().map_or(0, |(t, _)| t / interval);
+    let merged = merge_surviving(&shards, &mut alive, cfg, final_epoch, &mut incidents);
+    let health = ReplayHealth {
+        shards_configured: cfg.shards,
+        shards_alive: alive.iter().filter(|a| **a).count(),
+        packets_offered: packets,
+        packets_ingested: merged.packets,
+        packets_lost: packets.saturating_sub(merged.packets),
+        packets_rerouted,
+        reports_dropped,
+        incidents,
+    };
+    telemetry.packets_lost.add(health.packets_lost);
+    telemetry.packets_rerouted.add(health.packets_rerouted);
+    ReplayOutcome {
+        merged,
+        alerts: detector.alerts.clone(),
+        detected_at: detector.detected_at,
+        packets,
+        epochs,
+        elapsed,
+        health,
+        telemetry,
+    }
+}

@@ -1,0 +1,249 @@
+//! Worker-pool conformance: the persistent-pool engine behind
+//! [`replay::run_replay_with_faults`] must be a bit-identical drop-in
+//! for the per-epoch thread-scope engine it replaced, which is kept as
+//! [`replay::reference`] exactly for this comparison.
+//!
+//! "Bit-identical" is literal: merged tracker state compares with
+//! `==`, alert sequences and quarantine incidents (including captured
+//! panic-message strings) compare with `==`, and the deterministic
+//! telemetry counters — per-shard packet/SYN/batch counters and the
+//! batch-size histogram, which the pool reconstructs from counts
+//! rather than recording per chunk — must match field for field.
+//! Wall-clock fields (ingest/barrier/epoch timings, elapsed) are the
+//! only permitted difference.
+
+use faultinject::FaultSchedule;
+use replay::{reference, run_replay, run_replay_with_faults, ReplayConfig, ReplayOutcome};
+use workloads::{Schedule, SynFloodWorkload};
+
+fn small_flood() -> Schedule {
+    let (s, _) = SynFloodWorkload {
+        background_cps: 500,
+        flood_pps: 20_000,
+        flood_start: 150_000_000,
+        duration: 400_000_000,
+        seed: 11,
+        ..SynFloodWorkload::default()
+    }
+    .generate();
+    s
+}
+
+/// Asserts everything deterministic about two outcomes is equal.
+fn assert_outcomes_identical(pool: &ReplayOutcome, refr: &ReplayOutcome, ctx: &str) {
+    assert_eq!(pool.merged, refr.merged, "{ctx}: merged state");
+    assert_eq!(pool.alerts, refr.alerts, "{ctx}: alerts");
+    assert_eq!(pool.detected_at, refr.detected_at, "{ctx}: detection time");
+    assert_eq!(pool.packets, refr.packets, "{ctx}: packets");
+    assert_eq!(pool.epochs, refr.epochs, "{ctx}: epochs");
+    assert_eq!(pool.health, refr.health, "{ctx}: health (incidents included)");
+
+    // Deterministic telemetry: per-shard counters and the batch-size
+    // histogram must be bit-identical (the histogram type derives Eq).
+    assert_eq!(
+        pool.telemetry.shards.len(),
+        refr.telemetry.shards.len(),
+        "{ctx}: shard metric sets"
+    );
+    for (s, (p, r)) in pool
+        .telemetry
+        .shards
+        .iter()
+        .zip(&refr.telemetry.shards)
+        .enumerate()
+    {
+        assert_eq!(p.packets, r.packets, "{ctx}: shard {s} packets");
+        assert_eq!(p.syn_packets, r.syn_packets, "{ctx}: shard {s} syn_packets");
+        assert_eq!(p.batches, r.batches, "{ctx}: shard {s} batches");
+        assert_eq!(p.batch_size, r.batch_size, "{ctx}: shard {s} batch_size histogram");
+        assert_eq!(
+            p.barrier_wait_ns.count(),
+            r.barrier_wait_ns.count(),
+            "{ctx}: shard {s} barrier records"
+        );
+    }
+    for (name, p, r) in [
+        ("epochs", pool.telemetry.epochs.get(), refr.telemetry.epochs.get()),
+        ("alerts", pool.telemetry.alerts.get(), refr.telemetry.alerts.get()),
+        (
+            "faults_injected",
+            pool.telemetry.faults_injected.get(),
+            refr.telemetry.faults_injected.get(),
+        ),
+        (
+            "shards_quarantined",
+            pool.telemetry.shards_quarantined.get(),
+            refr.telemetry.shards_quarantined.get(),
+        ),
+        (
+            "packets_lost",
+            pool.telemetry.packets_lost.get(),
+            refr.telemetry.packets_lost.get(),
+        ),
+        (
+            "packets_rerouted",
+            pool.telemetry.packets_rerouted.get(),
+            refr.telemetry.packets_rerouted.get(),
+        ),
+        (
+            "reports_dropped",
+            pool.telemetry.reports_dropped.get(),
+            refr.telemetry.reports_dropped.get(),
+        ),
+    ] {
+        assert_eq!(p, r, "{ctx}: telemetry counter {name}");
+    }
+}
+
+#[test]
+fn pool_matches_reference_at_every_shard_count() {
+    let s = small_flood();
+    for shards in [1usize, 2, 4, 8] {
+        let cfg = ReplayConfig {
+            shards,
+            ..ReplayConfig::default()
+        };
+        let pool = run_replay(&s, &cfg);
+        let refr = reference::run_replay(&s, &cfg);
+        assert_outcomes_identical(&pool, &refr, &format!("{shards} shards"));
+        assert!(!pool.health.degraded());
+    }
+}
+
+#[test]
+fn pool_matches_reference_across_batch_sizes() {
+    let s = small_flood();
+    for batch in [1usize, 7, 256, 4096] {
+        let cfg = ReplayConfig {
+            shards: 4,
+            batch,
+            ..ReplayConfig::default()
+        };
+        let pool = run_replay(&s, &cfg);
+        let refr = reference::run_replay(&s, &cfg);
+        assert_outcomes_identical(&pool, &refr, &format!("batch {batch}"));
+    }
+}
+
+#[test]
+fn pool_matches_reference_under_chaos_seeds() {
+    // The CI canned schedule plus a nastier mix: a crash, an injected
+    // worker panic (exact captured message must round-trip), a stall,
+    // and report loss — across several seeds.
+    let s = small_flood();
+    let cfg = ReplayConfig {
+        shards: 4,
+        ..ReplayConfig::default()
+    };
+    for spec in [
+        "shard_crash=1@3,ctrl_loss=0.30",
+        "shard_panic=2@4",
+        "shard_crash=1@3,shard_panic=2@5,shard_stall=0@2:1000000,ctrl_loss=0.30",
+    ] {
+        for seed in [0u64, 42, 1234] {
+            let faults = FaultSchedule::parse(spec, seed).unwrap();
+            let pool = run_replay_with_faults(&s, &cfg, &faults);
+            let refr = reference::run_replay_with_faults(&s, &cfg, &faults);
+            assert_outcomes_identical(&pool, &refr, &format!("spec {spec:?} seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn pool_matches_reference_when_every_shard_dies() {
+    let s = small_flood();
+    let cfg = ReplayConfig {
+        shards: 2,
+        ..ReplayConfig::default()
+    };
+    let faults = FaultSchedule::parse("shard_crash=0@1,shard_panic=1@1", 0).unwrap();
+    let pool = run_replay_with_faults(&s, &cfg, &faults);
+    let refr = reference::run_replay_with_faults(&s, &cfg, &faults);
+    assert_outcomes_identical(&pool, &refr, "total shard loss");
+    assert_eq!(pool.health.shards_alive, 0);
+    assert_eq!(pool.merged.packets, 0);
+}
+
+#[test]
+fn pool_matches_reference_on_empty_schedule() {
+    let cfg = ReplayConfig {
+        shards: 4,
+        ..ReplayConfig::default()
+    };
+    let pool = run_replay(&Schedule::new(), &cfg);
+    let refr = reference::run_replay(&Schedule::new(), &cfg);
+    assert_outcomes_identical(&pool, &refr, "empty schedule");
+    assert_eq!(pool.epochs, 0);
+}
+
+#[test]
+fn pool_reports_queue_and_pipeline_telemetry() {
+    let s = small_flood();
+    let cfg = ReplayConfig {
+        shards: 4,
+        ..ReplayConfig::default()
+    };
+    let out = run_replay(&s, &cfg);
+    let t = &out.telemetry;
+    assert_eq!(t.queue_capacity, 2, "double-buffered dispatch queues");
+    for (s_idx, m) in t.shards.iter().enumerate() {
+        assert_eq!(
+            m.queue_depth.count(),
+            out.epochs,
+            "shard {s_idx}: one dispatch per epoch"
+        );
+        assert_eq!(
+            m.queue_wait_ns.count(),
+            out.epochs,
+            "shard {s_idx}: one dequeue per epoch"
+        );
+        // Collect-before-dispatch keeps at most one epoch in flight.
+        assert_eq!(m.queue_depth.max(), Some(1), "shard {s_idx}: queue depth");
+    }
+    // Partition work: one up-front hash pass, one initial route, and
+    // one speculative route per remaining epoch (faultless runs never
+    // mispredict).
+    assert_eq!(t.partition_ns.count(), out.epochs + 1);
+    // Every epoch except the last overlapped the next epoch's routing.
+    assert_eq!(t.overlap_ns.count(), out.epochs - 1);
+
+    // The reference engine reports none of this.
+    let refr = reference::run_replay(&s, &cfg);
+    assert_eq!(refr.telemetry.queue_capacity, 0);
+    assert_eq!(refr.telemetry.merged_shard().queue_depth.count(), 0);
+    assert_eq!(refr.telemetry.partition_ns.count(), 0);
+    assert_eq!(refr.telemetry.overlap_ns.count(), 0);
+}
+
+/// The point of the pool: on a many-epoch workload, not paying the
+/// per-interval spawn/join tax makes the 4-shard pool faster than the
+/// 4-shard scope-respawn engine. Gated on core count (the comparison
+/// is meaningless on a starved machine) and run best-of-3 per engine
+/// to shrug off scheduler noise.
+#[test]
+fn pool_beats_reference_on_four_shards() {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    if cores < 4 {
+        eprintln!("skipping pool-vs-reference throughput check: {cores} cores");
+        return;
+    }
+    // Many epochs amplify the reference engine's per-interval
+    // spawn/join overhead: 1 ms detector intervals over a 400 ms trace
+    // is ~400 epochs, i.e. ~1600 thread spawns for 4 shards.
+    let mut cfg = ReplayConfig {
+        shards: 4,
+        ..ReplayConfig::default()
+    };
+    cfg.detector.interval_ns = 1_000_000;
+    let s = small_flood();
+
+    let best = |run: &dyn Fn() -> std::time::Duration| {
+        (0..3).map(|_| run()).min().expect("three timed runs")
+    };
+    let pool_best = best(&|| run_replay(&s, &cfg).elapsed);
+    let ref_best = best(&|| reference::run_replay(&s, &cfg).elapsed);
+    assert!(
+        pool_best < ref_best,
+        "4-shard pool ({pool_best:?}) must beat the scope-respawn engine ({ref_best:?})"
+    );
+}

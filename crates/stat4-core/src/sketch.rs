@@ -133,6 +133,19 @@ impl CountMinSketch {
         self.cells.len() * 8
     }
 
+    /// Number of hash rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Log2 of the per-row width; two sketches merge iff `rows` and
+    /// `width_log2` agree ([`crate::Mergeable::merge_from`]).
+    #[must_use]
+    pub fn width_log2(&self) -> u32 {
+        self.width_log2
+    }
+
     /// The classic heavy-hitter test in Stat4's integer style: is this
     /// key's estimated count above `fraction = 1/2^shift` of the total
     /// (`estimate << shift > total`)?

@@ -94,6 +94,60 @@ pub fn split(schedule: &Schedule, shards: usize) -> Vec<Schedule> {
     out
 }
 
+/// The home shard of every frame in `frames`, in input order — the
+/// hash half of [`split`], decoupled from list building so callers
+/// (the replay engine's pre-partition stage) can apply their own
+/// routing policy (quarantine reroutes) over the assignments.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+#[must_use]
+pub fn assignments(frames: &[(u64, bytes::Bytes)], shards: usize) -> Vec<usize> {
+    assert!(shards >= 1, "need at least one shard");
+    frames.iter().map(|(_, f)| shard_of(f, shards)).collect()
+}
+
+/// [`assignments`] computed on up to `max_threads` scoped threads.
+///
+/// The flow hash is a pure per-frame function, so the input is cut
+/// into contiguous chunks, hashed in parallel, and re-concatenated in
+/// chunk order — the result is bit-identical to the sequential
+/// [`assignments`] for every thread count. Falls back to the
+/// sequential path when the input is small or `max_threads <= 1`
+/// (thread spawn costs more than it saves on short epochs).
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+#[must_use]
+pub fn assignments_parallel(
+    frames: &[(u64, bytes::Bytes)],
+    shards: usize,
+    max_threads: usize,
+) -> Vec<usize> {
+    assert!(shards >= 1, "need at least one shard");
+    /// Below this many frames per thread, parallel hashing cannot
+    /// amortise the spawn cost.
+    const MIN_FRAMES_PER_THREAD: usize = 4096;
+    let threads = max_threads.min(frames.len() / MIN_FRAMES_PER_THREAD);
+    if threads <= 1 {
+        return assignments(frames, shards);
+    }
+    let chunk = frames.len().div_ceil(threads);
+    let mut out = Vec::with_capacity(frames.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = frames
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || assignments(part, shards)))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("assignment hashing must not panic"));
+        }
+    });
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +253,40 @@ mod tests {
                 s.len()
             );
         }
+    }
+
+    #[test]
+    fn assignments_agree_with_split() {
+        let s = sample_schedule();
+        for shards in [1usize, 2, 4, 8] {
+            let homes = assignments(&s, shards);
+            assert_eq!(homes.len(), s.len());
+            for ((_, frame), home) in s.iter().zip(&homes) {
+                assert!(*home < shards);
+                assert_eq!(*home, shard_of(frame, shards));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_assignments_bit_identical_to_sequential() {
+        let s = sample_schedule();
+        let seq = assignments(&s, 8);
+        for threads in [0usize, 1, 2, 3, 7, 64] {
+            assert_eq!(
+                assignments_parallel(&s, 8, threads),
+                seq,
+                "{threads} threads must not change the partition"
+            );
+        }
+        // Force the parallel path even on a short trace by lowering the
+        // effective per-thread size: a long synthetic repeat.
+        let mut long = Schedule::new();
+        while long.len() < 20_000 {
+            long.extend(s.iter().cloned());
+        }
+        let seq_long = assignments(&long, 4);
+        assert_eq!(assignments_parallel(&long, 4, 4), seq_long);
     }
 
     #[test]
