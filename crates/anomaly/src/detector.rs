@@ -1,0 +1,415 @@
+//! The pluggable `Detector` trait and ensemble combiner.
+//!
+//! The paper's thesis is that *simple statistics suffice*: each
+//! detector in this crate is one statistical check over per-interval
+//! aggregates. This module gives them a common shape so the replay
+//! engine can run any number of them over the same merged switch state
+//! without knowing what each one computes:
+//!
+//! - [`SignalContext`] is the per-interval view of the merged shard
+//!   state — the controller-side aggregates every engine reads.
+//! - [`Detector::update`] consumes one context and returns a
+//!   [`DetectionResult`] carrying a Q16 score/weight/confidence.
+//! - [`Ensemble`] drives all engines, combines scores into one Q16
+//!   verdict (a weighted mean — the one division lives at the
+//!   controller, like every division in this repo), and keeps
+//!   per-engine fire counters and detection-delay histograms.
+//!
+//! ## Score convention
+//!
+//! `score` is the engine's instantaneous statistical verdict in Q16,
+//! normalised so `score ≥ Q16` means "past my threshold" — typically
+//! `observed/bound` for a band engine or `residual/band` for a
+//! forecaster, *before* warm-up gating. `fired` is the production
+//! (gated) verdict; during warm-up an engine can score above Q16
+//! without firing, which is exactly the gap the detection-delay
+//! histogram measures. Engines lifted from the pre-trait detectors
+//! (SYN flood, shift, stalled) report a saturated score (`2·Q16` on
+//! fire, `0` otherwise) because their inner detectors expose booleans,
+//! not margins — their alert streams are the behavioral contract.
+
+use crate::metrics::{Check, DetectorMetrics};
+use serde::Serialize;
+use stat4_core::{FrequencyDist, RunningStats};
+use std::any::Any;
+use telemetry::Snapshot;
+
+/// One in Q16 fixed point — the firing threshold for scores.
+pub const Q16: i64 = 1 << 16;
+
+/// Scores saturate at 16 in Q16 so weighted sums cannot overflow.
+pub const SCORE_CAP: i64 = 16 * Q16;
+
+/// `num/den` in Q16, clamped to `[0, SCORE_CAP]`; `den ≤ 0` maps to
+/// the cap (an exhausted bound means any observation is past it).
+#[must_use]
+pub fn ratio_q16(num: i64, den: i64) -> i64 {
+    if num <= 0 {
+        return 0;
+    }
+    if den <= 0 {
+        return SCORE_CAP;
+    }
+    let r = ((num as i128) << 16) / (den as i128);
+    r.min(SCORE_CAP as i128) as i64
+}
+
+/// Confidence convention: how far past the threshold the score sits,
+/// saturating at one (Q16).
+#[must_use]
+pub fn confidence_q16(score: i64) -> i64 {
+    (score - Q16).clamp(0, Q16)
+}
+
+/// Per-interval merged switch state, as seen by every engine.
+///
+/// `packets`, `syns` and `len_sum` are per-interval *averages over the
+/// report span*: when chaos drops epoch reports, the next delivered
+/// report carries the accumulated counts and `spanned` says how many
+/// intervals it covers (≥ 1). `distinct_sources` is the HyperLogLog
+/// estimate for the delivered interval only (registers wash every
+/// interval). `kinds` and `len_stats` are cumulative since the start
+/// of the replay, as in the pre-trait detector.
+#[derive(Debug, Clone, Copy)]
+pub struct SignalContext<'a> {
+    /// End of the interval (ns).
+    pub at: u64,
+    /// Interval ordinal since replay start.
+    pub epoch: u64,
+    /// Interval length (ns).
+    pub interval_ns: u64,
+    /// Intervals this report spans (> 1 after dropped reports).
+    pub spanned: i64,
+    /// Packets per interval (span average).
+    pub packets: i64,
+    /// Pure SYNs per interval (span average).
+    pub syns: i64,
+    /// Sum of frame lengths per interval (span average).
+    pub len_sum: i64,
+    /// Distinct source addresses this interval (HLL estimate).
+    pub distinct_sources: i64,
+    /// Canonical median frame length over the whole replay so far.
+    pub median_len: i64,
+    /// Cumulative packet-kind composition.
+    pub kinds: &'a FrequencyDist,
+    /// Cumulative frame-length moments.
+    pub len_stats: &'a RunningStats,
+}
+
+/// One engine's verdict for one interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct DetectionResult {
+    /// Engine that produced this result.
+    pub engine: &'static str,
+    /// Interval end (ns).
+    pub at: u64,
+    /// Interval ordinal.
+    pub epoch: u64,
+    /// Instantaneous verdict in Q16 (`≥ Q16` = past threshold).
+    pub score: i64,
+    /// Engine weight in Q16 for the ensemble combiner.
+    pub weight: i64,
+    /// [`confidence_q16`] of the score.
+    pub confidence: i64,
+    /// What the engine expected for its signal (raw units).
+    pub expected: i64,
+    /// What it observed (raw units).
+    pub observed: i64,
+    /// Gated production verdict: did the engine alert?
+    pub fired: bool,
+}
+
+/// A pluggable anomaly detection engine over merged interval state.
+pub trait Detector {
+    /// Stable engine name (telemetry label, report key).
+    fn name(&self) -> &'static str;
+
+    /// Ensemble weight in Q16 (default: 1.0).
+    fn weight_q16(&self) -> i64 {
+        Q16
+    }
+
+    /// Consumes one interval; `None` while the engine cannot yet form
+    /// a verdict (seeding/calibration), a result afterwards.
+    fn update(&mut self, ctx: &SignalContext<'_>) -> Option<DetectionResult>;
+
+    /// Typed access for callers that need an engine's extra state
+    /// (e.g. the lifted SYN-flood engine's legacy alert stream).
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// The combined verdict for one interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnsembleVerdict {
+    /// Interval end (ns).
+    pub at: u64,
+    /// Weighted mean score over all reporting engines, Q16.
+    pub combined_q16: i64,
+    /// Results from engines that fired this interval.
+    pub fired: Vec<DetectionResult>,
+}
+
+/// Per-engine summary for reports (shard-count invariant).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct EngineSummary {
+    /// Engine name.
+    pub name: &'static str,
+    /// Total gated fires.
+    pub fires: u64,
+    /// First fire time (ns), if any.
+    pub first_fired_at: Option<u64>,
+}
+
+/// Drives a set of engines over the interval stream and combines their
+/// scores.
+pub struct Ensemble {
+    engines: Vec<Box<dyn Detector>>,
+    /// Per-engine fire counters and detection-delay histograms,
+    /// parallel to the engine list.
+    pub metrics: Vec<DetectorMetrics>,
+    first_fired: Vec<Option<u64>>,
+    fires: Vec<u64>,
+    /// Every fired result, in interval order then engine order — the
+    /// determinism regression surface.
+    pub fired_log: Vec<DetectionResult>,
+}
+
+impl std::fmt::Debug for Ensemble {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ensemble")
+            .field("engines", &self.names())
+            .field("fired_log", &self.fired_log.len())
+            .finish()
+    }
+}
+
+impl Ensemble {
+    /// Builds an ensemble over `engines` (order is report order).
+    #[must_use]
+    pub fn new(engines: Vec<Box<dyn Detector>>) -> Self {
+        let n = engines.len();
+        Self {
+            engines,
+            metrics: (0..n).map(|_| DetectorMetrics::new()).collect(),
+            first_fired: vec![None; n],
+            fires: vec![0; n],
+            fired_log: Vec::new(),
+        }
+    }
+
+    /// Engine names in report order.
+    #[must_use]
+    pub fn names(&self) -> Vec<&'static str> {
+        self.engines.iter().map(|e| e.name()).collect()
+    }
+
+    /// Typed access to an engine by name.
+    #[must_use]
+    pub fn engine<T: 'static>(&self, name: &str) -> Option<&T> {
+        self.engines
+            .iter()
+            .find(|e| e.name() == name)
+            .and_then(|e| e.as_any().downcast_ref::<T>())
+    }
+
+    /// Feeds one interval to every engine and combines the results.
+    pub fn observe(&mut self, ctx: &SignalContext<'_>) -> EnsembleVerdict {
+        let mut fired = Vec::new();
+        let mut weighted: i128 = 0;
+        let mut weights: i128 = 0;
+        for (i, engine) in self.engines.iter_mut().enumerate() {
+            let Some(result) = engine.update(ctx) else {
+                continue;
+            };
+            weighted += (result.score as i128) * (result.weight as i128);
+            weights += result.weight as i128;
+            // Episode clock: raw (ungated) anomaly = score past Q16.
+            self.metrics[i].signal(ctx.at, result.score >= Q16);
+            if result.fired {
+                self.metrics[i].fired(Check::Rate, ctx.at);
+                self.fires[i] += 1;
+                self.first_fired[i].get_or_insert(ctx.at);
+                fired.push(result);
+            }
+        }
+        self.fired_log.extend(fired.iter().copied());
+        let combined_q16 = if weights == 0 {
+            0
+        } else {
+            (weighted / weights) as i64
+        };
+        EnsembleVerdict {
+            at: ctx.at,
+            combined_q16,
+            fired,
+        }
+    }
+
+    /// Per-engine summaries, in report order.
+    #[must_use]
+    pub fn summaries(&self) -> Vec<EngineSummary> {
+        self.engines
+            .iter()
+            .enumerate()
+            .map(|(i, e)| EngineSummary {
+                name: e.name(),
+                fires: self.fires[i],
+                first_fired_at: self.first_fired[i],
+            })
+            .collect()
+    }
+
+    /// Per-engine metrics keyed by engine name (for telemetry export).
+    #[must_use]
+    pub fn metrics_by_name(&self) -> Vec<(&'static str, DetectorMetrics)> {
+        self.engines
+            .iter()
+            .zip(&self.metrics)
+            .map(|(e, m)| (e.name(), m.clone()))
+            .collect()
+    }
+
+    /// Exports per-engine fire counters and delay histograms.
+    pub fn export(&self, snap: &mut Snapshot) {
+        for (name, m) in self.metrics_by_name() {
+            m.export(snap, name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FixedEngine {
+        name: &'static str,
+        score: i64,
+        warmup: u64,
+        seen: u64,
+    }
+
+    impl Detector for FixedEngine {
+        fn name(&self) -> &'static str {
+            self.name
+        }
+        fn update(&mut self, ctx: &SignalContext<'_>) -> Option<DetectionResult> {
+            self.seen += 1;
+            let gated = self.seen <= self.warmup;
+            Some(DetectionResult {
+                engine: self.name,
+                at: ctx.at,
+                epoch: ctx.epoch,
+                score: self.score,
+                weight: Q16,
+                confidence: confidence_q16(self.score),
+                expected: 0,
+                observed: 0,
+                fired: !gated && self.score >= Q16,
+            })
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    fn ctx_at<'a>(at: u64, kinds: &'a FrequencyDist, stats: &'a RunningStats) -> SignalContext<'a> {
+        SignalContext {
+            at,
+            epoch: at / 10,
+            interval_ns: 10,
+            spanned: 1,
+            packets: 0,
+            syns: 0,
+            len_sum: 0,
+            distinct_sources: 0,
+            median_len: 0,
+            kinds,
+            len_stats: stats,
+        }
+    }
+
+    #[test]
+    fn ratio_q16_clamps() {
+        assert_eq!(ratio_q16(0, 10), 0);
+        assert_eq!(ratio_q16(-5, 10), 0);
+        assert_eq!(ratio_q16(10, 0), SCORE_CAP);
+        assert_eq!(ratio_q16(5, 10), Q16 / 2);
+        assert_eq!(ratio_q16(i64::MAX, 1), SCORE_CAP);
+    }
+
+    #[test]
+    fn confidence_saturates() {
+        assert_eq!(confidence_q16(0), 0);
+        assert_eq!(confidence_q16(Q16), 0);
+        assert_eq!(confidence_q16(Q16 + 100), 100);
+        assert_eq!(confidence_q16(10 * Q16), Q16);
+    }
+
+    #[test]
+    fn combined_score_is_weighted_mean() {
+        let kinds = FrequencyDist::new(0, 7).unwrap();
+        let stats = RunningStats::new();
+        let mut ens = Ensemble::new(vec![
+            Box::new(FixedEngine { name: "a", score: 2 * Q16, warmup: 0, seen: 0 }),
+            Box::new(FixedEngine { name: "b", score: 0, warmup: 0, seen: 0 }),
+        ]);
+        let v = ens.observe(&ctx_at(10, &kinds, &stats));
+        assert_eq!(v.combined_q16, Q16, "mean of 2.0 and 0.0");
+        assert_eq!(v.fired.len(), 1);
+        assert_eq!(v.fired[0].engine, "a");
+    }
+
+    #[test]
+    fn warmup_gating_feeds_detection_delay() {
+        let kinds = FrequencyDist::new(0, 7).unwrap();
+        let stats = RunningStats::new();
+        // Scores anomalous from the start, but gated for 3 intervals:
+        // the recorded delay is the gating lag.
+        let mut ens = Ensemble::new(vec![Box::new(FixedEngine {
+            name: "g",
+            score: 2 * Q16,
+            warmup: 3,
+            seen: 0,
+        })]);
+        for at in [10u64, 20, 30, 40] {
+            ens.observe(&ctx_at(at, &kinds, &stats));
+        }
+        assert_eq!(ens.summaries()[0].fires, 1);
+        assert_eq!(ens.summaries()[0].first_fired_at, Some(40));
+        assert_eq!(ens.metrics[0].detection_delay.max(), Some(30));
+    }
+
+    #[test]
+    fn typed_engine_access() {
+        let mut ens = Ensemble::new(vec![Box::new(FixedEngine {
+            name: "a",
+            score: 0,
+            warmup: 0,
+            seen: 0,
+        })]);
+        let kinds = FrequencyDist::new(0, 7).unwrap();
+        let stats = RunningStats::new();
+        ens.observe(&ctx_at(10, &kinds, &stats));
+        let e: &FixedEngine = ens.engine("a").expect("typed access");
+        assert_eq!(e.seen, 1);
+        assert!(ens.engine::<FixedEngine>("missing").is_none());
+    }
+
+    #[test]
+    fn export_shape_is_valid() {
+        let mut ens = Ensemble::new(vec![Box::new(FixedEngine {
+            name: "a",
+            score: 2 * Q16,
+            warmup: 0,
+            seen: 0,
+        })]);
+        let kinds = FrequencyDist::new(0, 7).unwrap();
+        let stats = RunningStats::new();
+        ens.observe(&ctx_at(10, &kinds, &stats));
+        let mut snap = Snapshot::new();
+        ens.export(&mut snap);
+        assert_eq!(snap.counter_sum("anomaly_detector_fires_total"), 1);
+        let text = telemetry::render_prometheus(&snap);
+        telemetry::check_prometheus(&text).expect("valid exposition");
+    }
+}

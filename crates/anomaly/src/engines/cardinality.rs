@@ -1,0 +1,113 @@
+//! HyperLogLog cardinality engine.
+//!
+//! Signal binding: the per-interval distinct-source estimate from the
+//! replay's merged [`stat4_core::HyperLogLog`] registers. A spoofed
+//! sweep (one packet per random source, constant total rate) keeps
+//! every volume counter, kind share and frame length flat — only the
+//! number of *distinct senders* moves. The engine runs the standard
+//! margined spike band over the estimate stream, exactly the paper's
+//! `N·x > Xsum + k·σ(NX) + margin` check with a different x.
+
+use crate::detector::{confidence_q16, ratio_q16, DetectionResult, Detector, SignalContext};
+use stat4_core::WindowedDist;
+use std::any::Any;
+
+/// Configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CardinalityEngineConfig {
+    /// Window capacity in intervals.
+    pub window: usize,
+    /// σ multiplier.
+    pub k: u32,
+    /// Minimum closed intervals before alerts.
+    pub min_intervals: usize,
+    /// Relative margin shift (2 = 25%: HLL estimates carry ±3.3%
+    /// noise at precision 10, so the band needs more headroom than
+    /// exact counters get).
+    pub margin_shift: u32,
+    /// Margin floor (absolute, in the NX domain).
+    pub margin_floor: u64,
+}
+
+impl Default for CardinalityEngineConfig {
+    fn default() -> Self {
+        Self {
+            window: 64,
+            k: 2,
+            min_intervals: 10,
+            margin_shift: 2,
+            margin_floor: 8,
+        }
+    }
+}
+
+/// Margined spike band over per-interval distinct-source estimates.
+#[derive(Debug)]
+pub struct CardinalityEngine {
+    cfg: CardinalityEngineConfig,
+    window: WindowedDist,
+}
+
+impl CardinalityEngine {
+    /// Creates an engine with an empty history window.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-capacity window.
+    #[must_use]
+    pub fn new(cfg: CardinalityEngineConfig) -> Self {
+        Self {
+            window: WindowedDist::new(cfg.window).expect("non-empty window"),
+            cfg,
+        }
+    }
+
+    /// The estimate history window.
+    #[must_use]
+    pub fn window(&self) -> &WindowedDist {
+        &self.window
+    }
+}
+
+impl Detector for CardinalityEngine {
+    fn name(&self) -> &'static str {
+        "cardinality"
+    }
+
+    fn update(&mut self, ctx: &SignalContext<'_>) -> Option<DetectionResult> {
+        let x = ctx.distinct_sources;
+        self.window.accumulate(x);
+        let fired = self.window.is_spike_margined(
+            x,
+            self.cfg.k,
+            self.cfg.min_intervals,
+            self.cfg.margin_shift,
+            self.cfg.margin_floor,
+        );
+        let stats = self.window.stats();
+        let n = stats.n() as i64;
+        let margin = stats.relative_margin(self.cfg.margin_shift, self.cfg.margin_floor);
+        let bound = stats
+            .xsum()
+            .saturating_add(self.cfg.k as i64 * stats.sd_nx() as i64)
+            .saturating_add(margin as i64);
+        let score = ratio_q16(n.saturating_mul(x), bound);
+        let expected = stats.xsum() / n.max(1);
+        self.window.close_interval();
+        Some(DetectionResult {
+            engine: "cardinality",
+            at: ctx.at,
+            epoch: ctx.epoch,
+            score,
+            weight: self.weight_q16(),
+            confidence: confidence_q16(score),
+            expected,
+            observed: x,
+            fired,
+        })
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

@@ -1,0 +1,112 @@
+//! CUSUM change-point engine: `stat4-core::cusum` behind the trait.
+//!
+//! Signal binding: SYNs per interval. The band engines judge each
+//! interval in isolation, so a sustained shift smaller than
+//! `k·σ + margin` is invisible to them forever; CUSUM accumulates the
+//! excess over `target + slack` across intervals and fires once the
+//! sum crosses a threshold — the low-and-slow port scan detector.
+//!
+//! Calibration is self-serve: the first `warmup_intervals` delivered
+//! reports feed a [`WindowedDist`] baseline, then
+//! [`CusumDetector::from_stats`] freezes `target`/`slack`/`threshold`
+//! from its moments (the one division at the controller). Until then
+//! the engine returns `None` — it has no opinion.
+
+use crate::detector::{confidence_q16, ratio_q16, DetectionResult, Detector, SignalContext};
+use stat4_core::{CusumDetector, WindowedDist};
+use std::any::Any;
+
+/// Configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CusumEngineConfig {
+    /// Delivered intervals used to calibrate target/slack/threshold.
+    pub warmup_intervals: usize,
+    /// Slack in half-σ units (1 = the textbook σ/2).
+    pub slack_halves: i64,
+    /// Threshold in σ units (textbook 4–5; higher = fewer false
+    /// alarms on bursty integer-noise baselines).
+    pub threshold_sigmas: i64,
+}
+
+impl Default for CusumEngineConfig {
+    fn default() -> Self {
+        Self {
+            warmup_intervals: 32,
+            slack_halves: 1,
+            threshold_sigmas: 8,
+        }
+    }
+}
+
+/// Self-calibrating CUSUM over per-interval SYN counts.
+#[derive(Debug)]
+pub struct CusumEngine {
+    cfg: CusumEngineConfig,
+    baseline: WindowedDist,
+    inner: Option<CusumDetector>,
+}
+
+impl CusumEngine {
+    /// Creates an uncalibrated engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warmup_intervals` is zero.
+    #[must_use]
+    pub fn new(cfg: CusumEngineConfig) -> Self {
+        Self {
+            baseline: WindowedDist::new(cfg.warmup_intervals).expect("non-zero warmup"),
+            inner: None,
+            cfg,
+        }
+    }
+
+    /// The frozen calibration, once warm.
+    #[must_use]
+    pub fn calibration(&self) -> Option<&CusumDetector> {
+        self.inner.as_ref()
+    }
+}
+
+impl Detector for CusumEngine {
+    fn name(&self) -> &'static str {
+        "cusum"
+    }
+
+    fn update(&mut self, ctx: &SignalContext<'_>) -> Option<DetectionResult> {
+        let x = ctx.syns;
+        let Some(c) = self.inner.as_mut() else {
+            self.baseline.accumulate(x);
+            self.baseline.close_interval();
+            if self.baseline.len() >= self.cfg.warmup_intervals {
+                self.inner = Some(CusumDetector::from_stats(
+                    self.baseline.stats(),
+                    self.cfg.slack_halves,
+                    self.cfg.threshold_sigmas,
+                ));
+            }
+            return None;
+        };
+        // Score the statistic *after* this sample, before the alarm
+        // reset: projected/threshold ≥ 1 exactly when the alarm fires.
+        let projected = (c.statistic() + x - c.target - c.slack).max(0);
+        let score = ratio_q16(projected, c.threshold + 1);
+        let target = c.target;
+        let fired = c.observe(x);
+        Some(DetectionResult {
+            engine: "cusum",
+            at: ctx.at,
+            epoch: ctx.epoch,
+            score,
+            weight: self.weight_q16(),
+            confidence: confidence_q16(score),
+            expected: target,
+            observed: x,
+            fired,
+        })
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

@@ -1,0 +1,143 @@
+//! Multi-scale window engine.
+//!
+//! Signal binding: packets per interval, summed into tumbling windows
+//! at scales 1, 4 and 16 intervals, each with its own margined spike
+//! band. A swell too gradual for the single-interval band (each
+//! interval inside the noise margin) still accumulates in the coarser
+//! sums, where the margin is relatively smaller against the aggregated
+//! drift — the volume analogue of what CUSUM does for SYNs, but
+//! windowed and therefore self-forgetting. Upper-tail only: the
+//! lower tail belongs to the stalled engine.
+
+use crate::detector::{confidence_q16, ratio_q16, DetectionResult, Detector, SignalContext};
+use stat4_core::WindowedDist;
+use std::any::Any;
+
+/// The tumbling-window scales, in intervals.
+pub const SCALES: [u32; 3] = [1, 4, 16];
+
+/// Configuration (shared by all scales).
+#[derive(Debug, Clone, Copy)]
+pub struct MultiScaleEngineConfig {
+    /// Per-scale history window, in closed sums.
+    pub window: usize,
+    /// σ multiplier.
+    pub k: u32,
+    /// Minimum closed sums per scale before alerts.
+    pub min_intervals: usize,
+    /// Relative margin shift (3 = 12.5%).
+    pub margin_shift: u32,
+    /// Margin floor (absolute, in the NX domain).
+    pub margin_floor: u64,
+}
+
+impl Default for MultiScaleEngineConfig {
+    fn default() -> Self {
+        Self {
+            window: 32,
+            k: 2,
+            min_intervals: 8,
+            margin_shift: 3,
+            margin_floor: 4,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ScaleState {
+    scale: u32,
+    acc: i64,
+    count: u32,
+    window: WindowedDist,
+}
+
+/// Tumbling-window spike bands at [`SCALES`].
+#[derive(Debug)]
+pub struct MultiScaleEngine {
+    cfg: MultiScaleEngineConfig,
+    scales: Vec<ScaleState>,
+}
+
+impl MultiScaleEngine {
+    /// Creates an engine with empty windows at every scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-capacity window.
+    #[must_use]
+    pub fn new(cfg: MultiScaleEngineConfig) -> Self {
+        Self {
+            scales: SCALES
+                .iter()
+                .map(|s| ScaleState {
+                    scale: *s,
+                    acc: 0,
+                    count: 0,
+                    window: WindowedDist::new(cfg.window).expect("non-empty window"),
+                })
+                .collect(),
+            cfg,
+        }
+    }
+}
+
+impl Detector for MultiScaleEngine {
+    fn name(&self) -> &'static str {
+        "multiscale"
+    }
+
+    fn update(&mut self, ctx: &SignalContext<'_>) -> Option<DetectionResult> {
+        let x = ctx.packets;
+        let mut best_score = 0i64;
+        let mut expected = 0i64;
+        let mut observed = x;
+        let mut fired = false;
+        for s in &mut self.scales {
+            s.acc = s.acc.saturating_add(x);
+            s.count += 1;
+            if s.count < s.scale {
+                continue;
+            }
+            let v = s.acc;
+            s.acc = 0;
+            s.count = 0;
+            s.window.accumulate(v);
+            fired |= s.window.is_spike_margined(
+                v,
+                self.cfg.k,
+                self.cfg.min_intervals,
+                self.cfg.margin_shift,
+                self.cfg.margin_floor,
+            );
+            let stats = s.window.stats();
+            let n = stats.n() as i64;
+            let margin = stats.relative_margin(self.cfg.margin_shift, self.cfg.margin_floor);
+            let bound = stats
+                .xsum()
+                .saturating_add(self.cfg.k as i64 * stats.sd_nx() as i64)
+                .saturating_add(margin as i64);
+            let score = ratio_q16(n.saturating_mul(v), bound);
+            if score > best_score {
+                best_score = score;
+                expected = stats.xsum() / n.max(1);
+                observed = v;
+            }
+            s.window.close_interval();
+        }
+        Some(DetectionResult {
+            engine: "multiscale",
+            at: ctx.at,
+            epoch: ctx.epoch,
+            score: best_score,
+            weight: self.weight_q16(),
+            confidence: confidence_q16(best_score),
+            expected,
+            observed,
+            fired,
+        })
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

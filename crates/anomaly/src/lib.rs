@@ -21,12 +21,19 @@
 //! The other detectors are *software-side* users of `stat4-core`,
 //! demonstrating that the same integer algorithms serve both in-switch
 //! (via `stat4-p4`) and host-side deployment.
+//!
+//! Detection is organised as a pluggable ensemble: every engine
+//! implements [`detector::Detector`] over a shared per-interval
+//! [`detector::SignalContext`], and [`detector::Ensemble`] combines
+//! their Q16 scores. See [`engines`] for the catalogue.
 #![forbid(unsafe_code)]
 
 
 pub mod alerts;
 pub mod classify;
+pub mod detector;
 pub mod drilldown;
+pub mod engines;
 pub mod epoch;
 pub mod metrics;
 pub mod polling;
@@ -35,6 +42,15 @@ pub mod stalled;
 pub mod synflood;
 
 pub use alerts::Alert;
+pub use detector::{
+    confidence_q16, ratio_q16, DetectionResult, Detector, EngineSummary, Ensemble,
+    EnsembleVerdict, SignalContext, Q16, SCORE_CAP,
+};
+pub use engines::{
+    AdaptiveEngine, AdaptiveEngineConfig, CardinalityEngine, CardinalityEngineConfig,
+    CusumEngine, CusumEngineConfig, EnsembleConfig, HoltWintersEngine, HoltWintersEngineConfig,
+    MedianShiftEngine, MultiScaleEngine, MultiScaleEngineConfig, StalledEngine, SynFloodEngine,
+};
 pub use metrics::{Check, DetectorMetrics};
 pub use classify::DriftMonitor;
 pub use drilldown::{DrilldownController, DrilldownPhase, DrilldownReport, DrilldownStats};

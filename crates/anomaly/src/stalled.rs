@@ -72,6 +72,20 @@ impl StalledFlowDetector {
         alert
     }
 
+    /// Records `n` units of activity at time `at` in one call —
+    /// behaviorally identical to `n` calls of
+    /// [`Self::observe_activity`] at the same instant (the roll to
+    /// `at` happens once, then the units accumulate), which the
+    /// equivalence proptest in this module pins down. `n == 0` is a
+    /// plain [`Self::tick`]. This is the entry point for epoch-driven
+    /// callers that learn per-interval activity from merged reports.
+    pub fn observe_activity_n(&mut self, at: u64, n: u64) -> Option<Alert> {
+        let alert = self.roll_to(at);
+        self.window
+            .accumulate(i64::try_from(n).unwrap_or(i64::MAX));
+        alert
+    }
+
     /// Advances time without activity (call at least once per interval
     /// when idle, e.g. from a timer); may close quiet intervals and
     /// alert on them.
@@ -177,6 +191,38 @@ mod tests {
             }
         }
         assert!(det.detected_at.is_none(), "alerts: {:?}", det.alerts);
+    }
+
+    mod bulk_equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// `observe_activity_n(at, n)` ≡ `n × observe_activity(at)`:
+            /// identical alert streams and identical window stats on
+            /// arbitrary (time, count) sequences.
+            #[test]
+            fn bulk_activity_equals_repeated_single(
+                steps in proptest::collection::vec((0u64..40, 0u64..80), 1..60),
+            ) {
+                let mut single = StalledFlowDetector::new(cfg());
+                let mut bulk = StalledFlowDetector::new(cfg());
+                let mut t = 0u64;
+                for &(advance, n) in &steps {
+                    t += advance * 250_000;
+                    for _ in 0..n {
+                        single.observe_activity(t);
+                    }
+                    if n == 0 {
+                        single.tick(t);
+                    }
+                    bulk.observe_activity_n(t, n);
+                    prop_assert_eq!(&single.alerts, &bulk.alerts);
+                    prop_assert_eq!(single.detected_at, bulk.detected_at);
+                    prop_assert_eq!(single.stats(), bulk.stats());
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Per-interval cost of the detector ensemble: how much latency the
+//! eight-engine panel adds to each epoch merge, and how that compares
+//! to the single lifted SYN-flood engine the seed replay loop ran.
+//! The merge budget is the bound that matters — detection runs on the
+//! coordinator between epoch barriers, so a slow panel stretches
+//! every interval.
+
+use anomaly::{Detector, Ensemble, SignalContext, SynFloodEngine};
+use criterion::{criterion_group, criterion_main, Criterion};
+use replay::{build_ensemble, ReplayConfig};
+use stat4_core::{FrequencyDist, RunningStats};
+use std::hint::black_box;
+
+/// A plausible merged interval: steady mixed traffic.
+fn intervals(n: u64) -> (FrequencyDist, RunningStats) {
+    let mut kinds = FrequencyDist::new(0, 3).expect("4-kind domain");
+    let mut stats = RunningStats::new();
+    for i in 0..n * 200 {
+        let k = i64::try_from(i % 4).expect("small");
+        let jitter = i64::try_from(i % 9).expect("small");
+        kinds.observe(k).expect("in domain");
+        stats.push(60 + jitter);
+    }
+    (kinds, stats)
+}
+
+fn ctx_at<'a>(
+    at: u64,
+    kinds: &'a FrequencyDist,
+    stats: &'a RunningStats,
+) -> SignalContext<'a> {
+    SignalContext {
+        at,
+        epoch: at / 10_000_000,
+        interval_ns: 10_000_000,
+        spanned: 1,
+        packets: 200,
+        syns: 20,
+        len_sum: 12_800,
+        distinct_sources: 64,
+        median_len: 64,
+        kinds,
+        len_stats: stats,
+    }
+}
+
+fn bench_ensemble(c: &mut Criterion) {
+    let (kinds, stats) = intervals(64);
+    let mut g = c.benchmark_group("ensemble");
+
+    g.bench_function("full_panel_interval", |b| {
+        b.iter_batched(
+            || build_ensemble(&ReplayConfig::default()),
+            |mut ensemble| {
+                for i in 1..=64u64 {
+                    let v = ensemble.observe(black_box(&ctx_at(i * 10_000_000, &kinds, &stats)));
+                    black_box(v.combined_q16);
+                }
+                ensemble
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("synflood_only_interval", |b| {
+        b.iter_batched(
+            || SynFloodEngine::new(ReplayConfig::default().detector),
+            |mut engine| {
+                for i in 1..=64u64 {
+                    let r = engine.update(black_box(&ctx_at(i * 10_000_000, &kinds, &stats)));
+                    black_box(r);
+                }
+                engine
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("build_ensemble", |b| {
+        b.iter(|| black_box(build_ensemble(&ReplayConfig::default())));
+    });
+
+    g.finish();
+
+    // Keep the helper honest about engine count drift: the panel the
+    // bench times is the panel the replay engine runs.
+    assert_eq!(
+        build_ensemble(&ReplayConfig::default()).names().len(),
+        8,
+        "ensemble panel size changed — update the bench comments"
+    );
+    let _ = Ensemble::new(Vec::new());
+}
+
+criterion_group!(benches, bench_ensemble);
+criterion_main!(benches);

@@ -64,11 +64,18 @@ pub mod reference;
 
 pub use metrics::{ReplayTelemetry, ShardMetrics};
 
+use anomaly::shift::ShiftConfig;
+use anomaly::stalled::StalledFlowConfig;
 use anomaly::synflood::{SynFloodConfig, KIND_SYN};
-use anomaly::Alert;
+use anomaly::{
+    AdaptiveEngine, Alert, CardinalityEngine, CusumEngine, DetectionResult, EngineSummary,
+    Ensemble, EnsembleConfig, HoltWintersEngine, MedianShiftEngine, MultiScaleEngine,
+    StalledEngine, SynFloodEngine,
+};
 use faultinject::FaultSchedule;
 use packet::{EtherType, EthernetFrame, IpProtocol, Ipv4Packet, TcpSegment, UdpDatagram};
 use stat4_core::freq::FrequencyDist;
+use stat4_core::hll::HyperLogLog;
 use stat4_core::percentile::{PercentileSet, Quantile};
 use stat4_core::running::RunningStats;
 use stat4_core::sketch::CountMinSketch;
@@ -86,6 +93,11 @@ pub const KIND_OTHER: i64 = 4;
 
 /// Largest frame length tracked by the length percentile domain.
 pub const MAX_LEN: i64 = 2047;
+
+/// Precision of the per-shard distinct-source HyperLogLog (1024
+/// registers, ≈ 3.3% standard error — 1 KiB of register SRAM per
+/// pipe, the in-switch budget the paper's scale implies).
+pub const SRC_HLL_PRECISION: u32 = 10;
 
 /// Classifies a frame into the kind cells above ([`KIND_SYN`] for pure
 /// TCP SYNs). Mirrors the streaming detector's classification so both
@@ -124,6 +136,16 @@ fn dst_key(frame: &[u8]) -> u64 {
     Ipv4Packet::new_checked(eth.payload()).map_or(0, |ip| u64::from(u32::from(ip.dst())))
 }
 
+fn src_key(frame: &[u8]) -> u64 {
+    let Ok(eth) = EthernetFrame::new_checked(frame) else {
+        return 0;
+    };
+    if eth.ethertype() != EtherType::Ipv4 {
+        return 0;
+    }
+    Ipv4Packet::new_checked(eth.payload()).map_or(0, |ip| u64::from(u32::from(ip.src())))
+}
+
 /// Replay-engine configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ReplayConfig {
@@ -134,6 +156,10 @@ pub struct ReplayConfig {
     /// Detector configuration; `interval_ns` doubles as the epoch
     /// length.
     pub detector: SynFloodConfig,
+    /// Configuration for the new statistical engines (CUSUM,
+    /// Holt-Winters, cardinality, multi-scale, adaptive). The lifted
+    /// engines take theirs from `detector` / `interval_ns`.
+    pub ensemble: EnsembleConfig,
 }
 
 impl Default for ReplayConfig {
@@ -142,7 +168,56 @@ impl Default for ReplayConfig {
             shards: 1,
             batch: 256,
             detector: SynFloodConfig::default(),
+            ensemble: EnsembleConfig::default(),
         }
+    }
+}
+
+/// Builds the detection ensemble a replay run drives on merged
+/// interval state: the three lifted detectors (SYN flood, stalled
+/// flows, median shift) plus the five new engines, in report order.
+///
+/// The SYN-flood engine wraps the exact pre-trait
+/// [`anomaly::EpochSynFloodDetector`] under `cfg.detector`, so
+/// [`ReplayOutcome::alerts`] / `detected_at` are bit-identical to the
+/// pre-ensemble engine by construction.
+#[must_use]
+pub fn build_ensemble(cfg: &ReplayConfig) -> Ensemble {
+    let interval_ns = cfg.detector.interval_ns;
+    Ensemble::new(vec![
+        Box::new(SynFloodEngine::new(cfg.detector)),
+        Box::new(StalledEngine::new(StalledFlowConfig {
+            interval_ns,
+            ..StalledFlowConfig::default()
+        })),
+        Box::new(MedianShiftEngine::new(ShiftConfig {
+            domain: (0, MAX_LEN),
+            interval_ns,
+            ..ShiftConfig::default()
+        })),
+        Box::new(CusumEngine::new(cfg.ensemble.cusum)),
+        Box::new(HoltWintersEngine::new(cfg.ensemble.holtwinters)),
+        Box::new(CardinalityEngine::new(cfg.ensemble.cardinality)),
+        Box::new(MultiScaleEngine::new(cfg.ensemble.multiscale)),
+        Box::new(AdaptiveEngine::new(cfg.ensemble.adaptive)),
+    ])
+}
+
+/// Shard-count-invariant ensemble results of one replay run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EnsembleReport {
+    /// Per-engine fire counts and first-fire times, in report order.
+    pub engines: Vec<EngineSummary>,
+    /// Every fired [`DetectionResult`], in interval order then engine
+    /// order — the byte-identical determinism regression surface.
+    pub fired: Vec<DetectionResult>,
+}
+
+impl EnsembleReport {
+    /// The summary for `engine`, if it exists.
+    #[must_use]
+    pub fn engine(&self, name: &str) -> Option<&EngineSummary> {
+        self.engines.iter().find(|e| e.name == name)
     }
 }
 
@@ -161,10 +236,17 @@ pub struct ShardState {
     /// Median frame length (counts merge exactly; markers rebuild
     /// canonically from the merged counts).
     pub len_median: PercentileSet,
+    /// Distinct source addresses in the current (open) interval
+    /// (registers merge across shards, wash at each epoch barrier).
+    pub src_hll: HyperLogLog,
     /// Frames ingested by this shard.
     pub packets: u64,
     /// SYNs seen in the current (open) interval.
     pub syn_in_interval: i64,
+    /// Frames seen in the current (open) interval.
+    pub packets_in_interval: i64,
+    /// Frame-length sum of the current (open) interval.
+    pub len_sum_in_interval: i64,
 }
 
 impl ShardState {
@@ -181,8 +263,11 @@ impl ShardState {
             dst_sketch: CountMinSketch::new(4, 12),
             len_median: PercentileSet::new(0, MAX_LEN, &[Quantile::percentile(50).unwrap()])
                 .expect("valid length domain"),
+            src_hll: HyperLogLog::new(SRC_HLL_PRECISION).expect("valid HLL precision"),
             packets: 0,
             syn_in_interval: 0,
+            packets_in_interval: 0,
+            len_sum_in_interval: 0,
         }
     }
 
@@ -194,10 +279,13 @@ impl ShardState {
         self.len_stats.push(len);
         let _ = self.len_median.observe(len);
         self.dst_sketch.update(dst_key(frame), 1);
+        self.src_hll.observe(src_key(frame));
         if kind == KIND_SYN {
             self.syn_in_interval += 1;
         }
         self.packets += 1;
+        self.packets_in_interval += 1;
+        self.len_sum_in_interval += len;
     }
 
     /// Folds `other` into `self` using each tracker's merge rule.
@@ -211,9 +299,21 @@ impl ShardState {
         self.len_stats.merge_from(&other.len_stats)?;
         self.dst_sketch.merge_from(&other.dst_sketch)?;
         self.len_median.merge_from(&other.len_median)?;
+        self.src_hll.merge_from(&other.src_hll)?;
         self.packets += other.packets;
         self.syn_in_interval += other.syn_in_interval;
+        self.packets_in_interval += other.packets_in_interval;
+        self.len_sum_in_interval += other.len_sum_in_interval;
         Ok(())
+    }
+
+    /// Resets the per-interval fields at an epoch barrier (counts fold
+    /// into the closed interval's report; HLL registers wash).
+    pub fn close_interval(&mut self) {
+        self.syn_in_interval = 0;
+        self.packets_in_interval = 0;
+        self.len_sum_in_interval = 0;
+        self.src_hll.reset();
     }
 
     /// Why [`merge_from`](Self::merge_from) would fail for `other`, or
@@ -242,6 +342,9 @@ impl ShardState {
                 .any(|i| self.len_median.quantile(i) != other.len_median.quantile(i))
         {
             return Some("quantile sets");
+        }
+        if self.src_hll.precision() != other.src_hll.precision() {
+            return Some("hyperloglog precisions");
         }
         None
     }
@@ -332,6 +435,9 @@ pub struct ReplayOutcome {
     /// Degraded-mode summary: surviving shards, quarantine incidents,
     /// coverage, rerouted frames, dropped reports.
     pub health: ReplayHealth,
+    /// Per-engine ensemble results (fires, first-fire times, the full
+    /// fired-result log).
+    pub ensemble: EnsembleReport,
     /// Everything the engine observed about itself: per-shard metric
     /// sets, epoch/merge timings, detector fires, trace events.
     pub telemetry: ReplayTelemetry,
@@ -596,6 +702,7 @@ mod tests {
             epochs: 0,
             elapsed: std::time::Duration::ZERO,
             health: ReplayHealth::default(),
+            ensemble: EnsembleReport::default(),
             telemetry: ReplayTelemetry::new(1),
         };
         assert_eq!(out.throughput_pps(), 0.0);
@@ -738,6 +845,14 @@ mod tests {
             PercentileSet::new(0, MAX_LEN, &[Quantile::percentile(90).unwrap()]).unwrap();
         assert_eq!(base.merge_mismatch(&other_quantiles), Some("quantile sets"));
         assert!(base.clone().merge_from(&other_quantiles).is_err());
+
+        let mut other_precision = base.clone();
+        other_precision.src_hll = HyperLogLog::new(SRC_HLL_PRECISION + 2).unwrap();
+        assert_eq!(
+            base.merge_mismatch(&other_precision),
+            Some("hyperloglog precisions")
+        );
+        assert!(base.clone().merge_from(&other_precision).is_err());
     }
 
     #[test]

@@ -28,11 +28,15 @@
 //! dispatcher, so they fail loudly at the door instead.
 
 use anomaly::synflood::SynFloodConfig;
+use anomaly::EnsembleConfig;
 use faultinject::FaultSchedule;
 use replay::{run_replay_with_faults, ReplayConfig};
-use workloads::{PacketMixWorkload, Schedule, SynFloodWorkload};
+use workloads::{
+    CardinalitySpikeWorkload, LowSlowScanWorkload, PacketMixWorkload, Schedule,
+    SeasonalDriftWorkload, SynFloodWorkload,
+};
 
-const USAGE: &str = "usage: replay [synflood|mix] [shards] [interval_ms]\n\
+const USAGE: &str = "usage: replay [synflood|mix|seasonal|scan|cardinality] [shards] [interval_ms]\n\
      \x20             [--shards N] [--interval-ms M] [--batch B]\n\
      \x20             [--faults SPEC] [--seed N]\n\
      \x20             [--metrics-out PATH] [--metrics-format prom|json]\n\
@@ -183,6 +187,35 @@ fn generate(name: &str) -> Schedule {
             println!("workload: mix (100k packets, stable composition)");
             s
         }
+        "seasonal" => {
+            let w = SeasonalDriftWorkload::default();
+            println!(
+                "workload: seasonal (season {} intervals, phase drift at {} ms)",
+                w.season_len,
+                w.aligned_drift_start() / 1_000_000,
+            );
+            w.generate()
+        }
+        "scan" => {
+            let w = LowSlowScanWorkload::default();
+            let (s, victim) = w.generate();
+            println!(
+                "workload: scan (low-and-slow {} SYN/interval scan of {victim} from {} at {} ms)",
+                w.scan_syns,
+                w.scanner(),
+                w.scan_start / 1_000_000,
+            );
+            s
+        }
+        "cardinality" => {
+            let w = CardinalitySpikeWorkload::default();
+            println!(
+                "workload: cardinality (pool of {} sources, spoofed sweep at {} ms)",
+                w.sources,
+                w.spike_start / 1_000_000,
+            );
+            w.generate()
+        }
         _ => usage(),
     }
 }
@@ -214,6 +247,7 @@ fn main() {
             interval_ns: opts.interval_ms * 1_000_000,
             ..SynFloodConfig::default()
         },
+        ensemble: EnsembleConfig::default(),
     };
     let faults = match &opts.faults {
         Some(spec) => match FaultSchedule::parse(spec, opts.seed) {
@@ -253,6 +287,17 @@ fn main() {
             at as f64 / 1e6
         ),
         None => println!("alerts: none"),
+    }
+    for e in &out.ensemble.engines {
+        match e.first_fired_at {
+            Some(at) => println!(
+                "engine {:>11}: {} fire(s), first at {:.1} ms",
+                e.name,
+                e.fires,
+                at as f64 / 1e6
+            ),
+            None => println!("engine {:>11}: quiet", e.name),
+        }
     }
     if opts.faults.is_some() {
         let h = &out.health;

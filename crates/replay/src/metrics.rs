@@ -112,6 +112,10 @@ pub struct ReplayTelemetry {
     /// The central detector's fire counts and detection-delay
     /// histogram (copied out after the run).
     pub detector: DetectorMetrics,
+    /// Per-engine ensemble metrics (fire counts and detection-delay
+    /// histograms), one entry per ensemble engine, copied out after
+    /// the run in engine order.
+    pub engines: Vec<(String, DetectorMetrics)>,
     /// Shard faults the supervisor injected (stalls, panics, crashes).
     pub faults_injected: Counter,
     /// Shards quarantined by the supervisor (panic, crash, or merge
@@ -159,6 +163,7 @@ impl ReplayTelemetry {
             epoch_ns: LogLinearHistogram::default(),
             merge_ns: LogLinearHistogram::default(),
             detector: DetectorMetrics::new(),
+            engines: Vec::new(),
             faults_injected: Counter::new(),
             shards_quarantined: Counter::new(),
             packets_lost: Counter::new(),
@@ -359,6 +364,9 @@ impl ReplayTelemetry {
             self.trace.dropped(),
         );
         self.detector.export(&mut snap, "epoch_synflood");
+        for (name, m) in &self.engines {
+            m.export(&mut snap, name);
+        }
         snap
     }
 }
@@ -412,6 +420,22 @@ mod tests {
         assert_eq!(snap.counter_sum("replay_reports_dropped_total"), 2);
         let text = telemetry::render_prometheus(&snap);
         assert!(text.contains("replay_recover_ns"));
+        telemetry::check_prometheus(&text).expect("valid exposition");
+    }
+
+    #[test]
+    fn engine_metrics_render_in_snapshot() {
+        let mut t = ReplayTelemetry::new(1);
+        let mut m = DetectorMetrics::new();
+        m.signal(100, true);
+        m.fired(anomaly::metrics::Check::Rate, 130);
+        t.engines.push((String::from("cusum"), m));
+        let snap = t.snapshot();
+        let text = telemetry::render_prometheus(&snap);
+        assert!(
+            text.contains("detector=\"cusum\""),
+            "per-engine fire counter missing: {text}"
+        );
         telemetry::check_prometheus(&text).expect("valid exposition");
     }
 

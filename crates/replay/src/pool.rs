@@ -46,10 +46,11 @@
 //! bit-identical outcomes and leak-free teardown.
 
 use crate::{
-    merge_surviving_entries, next_alive, panic_message, IncidentKind, ReplayConfig, ReplayHealth,
-    ReplayOutcome, ReplayTelemetry, ShardIncident, ShardState,
+    build_ensemble, merge_surviving_entries, next_alive, panic_message, EnsembleReport,
+    IncidentKind, ReplayConfig, ReplayHealth, ReplayOutcome, ReplayTelemetry, ShardIncident,
+    ShardState,
 };
-use anomaly::epoch::EpochSynFloodDetector;
+use anomaly::{SignalContext, SynFloodEngine};
 use faultinject::{FaultSchedule, ShardFaultKind};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::time::Instant;
@@ -213,7 +214,7 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
         (0..cfg.shards).map(|_| Some(ShardState::new(cfg))).collect();
     let mut alive: Vec<bool> = vec![true; cfg.shards];
     let mut incidents: Vec<ShardIncident> = Vec::new();
-    let mut detector = EpochSynFloodDetector::new(cfg.detector);
+    let mut ensemble = build_ensemble(cfg);
     let mut telemetry = ReplayTelemetry::new(cfg.shards);
     telemetry.queue_capacity = QUEUE_CAPACITY as u64;
     let mut packets: u64 = 0;
@@ -222,8 +223,11 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
     let mut reports_dropped: u64 = 0;
     // Report-loss carry-forward — identical to the reference engine:
     // the next delivered report observes the per-interval average of
-    // the span it covers.
+    // the span it covers. (HLL registers are not carried: a dropped
+    // interval's distinct-source registers wash at its barrier.)
     let mut carried_syns: i64 = 0;
+    let mut carried_packets: i64 = 0;
+    let mut carried_len_sum: i64 = 0;
     let mut carried_epochs: i64 = 0;
 
     let started = Instant::now();
@@ -446,24 +450,41 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
                 let merged =
                     merge_surviving_entries(&entries, &mut alive, cfg, epoch_idx, &mut incidents);
                 let at = (epoch_idx + 1) * interval;
-                let mut raised = Vec::new();
+                let mut any_fired = false;
                 if faults.drop_epoch_report(epoch_idx) {
                     reports_dropped += 1;
                     telemetry.reports_dropped.inc();
                     telemetry.trace.instant("report_dropped", epoch_idx);
                     carried_syns += merged.syn_in_interval;
+                    carried_packets += merged.packets_in_interval;
+                    carried_len_sum += merged.len_sum_in_interval;
                     carried_epochs += 1;
                 } else {
-                    let syn_estimate =
-                        (merged.syn_in_interval + carried_syns) / (carried_epochs + 1);
-                    raised = detector.observe_interval(at, syn_estimate, &merged.kinds);
+                    let span = carried_epochs + 1;
+                    let ctx = SignalContext {
+                        at,
+                        epoch: epoch_idx,
+                        interval_ns: interval,
+                        spanned: span,
+                        packets: (merged.packets_in_interval + carried_packets) / span,
+                        syns: (merged.syn_in_interval + carried_syns) / span,
+                        len_sum: (merged.len_sum_in_interval + carried_len_sum) / span,
+                        distinct_sources: i64::try_from(merged.src_hll.estimate())
+                            .unwrap_or(i64::MAX),
+                        median_len: merged.len_median.estimate(0).unwrap_or(0),
+                        kinds: &merged.kinds,
+                        len_stats: &merged.len_stats,
+                    };
+                    any_fired = !ensemble.observe(&ctx).fired.is_empty();
                     carried_syns = 0;
+                    carried_packets = 0;
+                    carried_len_sum = 0;
                     carried_epochs = 0;
                 }
                 let merge_ns = elapsed_ns(merge_started);
                 telemetry.merge_ns.record(merge_ns);
                 telemetry.trace.end("merge", epoch_idx);
-                if !raised.is_empty() {
+                if any_fired {
                     telemetry.trace.instant("alert", epoch_idx);
                 }
                 telemetry.epoch_ns.record(epoch_wall.saturating_add(merge_ns));
@@ -487,14 +508,15 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
                     }
                 }
 
-                // (H) Fold the closed interval's SYN counts and reset.
+                // (H) Fold the closed interval's SYN counts and reset
+                // the per-interval fields (counters and HLL registers).
                 // Parked (dead-but-present) states carry zero here,
                 // exactly like the reference engine's stale entries.
                 for (st, m) in states.iter_mut().zip(telemetry.shards.iter_mut()) {
                     if let Some(state) = st {
                         m.syn_packets
                             .add(u64::try_from(state.syn_in_interval).unwrap_or(0));
-                        state.syn_in_interval = 0;
+                        state.close_interval();
                     }
                 }
             }
@@ -518,8 +540,22 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
 
     let elapsed = started.elapsed();
     telemetry.elapsed_ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
-    telemetry.alerts.add(detector.alerts.len() as u64);
-    telemetry.detector = detector.metrics.clone();
+    let syn_engine = ensemble
+        .engine::<SynFloodEngine>("synflood")
+        .expect("ensemble always carries the SYN-flood engine");
+    let alerts = syn_engine.alerts().to_vec();
+    let detected_at = syn_engine.detected_at();
+    telemetry.alerts.add(alerts.len() as u64);
+    telemetry.detector = syn_engine.metrics().clone();
+    telemetry.engines = ensemble
+        .metrics_by_name()
+        .into_iter()
+        .map(|(n, m)| (n.to_string(), m))
+        .collect();
+    let report = EnsembleReport {
+        engines: ensemble.summaries(),
+        fired: ensemble.fired_log.clone(),
+    };
 
     let final_epoch = schedule.last().map_or(0, |(t, _)| t / interval);
     let entries: Vec<(usize, &ShardState)> = states
@@ -542,12 +578,13 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
     telemetry.packets_rerouted.add(health.packets_rerouted);
     ReplayOutcome {
         merged,
-        alerts: detector.alerts.clone(),
-        detected_at: detector.detected_at,
+        alerts,
+        detected_at,
         packets,
         epochs,
         elapsed,
         health,
+        ensemble: report,
         telemetry,
     }
 }

@@ -16,10 +16,10 @@
 //! target is the real former engine, not a reconstruction.
 
 use crate::{
-    merge_surviving, next_alive, panic_message, IncidentKind, ReplayConfig, ReplayHealth,
-    ReplayOutcome, ReplayTelemetry, ShardIncident, ShardState,
+    build_ensemble, merge_surviving, next_alive, panic_message, EnsembleReport, IncidentKind,
+    ReplayConfig, ReplayHealth, ReplayOutcome, ReplayTelemetry, ShardIncident, ShardState,
 };
-use anomaly::epoch::EpochSynFloodDetector;
+use anomaly::{SignalContext, SynFloodEngine};
 use faultinject::{FaultSchedule, ShardFaultKind};
 use workloads::Schedule;
 
@@ -55,18 +55,22 @@ pub fn run_replay_with_faults(
     let mut shards: Vec<ShardState> = (0..cfg.shards).map(|_| ShardState::new(cfg)).collect();
     let mut alive: Vec<bool> = vec![true; cfg.shards];
     let mut incidents: Vec<ShardIncident> = Vec::new();
-    let mut detector = EpochSynFloodDetector::new(cfg.detector);
+    let mut ensemble = build_ensemble(cfg);
     let mut telemetry = ReplayTelemetry::new(cfg.shards);
     let mut packets: u64 = 0;
     let mut epochs: u64 = 0;
     let mut packets_rerouted: u64 = 0;
     let mut reports_dropped: u64 = 0;
-    // SYNs from intervals whose epoch report was lost; folded into the
-    // next delivered report (switch registers are cumulative). The
+    // Counts from intervals whose epoch report was lost; folded into
+    // the next delivered report (switch registers are cumulative). The
     // delivered report spans `carried_epochs + 1` intervals, so the
-    // detector observes the per-interval average — otherwise a run of
-    // dropped reports would masquerade as a spike.
+    // engines observe the per-interval average — otherwise a run of
+    // dropped reports would masquerade as a spike. HLL registers are
+    // not carried: a dropped interval's distinct-source registers wash
+    // at its barrier.
     let mut carried_syns: i64 = 0;
+    let mut carried_packets: i64 = 0;
+    let mut carried_len_sum: i64 = 0;
     let mut carried_epochs: i64 = 0;
 
     let started = std::time::Instant::now();
@@ -213,23 +217,40 @@ pub fn run_replay_with_faults(
         let merge_started = std::time::Instant::now();
         let merged = merge_surviving(&shards, &mut alive, cfg, epoch_idx, &mut incidents);
         let at = (epoch_idx + 1) * interval;
-        let mut raised = Vec::new();
+        let mut any_fired = false;
         if faults.drop_epoch_report(epoch_idx) {
             reports_dropped += 1;
             telemetry.reports_dropped.inc();
             telemetry.trace.instant("report_dropped", epoch_idx);
             carried_syns += merged.syn_in_interval;
+            carried_packets += merged.packets_in_interval;
+            carried_len_sum += merged.len_sum_in_interval;
             carried_epochs += 1;
         } else {
-            let syn_estimate = (merged.syn_in_interval + carried_syns) / (carried_epochs + 1);
-            raised = detector.observe_interval(at, syn_estimate, &merged.kinds);
+            let span = carried_epochs + 1;
+            let ctx = SignalContext {
+                at,
+                epoch: epoch_idx,
+                interval_ns: interval,
+                spanned: span,
+                packets: (merged.packets_in_interval + carried_packets) / span,
+                syns: (merged.syn_in_interval + carried_syns) / span,
+                len_sum: (merged.len_sum_in_interval + carried_len_sum) / span,
+                distinct_sources: i64::try_from(merged.src_hll.estimate()).unwrap_or(i64::MAX),
+                median_len: merged.len_median.estimate(0).unwrap_or(0),
+                kinds: &merged.kinds,
+                len_stats: &merged.len_stats,
+            };
+            any_fired = !ensemble.observe(&ctx).fired.is_empty();
             carried_syns = 0;
+            carried_packets = 0;
+            carried_len_sum = 0;
             carried_epochs = 0;
         }
         let merge_ns = u64::try_from(merge_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         telemetry.merge_ns.record(merge_ns);
         telemetry.trace.end("merge", epoch_idx);
-        if !raised.is_empty() {
+        if any_fired {
             telemetry.trace.instant("alert", epoch_idx);
         }
         telemetry.epoch_ns.record(epoch_wall.saturating_add(merge_ns));
@@ -251,14 +272,28 @@ pub fn run_replay_with_faults(
 
         for (s, m) in shards.iter_mut().zip(telemetry.shards.iter_mut()) {
             m.syn_packets.add(u64::try_from(s.syn_in_interval).unwrap_or(0));
-            s.syn_in_interval = 0;
+            s.close_interval();
         }
     }
 
     let elapsed = started.elapsed();
     telemetry.elapsed_ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
-    telemetry.alerts.add(detector.alerts.len() as u64);
-    telemetry.detector = detector.metrics.clone();
+    let syn_engine = ensemble
+        .engine::<SynFloodEngine>("synflood")
+        .expect("ensemble always carries the SYN-flood engine");
+    let alerts = syn_engine.alerts().to_vec();
+    let detected_at = syn_engine.detected_at();
+    telemetry.alerts.add(alerts.len() as u64);
+    telemetry.detector = syn_engine.metrics().clone();
+    telemetry.engines = ensemble
+        .metrics_by_name()
+        .into_iter()
+        .map(|(n, m)| (n.to_string(), m))
+        .collect();
+    let report = EnsembleReport {
+        engines: ensemble.summaries(),
+        fired: ensemble.fired_log.clone(),
+    };
 
     let final_epoch = schedule.last().map_or(0, |(t, _)| t / interval);
     let merged = merge_surviving(&shards, &mut alive, cfg, final_epoch, &mut incidents);
@@ -276,12 +311,13 @@ pub fn run_replay_with_faults(
     telemetry.packets_rerouted.add(health.packets_rerouted);
     ReplayOutcome {
         merged,
-        alerts: detector.alerts.clone(),
-        detected_at: detector.detected_at,
+        alerts,
+        detected_at,
         packets,
         epochs,
         elapsed,
         health,
+        ensemble: report,
         telemetry,
     }
 }

@@ -65,8 +65,27 @@ fn detector_metrics_flow_through_to_the_snapshot() {
     let out = run(2);
     assert!(out.detected_at.is_some(), "flood must be detected");
     let snap = out.telemetry.snapshot();
+    // The fires family now carries one series per ensemble engine;
+    // the central SYN-flood detector's own series must still equal
+    // the alert list exactly.
+    let fires = snap
+        .find("anomaly_detector_fires_total")
+        .expect("fires family exported");
+    let synflood_fires: u64 = fires
+        .samples
+        .iter()
+        .filter(|s| {
+            s.labels
+                .iter()
+                .any(|(k, v)| k == "detector" && v == "epoch_synflood")
+        })
+        .map(|s| match s.value {
+            SampleValue::Counter(c) => c,
+            _ => 0,
+        })
+        .sum();
     assert_eq!(
-        snap.counter_sum("anomaly_detector_fires_total"),
+        synflood_fires,
         out.alerts.len() as u64,
         "every alert is attributed to exactly one check"
     );

@@ -37,6 +37,10 @@ fn assert_outcomes_identical(pool: &ReplayOutcome, refr: &ReplayOutcome, ctx: &s
     assert_eq!(pool.packets, refr.packets, "{ctx}: packets");
     assert_eq!(pool.epochs, refr.epochs, "{ctx}: epochs");
     assert_eq!(pool.health, refr.health, "{ctx}: health (incidents included)");
+    assert_eq!(
+        pool.ensemble, refr.ensemble,
+        "{ctx}: ensemble report (per-engine summaries and fired log)"
+    );
 
     // Deterministic telemetry: per-shard counters and the batch-size
     // histogram must be bit-identical (the histogram type derives Eq).
@@ -107,6 +111,43 @@ fn pool_matches_reference_at_every_shard_count() {
         let refr = reference::run_replay(&s, &cfg);
         assert_outcomes_identical(&pool, &refr, &format!("{shards} shards"));
         assert!(!pool.health.degraded());
+    }
+}
+
+#[test]
+fn ensemble_report_is_identical_across_shard_counts() {
+    // Sharding must not leak into detection: the merged per-interval
+    // state is a pure fold of the shards, and the HyperLogLog register
+    // merge is partition-invariant, so the same seed + workload must
+    // yield a byte-identical DetectionResult sequence on 1, 2, 4 and
+    // 8 shards — under both engines.
+    let s = small_flood();
+    let baseline = run_replay(
+        &s,
+        &ReplayConfig {
+            shards: 1,
+            ..ReplayConfig::default()
+        },
+    );
+    assert!(
+        !baseline.ensemble.fired.is_empty(),
+        "the flood must trip at least one engine"
+    );
+    for shards in [2usize, 4, 8] {
+        let cfg = ReplayConfig {
+            shards,
+            ..ReplayConfig::default()
+        };
+        let pool = run_replay(&s, &cfg);
+        assert_eq!(
+            pool.ensemble, baseline.ensemble,
+            "{shards} shards: ensemble report differs from 1-shard run"
+        );
+        let refr = reference::run_replay(&s, &cfg);
+        assert_eq!(
+            refr.ensemble, baseline.ensemble,
+            "{shards} shards (reference): ensemble report differs from 1-shard run"
+        );
     }
 }
 

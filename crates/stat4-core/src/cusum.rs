@@ -211,6 +211,37 @@ mod tests {
             }
         }
 
+        /// Detection delay is monotone in drift magnitude: feeding a
+        /// constant supercritical level `target + slack + d`, a larger
+        /// `d` never fires *later* than a smaller one (each sample
+        /// accumulates exactly `d`, so the delay is `ceil((h+1)/d)`).
+        #[test]
+        fn detection_delay_monotone_in_drift(
+            d_small in 1i64..50,
+            d_extra in 1i64..50,
+            target in 0i64..1_000,
+            slack in 1i64..20,
+            threshold in 10i64..500,
+        ) {
+            let delay_of = |d: i64| -> i64 {
+                let mut c = CusumDetector::new(target, slack, threshold);
+                for i in 1..10_000i64 {
+                    if c.observe(target + slack + d) {
+                        return i;
+                    }
+                }
+                i64::MAX
+            };
+            let slow = delay_of(d_small);
+            let fast = delay_of(d_small + d_extra);
+            prop_assert!(slow < i64::MAX, "supercritical drift always fires");
+            prop_assert!(
+                fast <= slow,
+                "drift {} fired at {}, larger drift {} at {}",
+                d_small, slow, d_small + d_extra, fast
+            );
+        }
+
         /// Samples at or below target+slack never alarm.
         #[test]
         fn subcritical_never_alarms(

@@ -56,6 +56,8 @@ pub mod cusum;
 pub mod error;
 pub mod ewma;
 pub mod freq;
+pub mod hll;
+pub mod holtwinters;
 pub mod isqrt;
 pub mod merge;
 pub mod oracle;
@@ -71,6 +73,8 @@ pub use cusum::{CusumDetector, TwoSidedCusum};
 pub use ewma::Ewma;
 pub use error::{Stat4Error, Stat4Result};
 pub use freq::FrequencyDist;
+pub use hll::HyperLogLog;
+pub use holtwinters::{Forecast, HoltWinters};
 pub use isqrt::{
     approx_isqrt, exact_isqrt, log_linear_bucket, log_linear_bucket_count,
     log_linear_lower_bound, msb_decompose,

@@ -16,16 +16,22 @@
 //! grade detections.
 
 pub mod bimodal;
+pub mod cardinality;
 pub mod echo;
 pub mod mix;
+pub mod portscan;
+pub mod seasonal;
 pub mod shard;
 pub mod spike;
 pub mod synflood;
 pub mod zipf;
 
 pub use bimodal::{BimodalValues, Mode};
+pub use cardinality::CardinalitySpikeWorkload;
 pub use echo::EchoWorkload;
 pub use mix::{PacketKind, PacketMixWorkload};
+pub use portscan::LowSlowScanWorkload;
+pub use seasonal::SeasonalDriftWorkload;
 pub use shard::{flow_key, shard_of, split};
 pub use spike::{SpikeGroundTruth, SpikeWorkload};
 pub use synflood::SynFloodWorkload;
