@@ -138,15 +138,154 @@ pub trait Detector {
     fn as_any(&self) -> &dyn Any;
 }
 
+/// An owned snapshot of the scalar fields of a [`SignalContext`] —
+/// what every engine saw for one interval, detached from the borrowed
+/// cumulative state so it can ride inside an [`AlertProvenance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct SignalValues {
+    /// Interval end (ns).
+    pub at: u64,
+    /// Interval ordinal.
+    pub epoch: u64,
+    /// Interval length (ns).
+    pub interval_ns: u64,
+    /// Intervals the report spans (> 1 after dropped reports).
+    pub spanned: i64,
+    /// Packets per interval (span average).
+    pub packets: i64,
+    /// Pure SYNs per interval (span average).
+    pub syns: i64,
+    /// Sum of frame lengths per interval (span average).
+    pub len_sum: i64,
+    /// Distinct source addresses this interval (HLL estimate).
+    pub distinct_sources: i64,
+    /// Canonical median frame length so far.
+    pub median_len: i64,
+}
+
+impl SignalValues {
+    /// Captures the scalar view of `ctx`.
+    #[must_use]
+    pub fn capture(ctx: &SignalContext<'_>) -> Self {
+        Self {
+            at: ctx.at,
+            epoch: ctx.epoch,
+            interval_ns: ctx.interval_ns,
+            spanned: ctx.spanned,
+            packets: ctx.packets,
+            syns: ctx.syns,
+            len_sum: ctx.len_sum,
+            distinct_sources: ctx.distinct_sources,
+            median_len: ctx.median_len,
+        }
+    }
+}
+
 /// The combined verdict for one interval.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EnsembleVerdict {
     /// Interval end (ns).
     pub at: u64,
+    /// Interval ordinal.
+    pub epoch: u64,
     /// Weighted mean score over all reporting engines, Q16.
     pub combined_q16: i64,
     /// Results from engines that fired this interval.
     pub fired: Vec<DetectionResult>,
+    /// Every reporting engine's result this interval (fired or not),
+    /// in report order — the provenance record's raw material.
+    pub results: Vec<DetectionResult>,
+}
+
+/// Why a drilldown (or any alert-consumer) acted on a verdict.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum TriggerCause {
+    /// One or more engines' gated verdicts fired; names in report
+    /// order.
+    EnginesFired(Vec<String>),
+    /// No single engine fired, but the ensemble's combined weighted
+    /// score crossed the trigger threshold.
+    CombinedScore {
+        /// The combined weighted mean at trigger time, Q16.
+        combined_q16: i64,
+        /// The configured trigger threshold, Q16.
+        threshold_q16: i64,
+    },
+}
+
+/// One engine's state at the moment an alert fired, with owned
+/// strings so provenance survives JSON round trips field-for-field.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct EngineAtFire {
+    /// Engine name.
+    pub engine: String,
+    /// Instantaneous Q16 score.
+    pub score: i64,
+    /// The firing threshold the score is normalised against (Q16 by
+    /// the crate's score convention).
+    pub threshold_q16: i64,
+    /// [`confidence_q16`] of the score.
+    pub confidence: i64,
+    /// Ensemble weight, Q16.
+    pub weight: i64,
+    /// Expected signal value (raw units).
+    pub expected: i64,
+    /// Observed signal value (raw units).
+    pub observed: i64,
+    /// Did the engine's gated verdict fire?
+    pub fired: bool,
+}
+
+impl EngineAtFire {
+    /// Snapshot of one engine's result.
+    #[must_use]
+    pub fn of(r: &DetectionResult) -> Self {
+        Self {
+            engine: r.engine.to_string(),
+            score: r.score,
+            threshold_q16: Q16,
+            confidence: r.confidence,
+            weight: r.weight,
+            expected: r.expected,
+            observed: r.observed,
+            fired: r.fired,
+        }
+    }
+}
+
+/// The full statistical provenance of one alert: the signals every
+/// engine read, each engine's score against its threshold at fire
+/// time, the combined score, and what pulled the trigger.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct AlertProvenance {
+    /// Interval end (ns).
+    pub at: u64,
+    /// Interval ordinal.
+    pub epoch: u64,
+    /// The merged per-interval signals the engines consumed.
+    pub signals: SignalValues,
+    /// Weighted mean score at fire time, Q16.
+    pub combined_q16: i64,
+    /// Every reporting engine's state at fire time.
+    pub engines: Vec<EngineAtFire>,
+    /// What pulled the trigger.
+    pub cause: TriggerCause,
+}
+
+impl AlertProvenance {
+    /// Assembles provenance from the interval's signals, the verdict
+    /// that tripped, and the trigger cause.
+    #[must_use]
+    pub fn assemble(signals: SignalValues, verdict: &EnsembleVerdict, cause: TriggerCause) -> Self {
+        Self {
+            at: verdict.at,
+            epoch: verdict.epoch,
+            signals,
+            combined_q16: verdict.combined_q16,
+            engines: verdict.results.iter().map(EngineAtFire::of).collect(),
+            cause,
+        }
+    }
 }
 
 /// Per-engine summary for reports (shard-count invariant).
@@ -215,6 +354,7 @@ impl Ensemble {
     /// Feeds one interval to every engine and combines the results.
     pub fn observe(&mut self, ctx: &SignalContext<'_>) -> EnsembleVerdict {
         let mut fired = Vec::new();
+        let mut results = Vec::new();
         let mut weighted: i128 = 0;
         let mut weights: i128 = 0;
         for (i, engine) in self.engines.iter_mut().enumerate() {
@@ -231,6 +371,7 @@ impl Ensemble {
                 self.first_fired[i].get_or_insert(ctx.at);
                 fired.push(result);
             }
+            results.push(result);
         }
         self.fired_log.extend(fired.iter().copied());
         let combined_q16 = if weights == 0 {
@@ -240,8 +381,10 @@ impl Ensemble {
         };
         EnsembleVerdict {
             at: ctx.at,
+            epoch: ctx.epoch,
             combined_q16,
             fired,
+            results,
         }
     }
 

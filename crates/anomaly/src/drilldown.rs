@@ -46,6 +46,7 @@
 //! digest, so chaos runs can assert the loop actually healed.
 
 use crate::alerts::Alert;
+use crate::detector::TriggerCause;
 use netsim::control::ControlMsg;
 use netsim::node::{Node, NodeCtx, NodeId};
 use netsim::SimTime;
@@ -366,6 +367,194 @@ impl Node for DrilldownController {
     }
 }
 
+/// Trigger policy for ensemble-driven drilldown.
+///
+/// Historically the drilldown only reacted to per-engine gated
+/// `fired` verdicts. That misses coordinated sub-threshold episodes:
+/// several engines at, say, 0.9 of their thresholds is collectively a
+/// stronger signal than one engine barely past its own. This config
+/// closes that gap — the ensemble's combined weighted score (see
+/// [`crate::detector::EnsembleVerdict::combined_q16`]) triggers the
+/// drilldown too, once it crosses `combined_threshold_q16`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnsembleTriggerConfig {
+    /// Combined-score trigger threshold, Q16. The default of 0.75
+    /// sits below any single engine's firing point (1.0) but well
+    /// above quiet-traffic combined scores (engines near zero pull
+    /// the weighted mean down hard).
+    pub combined_threshold_q16: i64,
+    /// Quiet intervals (no trigger) before the ladder resets to the
+    /// prefix phase.
+    pub reset_after_quiet: u32,
+    /// Binding-table entries installed by a prefix → subnets rebind.
+    pub subnet_binds: u32,
+    /// Binding-table entries installed by a subnets → hosts rebind.
+    pub host_binds: u32,
+}
+
+impl Default for EnsembleTriggerConfig {
+    fn default() -> Self {
+        Self {
+            combined_threshold_q16: (3 * crate::detector::Q16) / 4,
+            reset_after_quiet: 8,
+            subnet_binds: 16,
+            host_binds: 16,
+        }
+    }
+}
+
+/// Decides whether a verdict warrants drilling down, and why.
+#[derive(Debug, Clone, Copy)]
+pub struct EnsembleTrigger {
+    /// The policy in force.
+    pub config: EnsembleTriggerConfig,
+}
+
+impl EnsembleTrigger {
+    /// A trigger under `config`.
+    #[must_use]
+    pub fn new(config: EnsembleTriggerConfig) -> Self {
+        Self { config }
+    }
+
+    /// `Some(cause)` when the verdict should pull the trigger: any
+    /// engine's gated fire wins, else the combined weighted score
+    /// crossing the configured threshold.
+    #[must_use]
+    pub fn decide(&self, v: &crate::detector::EnsembleVerdict) -> Option<TriggerCause> {
+        if !v.fired.is_empty() {
+            return Some(TriggerCause::EnginesFired(
+                v.fired.iter().map(|r| r.engine.to_string()).collect(),
+            ));
+        }
+        if v.combined_q16 >= self.config.combined_threshold_q16 {
+            return Some(TriggerCause::CombinedScore {
+                combined_q16: v.combined_q16,
+                threshold_q16: self.config.combined_threshold_q16,
+            });
+        }
+        None
+    }
+}
+
+/// One drilldown rebind, recorded as alert provenance. Mirrors the
+/// acked batch transactions [`DrilldownController`] sends over the
+/// control channel, as a deterministic structural record (what was
+/// rebound, when, why) rather than the wire messages themselves.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct RebindTransaction {
+    /// Binding generation the transaction installs.
+    pub generation: u64,
+    /// Epoch that pulled the trigger.
+    pub epoch: u64,
+    /// Interval end (ns).
+    pub at: u64,
+    /// Phase before the rebind (`"prefix"`, `"subnets"`, `"hosts"`).
+    pub from_phase: String,
+    /// Phase after the rebind.
+    pub to_phase: String,
+    /// Binding-table entries installed.
+    pub binds: u32,
+    /// What pulled the trigger.
+    pub cause: TriggerCause,
+}
+
+/// What one triggering verdict did to the drilldown ladder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrillOutcome {
+    /// Why the trigger pulled.
+    pub cause: TriggerCause,
+    /// Rebind transactions the trigger caused (empty once the ladder
+    /// is already at host granularity).
+    pub transactions: Vec<RebindTransaction>,
+}
+
+/// Ladder position for [`ScoreDrilldown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScorePhase {
+    Prefix,
+    Subnets,
+    Hosts,
+}
+
+impl ScorePhase {
+    fn name(self) -> &'static str {
+        match self {
+            ScorePhase::Prefix => "prefix",
+            ScorePhase::Subnets => "subnets",
+            ScorePhase::Hosts => "hosts",
+        }
+    }
+}
+
+/// The replay-side drilldown ladder, driven by [`EnsembleVerdict`]s
+/// instead of switch digests: prefix → subnets → hosts, one rebind
+/// transaction per triggering interval, resetting to the prefix after
+/// a configurable quiet streak. Pure and deterministic — state is a
+/// function of the verdict stream alone, so pool and reference replay
+/// engines produce bit-identical transaction logs.
+#[derive(Debug, Clone)]
+pub struct ScoreDrilldown {
+    trigger: EnsembleTrigger,
+    phase: ScorePhase,
+    generation: u64,
+    quiet: u32,
+}
+
+impl ScoreDrilldown {
+    /// A ladder at the prefix phase under `config`.
+    #[must_use]
+    pub fn new(config: EnsembleTriggerConfig) -> Self {
+        Self {
+            trigger: EnsembleTrigger::new(config),
+            phase: ScorePhase::Prefix,
+            generation: 0,
+            quiet: 0,
+        }
+    }
+
+    /// Feeds one interval verdict. Returns the trigger cause and any
+    /// rebind transaction it produced; `None` on quiet intervals.
+    pub fn observe(&mut self, v: &crate::detector::EnsembleVerdict) -> Option<DrillOutcome> {
+        let Some(cause) = self.trigger.decide(v) else {
+            self.quiet += 1;
+            if self.quiet >= self.trigger.config.reset_after_quiet {
+                self.phase = ScorePhase::Prefix;
+                self.quiet = 0;
+            }
+            return None;
+        };
+        self.quiet = 0;
+        let (next, binds) = match self.phase {
+            ScorePhase::Prefix => (ScorePhase::Subnets, self.trigger.config.subnet_binds),
+            ScorePhase::Subnets => (ScorePhase::Hosts, self.trigger.config.host_binds),
+            ScorePhase::Hosts => {
+                // Already at host granularity: the alert is attributed
+                // to the standing bindings, no rebind needed.
+                return Some(DrillOutcome {
+                    cause,
+                    transactions: Vec::new(),
+                });
+            }
+        };
+        self.generation += 1;
+        let tx = RebindTransaction {
+            generation: self.generation,
+            epoch: v.epoch,
+            at: v.at,
+            from_phase: self.phase.name().to_string(),
+            to_phase: next.name().to_string(),
+            binds,
+            cause: cause.clone(),
+        };
+        self.phase = next;
+        Some(DrillOutcome {
+            cause,
+            transactions: vec![tx],
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -639,5 +828,155 @@ mod tests {
         r.spike_alert_at = Some(100);
         r.pinpointed_at = Some(350);
         assert_eq!(r.pinpoint_latency(), Some(250));
+    }
+
+    use crate::detector::{
+        confidence_q16, DetectionResult, Detector, Ensemble, SignalContext, Q16,
+    };
+    use stat4_core::{FrequencyDist, RunningStats};
+
+    /// An engine pinned at a fixed sub-threshold score; never fires.
+    struct SimmeringEngine {
+        name: &'static str,
+        score: i64,
+    }
+
+    impl Detector for SimmeringEngine {
+        fn name(&self) -> &'static str {
+            self.name
+        }
+        fn update(&mut self, ctx: &SignalContext<'_>) -> Option<DetectionResult> {
+            Some(DetectionResult {
+                engine: self.name,
+                at: ctx.at,
+                epoch: ctx.epoch,
+                score: self.score,
+                weight: Q16,
+                confidence: confidence_q16(self.score),
+                expected: 100,
+                observed: 90,
+                fired: self.score >= Q16,
+            })
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+
+    fn quiet_ctx<'a>(
+        at: u64,
+        kinds: &'a FrequencyDist,
+        stats: &'a RunningStats,
+    ) -> SignalContext<'a> {
+        SignalContext {
+            at,
+            epoch: at / 10,
+            interval_ns: 10,
+            spanned: 1,
+            packets: 100,
+            syns: 5,
+            len_sum: 40_000,
+            distinct_sources: 10,
+            median_len: 400,
+            kinds,
+            len_stats: stats,
+        }
+    }
+
+    /// Regression for the ROADMAP item-1 follow-on: three engines each
+    /// simmering at 0.9 of threshold never fire individually, but the
+    /// combined weighted score (0.9·Q16 ≥ 0.75·Q16) now pulls the
+    /// drilldown trigger — the episode is no longer invisible.
+    #[test]
+    fn sub_threshold_multi_engine_episode_triggers_drilldown() {
+        let kinds = FrequencyDist::new(0, 7).unwrap();
+        let stats = RunningStats::new();
+        let score = (9 * Q16) / 10;
+        let mut ens = Ensemble::new(vec![
+            Box::new(SimmeringEngine { name: "a", score }),
+            Box::new(SimmeringEngine { name: "b", score }),
+            Box::new(SimmeringEngine { name: "c", score }),
+        ]);
+        let mut drill = ScoreDrilldown::new(EnsembleTriggerConfig::default());
+        let v = ens.observe(&quiet_ctx(10, &kinds, &stats));
+        assert!(v.fired.is_empty(), "no single engine may fire");
+        assert_eq!(v.combined_q16, score);
+        let outcome = drill
+            .observe(&v)
+            .expect("combined sub-threshold scores must trigger");
+        match &outcome.cause {
+            TriggerCause::CombinedScore {
+                combined_q16,
+                threshold_q16,
+            } => {
+                assert_eq!(*combined_q16, score);
+                assert_eq!(*threshold_q16, (3 * Q16) / 4);
+            }
+            other => panic!("expected CombinedScore cause, got {other:?}"),
+        }
+        assert_eq!(outcome.transactions.len(), 1);
+        let tx = &outcome.transactions[0];
+        assert_eq!((tx.from_phase.as_str(), tx.to_phase.as_str()), ("prefix", "subnets"));
+        assert_eq!(tx.generation, 1);
+    }
+
+    /// A gated engine fire always wins over the combined score as the
+    /// recorded cause, and the ladder climbs one phase per trigger
+    /// until hosts, then attributes without rebinding.
+    #[test]
+    fn fired_engines_drive_the_ladder_to_hosts() {
+        let kinds = FrequencyDist::new(0, 7).unwrap();
+        let stats = RunningStats::new();
+        let mut ens = Ensemble::new(vec![Box::new(SimmeringEngine {
+            name: "hot",
+            score: 2 * Q16,
+        })]);
+        let mut drill = ScoreDrilldown::new(EnsembleTriggerConfig::default());
+        let mut txs = Vec::new();
+        for at in [10u64, 20, 30] {
+            let v = ens.observe(&quiet_ctx(at, &kinds, &stats));
+            let outcome = drill.observe(&v).expect("fired engine must trigger");
+            assert_eq!(
+                outcome.cause,
+                TriggerCause::EnginesFired(vec!["hot".to_string()])
+            );
+            txs.extend(outcome.transactions);
+        }
+        let phases: Vec<_> = txs
+            .iter()
+            .map(|t| (t.from_phase.as_str(), t.to_phase.as_str()))
+            .collect();
+        assert_eq!(phases, [("prefix", "subnets"), ("subnets", "hosts")]);
+        assert_eq!(txs.iter().map(|t| t.generation).collect::<Vec<_>>(), [1, 2]);
+    }
+
+    /// Quiet streaks reset the ladder to the prefix phase.
+    #[test]
+    fn quiet_streak_resets_the_ladder() {
+        let kinds = FrequencyDist::new(0, 7).unwrap();
+        let stats = RunningStats::new();
+        let config = EnsembleTriggerConfig {
+            reset_after_quiet: 2,
+            ..EnsembleTriggerConfig::default()
+        };
+        let mut drill = ScoreDrilldown::new(config);
+        let fire = |at: u64| {
+            let mut e = Ensemble::new(vec![Box::new(SimmeringEngine {
+                name: "hot",
+                score: 2 * Q16,
+            })]);
+            e.observe(&quiet_ctx(at, &kinds, &stats))
+        };
+        let calm = |at: u64| {
+            let mut e = Ensemble::new(vec![Box::new(SimmeringEngine { name: "cold", score: 0 })]);
+            e.observe(&quiet_ctx(at, &kinds, &stats))
+        };
+        let first = drill.observe(&fire(10)).unwrap();
+        assert_eq!(first.transactions[0].to_phase, "subnets");
+        assert!(drill.observe(&calm(20)).is_none());
+        assert!(drill.observe(&calm(30)).is_none());
+        // Reset happened: the next trigger starts from the prefix again.
+        let again = drill.observe(&fire(40)).unwrap();
+        assert_eq!(again.transactions[0].from_phase, "prefix");
     }
 }

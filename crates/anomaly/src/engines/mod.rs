@@ -48,4 +48,6 @@ pub struct EnsembleConfig {
     pub multiscale: MultiScaleEngineConfig,
     /// Adaptive 2σ EWMA band.
     pub adaptive: AdaptiveEngineConfig,
+    /// Drilldown trigger policy (per-engine fires + combined score).
+    pub trigger: crate::drilldown::EnsembleTriggerConfig,
 }

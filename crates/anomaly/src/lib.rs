@@ -43,8 +43,9 @@ pub mod synflood;
 
 pub use alerts::Alert;
 pub use detector::{
-    confidence_q16, ratio_q16, DetectionResult, Detector, EngineSummary, Ensemble,
-    EnsembleVerdict, SignalContext, Q16, SCORE_CAP,
+    confidence_q16, ratio_q16, AlertProvenance, DetectionResult, Detector, EngineAtFire,
+    EngineSummary, Ensemble, EnsembleVerdict, SignalContext, SignalValues, TriggerCause, Q16,
+    SCORE_CAP,
 };
 pub use engines::{
     AdaptiveEngine, AdaptiveEngineConfig, CardinalityEngine, CardinalityEngineConfig,
@@ -53,7 +54,10 @@ pub use engines::{
 };
 pub use metrics::{Check, DetectorMetrics};
 pub use classify::DriftMonitor;
-pub use drilldown::{DrilldownController, DrilldownPhase, DrilldownReport, DrilldownStats};
+pub use drilldown::{
+    DrillOutcome, DrilldownController, DrilldownPhase, DrilldownReport, DrilldownStats,
+    EnsembleTrigger, EnsembleTriggerConfig, RebindTransaction, ScoreDrilldown,
+};
 pub use epoch::EpochSynFloodDetector;
 pub use polling::PollingController;
 pub use shift::PercentileShiftDetector;

@@ -5,7 +5,7 @@
 //! coordinator between epoch barriers, so a slow panel stretches
 //! every interval.
 
-use anomaly::{Detector, Ensemble, SignalContext, SynFloodEngine};
+use anomaly::{Detector, Ensemble, ScoreDrilldown, SignalContext, SynFloodEngine};
 use criterion::{criterion_group, criterion_main, Criterion};
 use replay::{build_ensemble, ReplayConfig};
 use stat4_core::{FrequencyDist, RunningStats};
@@ -49,14 +49,21 @@ fn bench_ensemble(c: &mut Criterion) {
     let mut g = c.benchmark_group("ensemble");
 
     g.bench_function("full_panel_interval", |b| {
+        // Mirrors the coordinator's detect phase exactly: every
+        // verdict also feeds the drilldown trigger, as in the replay
+        // loop since provenance capture landed.
         b.iter_batched(
-            || build_ensemble(&ReplayConfig::default()),
-            |mut ensemble| {
+            || {
+                let cfg = ReplayConfig::default();
+                (build_ensemble(&cfg), ScoreDrilldown::new(cfg.ensemble.trigger))
+            },
+            |(mut ensemble, mut drill)| {
                 for i in 1..=64u64 {
                     let v = ensemble.observe(black_box(&ctx_at(i * 10_000_000, &kinds, &stats)));
                     black_box(v.combined_q16);
+                    black_box(drill.observe(&v));
                 }
-                ensemble
+                (ensemble, drill)
             },
             criterion::BatchSize::SmallInput,
         );

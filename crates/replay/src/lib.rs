@@ -60,9 +60,13 @@
 
 pub mod metrics;
 mod pool;
+pub mod provenance;
 pub mod reference;
+pub mod snapshot;
 
 pub use metrics::{ReplayTelemetry, ShardMetrics};
+pub use provenance::{AlertProvenanceRecord, EpochLineage, IncidentRef};
+pub use snapshot::{parse_outcome_json, render_outcome_json, RunSnapshot};
 
 use anomaly::shift::ShiftConfig;
 use anomaly::stalled::StalledFlowConfig;
@@ -438,6 +442,11 @@ pub struct ReplayOutcome {
     /// Per-engine ensemble results (fires, first-fire times, the full
     /// fired-result log).
     pub ensemble: EnsembleReport,
+    /// One provenance record per drilldown trigger, in fire order:
+    /// signals, per-engine scores, epoch lineage and rebind
+    /// transactions. Deterministic — part of the pool-vs-reference
+    /// bit-identity surface.
+    pub provenance: Vec<AlertProvenanceRecord>,
     /// Everything the engine observed about itself: per-shard metric
     /// sets, epoch/merge timings, detector fires, trace events.
     pub telemetry: ReplayTelemetry,
@@ -703,6 +712,7 @@ mod tests {
             elapsed: std::time::Duration::ZERO,
             health: ReplayHealth::default(),
             ensemble: EnsembleReport::default(),
+            provenance: Vec::new(),
             telemetry: ReplayTelemetry::new(1),
         };
         assert_eq!(out.throughput_pps(), 0.0);

@@ -7,13 +7,17 @@
 //!        [--shards N] [--interval-ms M] [--batch B]
 //!        [--faults SPEC] [--seed N]
 //!        [--metrics-out PATH] [--metrics-format prom|json]
-//!        [--trace-out PATH]
+//!        [--trace-out PATH] [--snapshot-out PATH]
 //! ```
 //!
 //! Flags win over the positional forms. `--metrics-out` writes the
 //! telemetry snapshot to PATH — JSON by default, Prometheus text
 //! exposition with `--metrics-format prom`. `--trace-out` writes the
-//! epoch lifecycle trace as a JSON event array.
+//! merged epoch lifecycle trace (coordinator plus every shard) in
+//! Chrome trace-event format — open it in `about:tracing`/Perfetto or
+//! feed it to `stat4-trace`. `--snapshot-out` writes the deterministic
+//! run snapshot (alerts, health, ensemble report, alert provenance) as
+//! JSON for `stat4-trace explain`.
 //!
 //! `--faults` runs the replay under a seeded fault schedule (see
 //! `faultinject` for the spec grammar, e.g.
@@ -30,7 +34,7 @@
 use anomaly::synflood::SynFloodConfig;
 use anomaly::EnsembleConfig;
 use faultinject::FaultSchedule;
-use replay::{run_replay_with_faults, ReplayConfig};
+use replay::{render_outcome_json, run_replay_with_faults, ReplayConfig};
 use workloads::{
     CardinalitySpikeWorkload, LowSlowScanWorkload, PacketMixWorkload, Schedule,
     SeasonalDriftWorkload, SynFloodWorkload,
@@ -40,7 +44,7 @@ const USAGE: &str = "usage: replay [synflood|mix|seasonal|scan|cardinality] [sha
      \x20             [--shards N] [--interval-ms M] [--batch B]\n\
      \x20             [--faults SPEC] [--seed N]\n\
      \x20             [--metrics-out PATH] [--metrics-format prom|json]\n\
-     \x20             [--trace-out PATH]";
+     \x20             [--trace-out PATH] [--snapshot-out PATH]";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -59,6 +63,7 @@ struct Options {
     metrics_out: Option<String>,
     metrics_format: MetricsFormat,
     trace_out: Option<String>,
+    snapshot_out: Option<String>,
 }
 
 impl Default for Options {
@@ -73,6 +78,7 @@ impl Default for Options {
             metrics_out: None,
             metrics_format: MetricsFormat::Json,
             trace_out: None,
+            snapshot_out: None,
         }
     }
 }
@@ -130,6 +136,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 };
             }
             "--trace-out" => opts.trace_out = Some(flag_value("--trace-out")?),
+            "--snapshot-out" => opts.snapshot_out = Some(flag_value("--snapshot-out")?),
             "--help" | "-h" => return Err(String::new()),
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             positional_arg => {
@@ -299,6 +306,27 @@ fn main() {
             None => println!("engine {:>11}: quiet", e.name),
         }
     }
+    // Every record is in the snapshot; the console shows the first few
+    // so a flood of alerts doesn't drown the summary.
+    const PROVENANCE_SHOWN: usize = 5;
+    for rec in out.provenance.iter().take(PROVENANCE_SHOWN) {
+        println!(
+            "provenance: alert {} at epoch {} — cause {:?}, {} shard(s) delivered, \
+             {} carried epoch(s), {} rebind tx(s)",
+            rec.id,
+            rec.lineage.epoch,
+            rec.provenance.cause,
+            rec.lineage.delivered_shards.len(),
+            rec.lineage.carried_epochs.len(),
+            rec.drilldown.len(),
+        );
+    }
+    if out.provenance.len() > PROVENANCE_SHOWN {
+        println!(
+            "provenance: … {} more record(s) (use --snapshot-out + `stat4-trace explain`)",
+            out.provenance.len() - PROVENANCE_SHOWN,
+        );
+    }
     if opts.faults.is_some() {
         let h = &out.health;
         println!(
@@ -334,11 +362,21 @@ fn main() {
         );
     }
     if let Some(path) = &opts.trace_out {
-        write_or_die(path, &out.telemetry.trace.to_json(), "trace");
+        let merged = out.telemetry.merged_trace();
+        write_or_die(path, &merged.to_chrome_json(), "trace");
         println!(
-            "trace: {} events written to {path} ({} dropped at cap)",
-            out.telemetry.trace.events().len(),
-            out.telemetry.trace.dropped(),
+            "trace: {} events from {} thread(s) written to {path} ({} dropped at cap)",
+            merged.events.len(),
+            merged.threads,
+            merged.dropped,
+        );
+    }
+    if let Some(path) = &opts.snapshot_out {
+        write_or_die(path, &render_outcome_json(&out), "run snapshot");
+        println!(
+            "snapshot: {} alert(s), {} provenance record(s) written to {path}",
+            out.alerts.len(),
+            out.provenance.len(),
         );
     }
 }
@@ -368,7 +406,7 @@ mod tests {
         let opts = parse(&[
             "--shards", "8", "--interval-ms", "20", "--batch", "64", "--faults",
             "shard_crash=1@3", "--seed", "9", "--metrics-out", "m.json", "--metrics-format",
-            "prom", "--trace-out", "t.json",
+            "prom", "--trace-out", "t.json", "--snapshot-out", "run.json",
         ])
         .unwrap();
         assert_eq!(opts.shards, 8);
@@ -379,6 +417,7 @@ mod tests {
         assert_eq!(opts.metrics_out.as_deref(), Some("m.json"));
         assert_eq!(opts.metrics_format, MetricsFormat::Prom);
         assert_eq!(opts.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(opts.snapshot_out.as_deref(), Some("run.json"));
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use anomaly::DetectorMetrics;
 use stat4_core::{Mergeable, Stat4Result};
-use telemetry::{Counter, LogLinearHistogram, Snapshot, Tracer};
+use telemetry::{Counter, LogLinearHistogram, MergedTrace, Snapshot, Tracer};
 
 /// Metrics one shard thread maintains.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -143,8 +143,14 @@ pub struct ReplayTelemetry {
     /// Bound of the per-shard dispatch queues (0 = unqueued reference
     /// engine).
     pub queue_capacity: u64,
-    /// Epoch lifecycle events (bounded).
+    /// Epoch lifecycle events recorded by the coordinator (bounded).
     pub trace: Tracer,
+    /// One bounded tracer per shard, sharing the coordinator's time
+    /// origin — workers record their ingest/queue-wait spans into
+    /// their own buffer (handed off through the dispatch channel on
+    /// the pool engine; borrowed in-scope on the reference engine).
+    /// [`Self::merged_trace`] folds them with the coordinator's.
+    pub shard_traces: Vec<Tracer>,
     /// Total wall time of the replay, ns.
     pub elapsed_ns: u64,
 }
@@ -156,6 +162,8 @@ impl ReplayTelemetry {
     /// Fresh telemetry for `shards` worker shards.
     #[must_use]
     pub fn new(shards: usize) -> Self {
+        let trace = Tracer::new(Self::TRACE_CAPACITY);
+        let origin = trace.origin();
         Self {
             shards: (0..shards).map(|_| ShardMetrics::new()).collect(),
             epochs: Counter::new(),
@@ -173,9 +181,20 @@ impl ReplayTelemetry {
             partition_ns: LogLinearHistogram::default(),
             overlap_ns: LogLinearHistogram::default(),
             queue_capacity: 0,
-            trace: Tracer::new(Self::TRACE_CAPACITY),
+            trace,
+            shard_traces: (0..shards)
+                .map(|s| Tracer::for_shard(Self::TRACE_CAPACITY, s as u32, origin))
+                .collect(),
             elapsed_ns: 0,
         }
+    }
+
+    /// Every thread's trace buffer — the coordinator's first, then
+    /// each shard's — folded into one causally-ordered stream with the
+    /// total dropped-event count.
+    #[must_use]
+    pub fn merged_trace(&self) -> MergedTrace {
+        MergedTrace::merge(std::iter::once(&self.trace).chain(self.shard_traces.iter()))
     }
 
     /// The cross-shard fold of the per-shard sets.
@@ -259,6 +278,14 @@ impl ReplayTelemetry {
                 &labels,
                 i64::try_from(s.queue_depth.max().unwrap_or(0)).unwrap_or(i64::MAX),
             );
+            if let Some(t) = self.shard_traces.get(i) {
+                snap.push_counter(
+                    "replay_shard_trace_dropped_total",
+                    "trace events dropped at the shard tracer's buffer cap",
+                    &labels,
+                    t.dropped(),
+                );
+            }
         }
         let merged = self.merged_shard();
         snap.push_counter(
@@ -351,17 +378,18 @@ impl ReplayTelemetry {
             &[],
             i64::try_from(self.queue_capacity).unwrap_or(i64::MAX),
         );
+        let merged_trace = self.merged_trace();
         snap.push_counter(
             "replay_trace_events_total",
-            "epoch lifecycle events recorded",
+            "epoch lifecycle events recorded across all threads",
             &[],
-            self.trace.events().len() as u64,
+            merged_trace.events.len() as u64,
         );
         snap.push_counter(
             "replay_trace_dropped_total",
-            "trace events dropped at the buffer cap",
+            "trace events dropped at any thread's buffer cap",
             &[],
-            self.trace.dropped(),
+            merged_trace.dropped,
         );
         self.detector.export(&mut snap, "epoch_synflood");
         for (name, m) in &self.engines {
@@ -435,6 +463,43 @@ mod tests {
         assert!(
             text.contains("detector=\"cusum\""),
             "per-engine fire counter missing: {text}"
+        );
+        telemetry::check_prometheus(&text).expect("valid exposition");
+    }
+
+    #[test]
+    fn merged_trace_folds_every_thread() {
+        let mut t = ReplayTelemetry::new(2);
+        t.trace.begin("ingest", 0);
+        for tr in &mut t.shard_traces {
+            tr.begin("ingest", 0);
+            tr.end("ingest", 0);
+        }
+        t.trace.end("ingest", 0);
+        let m = t.merged_trace();
+        assert_eq!(m.events.len(), 6);
+        assert_eq!(m.threads, 3, "coordinator plus two shards");
+        assert_eq!(m.dropped, 0);
+        telemetry::check_trace(&m.to_chrome_json()).expect("valid merged trace");
+    }
+
+    #[test]
+    fn trace_counters_expose_merged_and_per_shard_drops() {
+        let mut t = ReplayTelemetry::new(2);
+        // Rebuild shard 1's tracer with a one-event buffer so the
+        // second event overflows.
+        t.shard_traces[1] = Tracer::for_shard(1, 1, t.trace.origin());
+        t.shard_traces[1].instant("a", 0);
+        t.shard_traces[1].instant("b", 0); // dropped at the cap
+        t.trace.instant("alert", 0);
+        let snap = t.snapshot();
+        assert_eq!(snap.counter_sum("replay_trace_events_total"), 2);
+        assert_eq!(snap.counter_sum("replay_trace_dropped_total"), 1);
+        assert_eq!(snap.counter_sum("replay_shard_trace_dropped_total"), 1);
+        let text = telemetry::render_prometheus(&snap);
+        assert!(
+            text.contains("replay_shard_trace_dropped_total{shard=\"1\"}"),
+            "per-shard dropped counter missing: {text}"
         );
         telemetry::check_prometheus(&text).expect("valid exposition");
     }

@@ -45,15 +45,17 @@
 //! `tests/pool.rs` and `tests/pool_teardown.rs` hold the engine to
 //! bit-identical outcomes and leak-free teardown.
 
+use crate::provenance::{AlertProvenanceRecord, LineageSources};
 use crate::{
     build_ensemble, merge_surviving_entries, next_alive, panic_message, EnsembleReport,
     IncidentKind, ReplayConfig, ReplayHealth, ReplayOutcome, ReplayTelemetry, ShardIncident,
     ShardState,
 };
-use anomaly::{SignalContext, SynFloodEngine};
+use anomaly::{ScoreDrilldown, SignalContext, SynFloodEngine};
 use faultinject::{FaultSchedule, ShardFaultKind};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::time::Instant;
+use telemetry::Tracer;
 use workloads::Schedule;
 
 /// Bound of each shard's dispatch queue: one epoch in flight plus the
@@ -77,6 +79,9 @@ struct EpochWork<'a> {
     batch: usize,
     /// Dispatch timestamp, for the queue-wait histogram.
     sent_at: Instant,
+    /// The shard's span recorder, handed off with the state — threads
+    /// never share a tracer. Dies with the worker on a panic.
+    tracer: Tracer,
 }
 
 /// Coordinator → worker messages. The size skew between the variants
@@ -107,6 +112,7 @@ struct Reply<'a> {
     ingested: u64,
     busy_ns: u64,
     queue_wait_ns: u64,
+    tracer: Tracer,
 }
 
 #[inline]
@@ -123,6 +129,13 @@ fn elapsed_ns(t: Instant) -> u64 {
 fn worker_loop<'a>(shard: usize, rx: &Receiver<Dispatch<'a>>, tx: &SyncSender<Reply<'a>>) {
     while let Ok(Dispatch::Epoch(mut work)) = rx.recv() {
         let queue_wait_ns = elapsed_ns(work.sent_at);
+        let mut tracer = work.tracer;
+        // The queue-wait span opens at the instant the coordinator
+        // dispatched (captured on its thread, same clock origin) and
+        // closes now that the worker has dequeued.
+        let sent_ns = tracer.ns_since(work.sent_at);
+        tracer.begin_at("queue_wait", work.epoch_idx, sent_ns);
+        tracer.end("queue_wait", work.epoch_idx);
         match work.fault {
             Some(ShardFaultKind::Panic) => {
                 let epoch_idx = work.epoch_idx;
@@ -133,6 +146,7 @@ fn worker_loop<'a>(shard: usize, rx: &Receiver<Dispatch<'a>>, tx: &SyncSender<Re
             }
             _ => {}
         }
+        tracer.begin("ingest", work.epoch_idx);
         let busy = Instant::now();
         for chunk in work.frames.chunks(work.batch) {
             for frame in chunk {
@@ -140,6 +154,7 @@ fn worker_loop<'a>(shard: usize, rx: &Receiver<Dispatch<'a>>, tx: &SyncSender<Re
             }
         }
         let busy_ns = elapsed_ns(busy);
+        tracer.end("ingest", work.epoch_idx);
         let ingested = work.frames.len() as u64;
         work.frames.clear();
         let reply = Reply {
@@ -148,6 +163,7 @@ fn worker_loop<'a>(shard: usize, rx: &Receiver<Dispatch<'a>>, tx: &SyncSender<Re
             ingested,
             busy_ns,
             queue_wait_ns,
+            tracer,
         };
         if tx.send(reply).is_err() {
             return;
@@ -229,6 +245,12 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
     let mut carried_packets: i64 = 0;
     let mut carried_len_sum: i64 = 0;
     let mut carried_epochs: i64 = 0;
+    // Epoch ordinals of the carried (dropped) reports — alert lineage.
+    let mut carried_from: Vec<u64> = Vec::new();
+    // Drilldown ladder fed by every delivered verdict; each trigger
+    // yields one provenance record.
+    let mut drill = ScoreDrilldown::new(cfg.ensemble.trigger);
+    let mut provenance: Vec<AlertProvenanceRecord> = Vec::new();
 
     let started = Instant::now();
 
@@ -253,6 +275,13 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
             ranges.push((epoch_idx, i..j));
             i = j;
         }
+
+        // Shard tracers ping-pong with the state: `Some` while the
+        // coordinator holds one, `None` while it is out with the
+        // worker (or died with a panicked one).
+        let trace_origin = telemetry.trace.origin();
+        let mut shard_tracers: Vec<Option<Tracer>> =
+            telemetry.shard_traces.drain(..).map(Some).collect();
 
         std::thread::scope(|scope| {
             let mut to_worker: Vec<SyncSender<Dispatch<'_>>> = Vec::with_capacity(cfg.shards);
@@ -328,6 +357,8 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
                     let frames = std::mem::take(&mut work[s]);
                     if alive[s] {
                         let state = states[s].take().expect("alive shard holds its state");
+                        let tracer =
+                            shard_tracers[s].take().expect("alive shard holds its tracer");
                         let msg = Dispatch::Epoch(EpochWork {
                             epoch_idx,
                             fault: plan[s],
@@ -335,6 +366,7 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
                             frames,
                             batch,
                             sent_at: Instant::now(),
+                            tracer,
                         });
                         to_worker[s]
                             .send(msg)
@@ -377,6 +409,7 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
                 // panic payload and quarantine (its state is gone).
                 type EpochResult = (usize, Result<(u64, u64, u64), String>);
                 let mut results: Vec<EpochResult> = Vec::with_capacity(cfg.shards);
+                telemetry.trace.begin("barrier", epoch_idx);
                 for s in 0..cfg.shards {
                     if !dispatched[s] {
                         continue;
@@ -385,6 +418,7 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
                     match from_worker[s].recv() {
                         Ok(reply) => {
                             states[s] = Some(reply.state);
+                            shard_tracers[s] = Some(reply.tracer);
                             recycle(vec![reply.frames], &mut spare);
                             results
                                 .push((s, Ok((reply.busy_ns, reply.ingested, reply.queue_wait_ns))));
@@ -399,6 +433,7 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
                         }
                     }
                 }
+                telemetry.trace.end("barrier", epoch_idx);
                 let epoch_wall = elapsed_ns(epoch_started);
                 telemetry.trace.end("ingest", epoch_idx);
                 for (s, r) in &results {
@@ -449,6 +484,7 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
                     .collect();
                 let merged =
                     merge_surviving_entries(&entries, &mut alive, cfg, epoch_idx, &mut incidents);
+                telemetry.trace.end("merge", epoch_idx);
                 let at = (epoch_idx + 1) * interval;
                 let mut any_fired = false;
                 if faults.drop_epoch_report(epoch_idx) {
@@ -459,7 +495,9 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
                     carried_packets += merged.packets_in_interval;
                     carried_len_sum += merged.len_sum_in_interval;
                     carried_epochs += 1;
+                    carried_from.push(epoch_idx);
                 } else {
+                    telemetry.trace.begin("detect", epoch_idx);
                     let span = carried_epochs + 1;
                     let ctx = SignalContext {
                         at,
@@ -475,15 +513,40 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
                         kinds: &merged.kinds,
                         len_stats: &merged.len_stats,
                     };
-                    any_fired = !ensemble.observe(&ctx).fired.is_empty();
+                    let verdict = ensemble.observe(&ctx);
+                    any_fired = !verdict.fired.is_empty();
+                    if let Some(outcome) = drill.observe(&verdict) {
+                        if !outcome.transactions.is_empty() {
+                            telemetry.trace.instant("rebind", epoch_idx);
+                        }
+                        let delivered: Vec<usize> = alive
+                            .iter()
+                            .enumerate()
+                            .filter(|&(_, a)| *a)
+                            .map(|(s, _)| s)
+                            .collect();
+                        provenance.push(AlertProvenanceRecord::capture(
+                            provenance.len() as u64,
+                            &ctx,
+                            &verdict,
+                            outcome,
+                            LineageSources {
+                                delivered_shards: delivered,
+                                carried_from: &carried_from,
+                                rerouted_frames: rerouted,
+                                incidents: &incidents,
+                            },
+                        ));
+                    }
+                    telemetry.trace.end("detect", epoch_idx);
                     carried_syns = 0;
                     carried_packets = 0;
                     carried_len_sum = 0;
                     carried_epochs = 0;
+                    carried_from.clear();
                 }
                 let merge_ns = elapsed_ns(merge_started);
                 telemetry.merge_ns.record(merge_ns);
-                telemetry.trace.end("merge", epoch_idx);
                 if any_fired {
                     telemetry.trace.instant("alert", epoch_idx);
                 }
@@ -512,11 +575,21 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
                 // the per-interval fields (counters and HLL registers).
                 // Parked (dead-but-present) states carry zero here,
                 // exactly like the reference engine's stale entries.
-                for (st, m) in states.iter_mut().zip(telemetry.shards.iter_mut()) {
+                for (s, (st, m)) in states
+                    .iter_mut()
+                    .zip(telemetry.shards.iter_mut())
+                    .enumerate()
+                {
                     if let Some(state) = st {
+                        if let Some(tr) = shard_tracers[s].as_mut() {
+                            tr.begin("close_interval", epoch_idx);
+                        }
                         m.syn_packets
                             .add(u64::try_from(state.syn_in_interval).unwrap_or(0));
                         state.close_interval();
+                        if let Some(tr) = shard_tracers[s].as_mut() {
+                            tr.end("close_interval", epoch_idx);
+                        }
                     }
                 }
             }
@@ -536,6 +609,15 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
                 }
             }
         });
+
+        // Bring the shard trace buffers home. A panicked worker's
+        // tracer died with it — an empty placeholder keeps the slot
+        // (it contributes no events and no thread to the merge).
+        telemetry.shard_traces = shard_tracers
+            .into_iter()
+            .enumerate()
+            .map(|(s, t)| t.unwrap_or_else(|| Tracer::for_shard(0, s as u32, trace_origin)))
+            .collect();
     }
 
     let elapsed = started.elapsed();
@@ -585,6 +667,7 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
         elapsed,
         health,
         ensemble: report,
+        provenance,
         telemetry,
     }
 }

@@ -15,11 +15,12 @@
 //! Nothing here is deprecated API surface: it exists so the comparison
 //! target is the real former engine, not a reconstruction.
 
+use crate::provenance::{AlertProvenanceRecord, LineageSources};
 use crate::{
     build_ensemble, merge_surviving, next_alive, panic_message, EnsembleReport, IncidentKind,
     ReplayConfig, ReplayHealth, ReplayOutcome, ReplayTelemetry, ShardIncident, ShardState,
 };
-use anomaly::{SignalContext, SynFloodEngine};
+use anomaly::{ScoreDrilldown, SignalContext, SynFloodEngine};
 use faultinject::{FaultSchedule, ShardFaultKind};
 use workloads::Schedule;
 
@@ -72,6 +73,12 @@ pub fn run_replay_with_faults(
     let mut carried_packets: i64 = 0;
     let mut carried_len_sum: i64 = 0;
     let mut carried_epochs: i64 = 0;
+    // Epoch ordinals of the carried (dropped) reports — alert lineage.
+    let mut carried_from: Vec<u64> = Vec::new();
+    // Drilldown ladder fed by every delivered verdict; each trigger
+    // yields one provenance record (identical to the pool engine).
+    let mut drill = ScoreDrilldown::new(cfg.ensemble.trigger);
+    let mut provenance: Vec<AlertProvenanceRecord> = Vec::new();
 
     let started = std::time::Instant::now();
 
@@ -93,6 +100,7 @@ pub fn run_replay_with_faults(
         // reroute to the next survivor in ring order (the controller's
         // repartitioning); with no survivors at all they are lost.
         let mut work: Vec<Vec<&bytes::Bytes>> = vec![Vec::new(); cfg.shards];
+        let mut epoch_rerouted: u64 = 0;
         for (_, frame) in epoch_frames {
             let home = workloads::shard::shard_of(frame, cfg.shards);
             let target = if alive[home] {
@@ -102,11 +110,12 @@ pub fn run_replay_with_faults(
             };
             if let Some(t) = target {
                 if t != home {
-                    packets_rerouted += 1;
+                    epoch_rerouted += 1;
                 }
                 work[t].push(frame);
             }
         }
+        packets_rerouted += epoch_rerouted;
 
         // Scheduled faults for this epoch. Crashes are handled here on
         // the supervisor side — the shard is quarantined before its
@@ -145,9 +154,10 @@ pub fn run_replay_with_faults(
         let epoch_started = std::time::Instant::now();
         let results: Vec<(usize, Result<u64, String>)> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for (s, ((state, m), list)) in shards
+            for (s, (((state, m), tracer), list)) in shards
                 .iter_mut()
                 .zip(telemetry.shards.iter_mut())
+                .zip(telemetry.shard_traces.iter_mut())
                 .zip(&work)
                 .enumerate()
             {
@@ -157,8 +167,9 @@ pub fn run_replay_with_faults(
                 let fault = plan[s];
                 let handle = scope.spawn(move || {
                     match fault {
-                        // Before any ingest, so the quarantined state
-                        // is a clean epoch boundary.
+                        // Before any ingest (and before the span
+                        // opens), so the quarantined state is a clean
+                        // epoch boundary.
                         Some(ShardFaultKind::Panic) => {
                             panic!("injected fault: shard {s} panicked at epoch {epoch_idx}")
                         }
@@ -167,6 +178,7 @@ pub fn run_replay_with_faults(
                         }
                         _ => {}
                     }
+                    tracer.begin("ingest", epoch_idx);
                     let busy = std::time::Instant::now();
                     for chunk in list.chunks(batch) {
                         for frame in chunk {
@@ -178,6 +190,7 @@ pub fn run_replay_with_faults(
                     }
                     let ns = u64::try_from(busy.elapsed().as_nanos()).unwrap_or(u64::MAX);
                     m.ingest_ns.add(ns);
+                    tracer.end("ingest", epoch_idx);
                     ns
                 });
                 handles.push((s, handle));
@@ -216,6 +229,7 @@ pub fn run_replay_with_faults(
         telemetry.trace.begin("merge", epoch_idx);
         let merge_started = std::time::Instant::now();
         let merged = merge_surviving(&shards, &mut alive, cfg, epoch_idx, &mut incidents);
+        telemetry.trace.end("merge", epoch_idx);
         let at = (epoch_idx + 1) * interval;
         let mut any_fired = false;
         if faults.drop_epoch_report(epoch_idx) {
@@ -226,7 +240,9 @@ pub fn run_replay_with_faults(
             carried_packets += merged.packets_in_interval;
             carried_len_sum += merged.len_sum_in_interval;
             carried_epochs += 1;
+            carried_from.push(epoch_idx);
         } else {
+            telemetry.trace.begin("detect", epoch_idx);
             let span = carried_epochs + 1;
             let ctx = SignalContext {
                 at,
@@ -241,15 +257,40 @@ pub fn run_replay_with_faults(
                 kinds: &merged.kinds,
                 len_stats: &merged.len_stats,
             };
-            any_fired = !ensemble.observe(&ctx).fired.is_empty();
+            let verdict = ensemble.observe(&ctx);
+            any_fired = !verdict.fired.is_empty();
+            if let Some(outcome) = drill.observe(&verdict) {
+                if !outcome.transactions.is_empty() {
+                    telemetry.trace.instant("rebind", epoch_idx);
+                }
+                let delivered: Vec<usize> = alive
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, a)| *a)
+                    .map(|(s, _)| s)
+                    .collect();
+                provenance.push(AlertProvenanceRecord::capture(
+                    provenance.len() as u64,
+                    &ctx,
+                    &verdict,
+                    outcome,
+                    LineageSources {
+                        delivered_shards: delivered,
+                        carried_from: &carried_from,
+                        rerouted_frames: epoch_rerouted,
+                        incidents: &incidents,
+                    },
+                ));
+            }
+            telemetry.trace.end("detect", epoch_idx);
             carried_syns = 0;
             carried_packets = 0;
             carried_len_sum = 0;
             carried_epochs = 0;
+            carried_from.clear();
         }
         let merge_ns = u64::try_from(merge_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         telemetry.merge_ns.record(merge_ns);
-        telemetry.trace.end("merge", epoch_idx);
         if any_fired {
             telemetry.trace.instant("alert", epoch_idx);
         }
@@ -270,9 +311,15 @@ pub fn run_replay_with_faults(
             }
         }
 
-        for (s, m) in shards.iter_mut().zip(telemetry.shards.iter_mut()) {
+        for (i, (s, m)) in shards
+            .iter_mut()
+            .zip(telemetry.shards.iter_mut())
+            .enumerate()
+        {
+            telemetry.shard_traces[i].begin("close_interval", epoch_idx);
             m.syn_packets.add(u64::try_from(s.syn_in_interval).unwrap_or(0));
             s.close_interval();
+            telemetry.shard_traces[i].end("close_interval", epoch_idx);
         }
     }
 
@@ -318,6 +365,7 @@ pub fn run_replay_with_faults(
         elapsed,
         health,
         ensemble: report,
+        provenance,
         telemetry,
     }
 }

@@ -41,6 +41,10 @@ fn assert_outcomes_identical(pool: &ReplayOutcome, refr: &ReplayOutcome, ctx: &s
         pool.ensemble, refr.ensemble,
         "{ctx}: ensemble report (per-engine summaries and fired log)"
     );
+    assert_eq!(
+        pool.provenance, refr.provenance,
+        "{ctx}: alert provenance (signals, lineage, drilldown transactions)"
+    );
 
     // Deterministic telemetry: per-shard counters and the batch-size
     // histogram must be bit-identical (the histogram type derives Eq).

@@ -1,0 +1,409 @@
+//! Run inspector for the replay engine's observability artifacts.
+//!
+//! A replay run leaves two files behind: the merged Chrome-trace
+//! document (`--trace-out`) and the deterministic run snapshot
+//! (`--snapshot-out`). This crate renders both for humans:
+//!
+//! - [`timeline`] — every span open/close and instant, one line per
+//!   event, indented by nesting depth per thread;
+//! - [`flame`] — a folded flamegraph table: per `(thread, span)` call
+//!   count, total time, and self time (total minus nested children);
+//! - [`explain`] — the full provenance story of one alert: which
+//!   engines fired at what score against what threshold, the signal
+//!   values the ensemble saw, the epoch's lineage (delivered shards,
+//!   carried epochs, quarantines, reroutes), and any drilldown rebind
+//!   transactions the alert triggered.
+//!
+//! Validation itself lives in [`telemetry::check_trace`]; the
+//! `stat4-trace check` subcommand is a thin wrapper over it.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use replay::RunSnapshot;
+use telemetry::{TraceDoc, COORDINATOR_TID};
+
+/// Q16 fixed-point unit — matches the anomaly crate's scale.
+const Q16: i64 = 1 << 16;
+
+/// Human name for a recording thread id.
+#[must_use]
+pub fn thread_name(tid: u64) -> String {
+    if tid == u64::from(COORDINATOR_TID) {
+        String::from("coordinator")
+    } else {
+        format!("shard {tid}")
+    }
+}
+
+/// Renders nanoseconds with a readable unit (ns, µs, ms, or s).
+#[must_use]
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{}.{:01}µs", ns / 1_000, (ns % 1_000) / 100)
+    } else if ns < 1_000_000_000 {
+        format!("{}.{:03}ms", ns / 1_000_000, (ns % 1_000_000) / 1_000)
+    } else {
+        format!("{}.{:03}s", ns / 1_000_000_000, (ns % 1_000_000_000) / 1_000_000)
+    }
+}
+
+/// Q16 fixed-point value rendered as a decimal with three places.
+#[must_use]
+pub fn fmt_q16(v: i64) -> String {
+    let sign = if v < 0 { "-" } else { "" };
+    let abs = v.unsigned_abs();
+    let scaled = (abs * 1000 + (1 << 15)) >> 16;
+    format!("{sign}{}.{:03}", scaled / 1000, scaled % 1000)
+}
+
+/// One line per trace event, in document order, indented by the
+/// recording thread's span nesting depth at that point.
+#[must_use]
+pub fn timeline(doc: &TraceDoc) -> String {
+    let mut out = String::new();
+    let mut depth: HashMap<u64, usize> = HashMap::new();
+    let mut opened_at: HashMap<u64, Vec<u64>> = HashMap::new();
+    for ev in &doc.events {
+        let d = depth.entry(ev.tid).or_insert(0);
+        match ev.phase.as_str() {
+            "B" => {
+                let indent = "  ".repeat(*d);
+                let _ = writeln!(
+                    out,
+                    "{:>12}  {:<12} {indent}▶ {} epoch {}",
+                    fmt_ns(ev.ts),
+                    thread_name(ev.tid),
+                    ev.name,
+                    ev.epoch,
+                );
+                *d += 1;
+                opened_at.entry(ev.tid).or_default().push(ev.ts);
+            }
+            "E" => {
+                *d = d.saturating_sub(1);
+                let started = opened_at.entry(ev.tid).or_default().pop();
+                let dur = started.map_or_else(String::new, |s| {
+                    format!(" ({})", fmt_ns(ev.ts.saturating_sub(s)))
+                });
+                let indent = "  ".repeat(*d);
+                let _ = writeln!(
+                    out,
+                    "{:>12}  {:<12} {indent}◀ {} epoch {}{dur}",
+                    fmt_ns(ev.ts),
+                    thread_name(ev.tid),
+                    ev.name,
+                    ev.epoch,
+                );
+            }
+            _ => {
+                let indent = "  ".repeat(*d);
+                let _ = writeln!(
+                    out,
+                    "{:>12}  {:<12} {indent}· {} epoch {}",
+                    fmt_ns(ev.ts),
+                    thread_name(ev.tid),
+                    ev.name,
+                    ev.epoch,
+                );
+            }
+        }
+    }
+    if doc.dropped > 0 {
+        let _ = writeln!(out, "(… {} event(s) dropped at the buffer cap)", doc.dropped);
+    }
+    out
+}
+
+/// Aggregate row of [`flame`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlameRow {
+    /// Recording thread.
+    pub tid: u64,
+    /// Span name.
+    pub name: String,
+    /// Completed spans with this name on this thread.
+    pub calls: u64,
+    /// Wall time inside the span, children included.
+    pub total_ns: u64,
+    /// Wall time inside the span, children excluded.
+    pub self_ns: u64,
+}
+
+/// Folds completed spans into per-`(thread, name)` totals with self
+/// time (total minus the time spent in nested child spans). Unclosed
+/// spans and instants contribute nothing.
+#[must_use]
+pub fn flame_rows(doc: &TraceDoc) -> Vec<FlameRow> {
+    // Per-thread stack of (name, start_ts, time eaten by children).
+    let mut stacks: HashMap<u64, Vec<(String, u64, u64)>> = HashMap::new();
+    let mut agg: HashMap<(u64, String), (u64, u64, u64)> = HashMap::new();
+    for ev in &doc.events {
+        let stack = stacks.entry(ev.tid).or_default();
+        match ev.phase.as_str() {
+            "B" => stack.push((ev.name.clone(), ev.ts, 0)),
+            "E" => {
+                if let Some((name, start, child_ns)) = stack.pop() {
+                    let total = ev.ts.saturating_sub(start);
+                    let entry = agg.entry((ev.tid, name)).or_insert((0, 0, 0));
+                    entry.0 += 1;
+                    entry.1 += total;
+                    entry.2 += total.saturating_sub(child_ns);
+                    if let Some(parent) = stack.last_mut() {
+                        parent.2 += total;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut rows: Vec<FlameRow> = agg
+        .into_iter()
+        .map(|((tid, name), (calls, total_ns, self_ns))| FlameRow {
+            tid,
+            name,
+            calls,
+            total_ns,
+            self_ns,
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.self_ns
+            .cmp(&a.self_ns)
+            .then(a.tid.cmp(&b.tid))
+            .then(a.name.cmp(&b.name))
+    });
+    rows
+}
+
+/// Renders [`flame_rows`] as an aligned table, hottest self time
+/// first.
+#[must_use]
+pub fn flame(doc: &TraceDoc) -> String {
+    let rows = flame_rows(doc);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:<16} {:>7} {:>12} {:>12}",
+        "thread", "span", "calls", "total", "self"
+    );
+    for r in &rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:<16} {:>7} {:>12} {:>12}",
+            thread_name(r.tid),
+            r.name,
+            r.calls,
+            fmt_ns(r.total_ns),
+            fmt_ns(r.self_ns),
+        );
+    }
+    if rows.is_empty() {
+        let _ = writeln!(out, "(no completed spans in this trace)");
+    }
+    out
+}
+
+/// Renders the provenance story of alert `id` from a run snapshot.
+///
+/// # Errors
+///
+/// When the snapshot holds no record with that id — the message lists
+/// the ids that do exist.
+pub fn explain(snap: &RunSnapshot, id: u64) -> Result<String, String> {
+    let Some(rec) = snap.provenance.iter().find(|r| r.id == id) else {
+        let have: Vec<String> = snap.provenance.iter().map(|r| r.id.to_string()).collect();
+        return Err(if have.is_empty() {
+            String::from("this run fired no alerts, so there is nothing to explain")
+        } else {
+            format!("no alert {id} in this run (have: {})", have.join(", "))
+        });
+    };
+    let p = &rec.provenance;
+    let l = &rec.lineage;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "alert {} — epoch {} at {}",
+        rec.id,
+        p.epoch,
+        fmt_ns(p.at)
+    );
+    let _ = writeln!(out, "cause: {}", describe_cause(&p.cause));
+    let _ = writeln!(
+        out,
+        "combined ensemble score: {} (Q16 {}, trigger unit {Q16})",
+        fmt_q16(p.combined_q16),
+        p.combined_q16
+    );
+    let _ = writeln!(out, "engines at fire time:");
+    for e in &p.engines {
+        let verdict = if e.fired { "FIRED" } else { "quiet" };
+        let _ = writeln!(
+            out,
+            "  {:>12}  {verdict:<5} score {} vs threshold {}  (confidence {}, weight {}, expected {}, observed {})",
+            e.engine,
+            fmt_q16(e.score),
+            fmt_q16(e.threshold_q16),
+            fmt_q16(e.confidence),
+            fmt_q16(e.weight),
+            e.expected,
+            e.observed,
+        );
+    }
+    let s = &p.signals;
+    let _ = writeln!(
+        out,
+        "signals: {} packet(s), {} syn(s), {} distinct source(s), median len {} B over {} interval(s)",
+        s.packets, s.syns, s.distinct_sources, s.median_len, s.spanned,
+    );
+    let _ = writeln!(
+        out,
+        "lineage: epoch {} assembled from {} shard(s) {:?}",
+        l.epoch,
+        l.delivered_shards.len(),
+        l.delivered_shards,
+    );
+    if l.carried_epochs.is_empty() {
+        let _ = writeln!(out, "  no carry-forward: every earlier epoch was delivered");
+    } else {
+        let _ = writeln!(
+            out,
+            "  carried forward from {} undelivered epoch(s): {:?}",
+            l.carried_epochs.len(),
+            l.carried_epochs,
+        );
+    }
+    if l.rerouted_frames > 0 {
+        let _ = writeln!(
+            out,
+            "  {} frame(s) rerouted around quarantined shards this epoch",
+            l.rerouted_frames
+        );
+    }
+    if l.quarantined.is_empty() {
+        let _ = writeln!(out, "  no shards quarantined before this alert");
+    } else {
+        for q in &l.quarantined {
+            let _ = writeln!(
+                out,
+                "  shard {} quarantined at epoch {}: {}",
+                q.shard, q.epoch, q.detail
+            );
+        }
+    }
+    if rec.drilldown.is_empty() {
+        let _ = writeln!(out, "drilldown: no rebind transactions");
+    } else {
+        let _ = writeln!(
+            out,
+            "drilldown: {} rebind transaction(s)",
+            rec.drilldown.len()
+        );
+        for t in &rec.drilldown {
+            let _ = writeln!(
+                out,
+                "  gen {} at {}: {} -> {} ({} bind(s), cause {})",
+                t.generation,
+                fmt_ns(t.at),
+                t.from_phase,
+                t.to_phase,
+                t.binds,
+                describe_cause(&t.cause),
+            );
+        }
+    }
+    Ok(out)
+}
+
+fn describe_cause(c: &anomaly::TriggerCause) -> String {
+    match c {
+        anomaly::TriggerCause::EnginesFired(names) => {
+            format!("engine(s) fired: {}", names.join(", "))
+        }
+        anomaly::TriggerCause::CombinedScore {
+            combined_q16,
+            threshold_q16,
+        } => format!(
+            "combined score {} crossed threshold {}",
+            fmt_q16(*combined_q16),
+            fmt_q16(*threshold_q16)
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telemetry::check::TraceRecord;
+
+    fn rec(name: &str, phase: &str, ts: u64, tid: u64, epoch: u64) -> TraceRecord {
+        TraceRecord {
+            name: name.to_string(),
+            phase: phase.to_string(),
+            ts,
+            tid,
+            epoch,
+        }
+    }
+
+    #[test]
+    fn fmt_ns_picks_readable_units() {
+        assert_eq!(fmt_ns(17), "17ns");
+        assert_eq!(fmt_ns(2_500), "2.5µs");
+        assert_eq!(fmt_ns(3_042_000), "3.042ms");
+        assert_eq!(fmt_ns(1_250_000_000), "1.250s");
+    }
+
+    #[test]
+    fn fmt_q16_rounds_to_three_places() {
+        assert_eq!(fmt_q16(1 << 16), "1.000");
+        assert_eq!(fmt_q16(3 << 15), "1.500");
+        assert_eq!(fmt_q16(-(1 << 15)), "-0.500");
+        assert_eq!(fmt_q16(0), "0.000");
+    }
+
+    #[test]
+    fn thread_names_distinguish_coordinator() {
+        assert_eq!(thread_name(u64::from(COORDINATOR_TID)), "coordinator");
+        assert_eq!(thread_name(2), "shard 2");
+    }
+
+    #[test]
+    fn flame_attributes_self_time_to_the_innermost_span() {
+        // ingest [0, 100] wraps barrier [10, 60]: ingest self = 50.
+        let doc = TraceDoc {
+            events: vec![
+                rec("ingest", "B", 0, 7, 0),
+                rec("barrier", "B", 10, 7, 0),
+                rec("barrier", "E", 60, 7, 0),
+                rec("ingest", "E", 100, 7, 0),
+            ],
+            dropped: 0,
+        };
+        let rows = flame_rows(&doc);
+        let ingest = rows.iter().find(|r| r.name == "ingest").unwrap();
+        assert_eq!((ingest.calls, ingest.total_ns, ingest.self_ns), (1, 100, 50));
+        let barrier = rows.iter().find(|r| r.name == "barrier").unwrap();
+        assert_eq!((barrier.calls, barrier.total_ns, barrier.self_ns), (1, 50, 50));
+    }
+
+    #[test]
+    fn timeline_indents_nested_spans_and_reports_drops() {
+        let doc = TraceDoc {
+            events: vec![
+                rec("ingest", "B", 0, 0, 3),
+                rec("alert", "i", 5, 0, 3),
+                rec("ingest", "E", 10, 0, 3),
+            ],
+            dropped: 2,
+        };
+        let text = timeline(&doc);
+        assert!(text.contains("▶ ingest epoch 3"), "{text}");
+        assert!(text.contains("  · alert epoch 3"), "instant indented: {text}");
+        assert!(text.contains("◀ ingest epoch 3 (10ns)"), "{text}");
+        assert!(text.contains("2 event(s) dropped"), "{text}");
+    }
+}

@@ -1,0 +1,113 @@
+//! End-to-end inspector coverage: run a real (chaotic) replay, render
+//! the artifacts exactly as the CLI flags do, and drive every
+//! inspector view over them — the same path CI's trace smoke exercises
+//! through the binaries.
+
+use faultinject::FaultSchedule;
+use replay::{parse_outcome_json, render_outcome_json, run_replay_with_faults, ReplayConfig};
+use stat4_trace::{explain, flame, flame_rows, timeline, thread_name};
+use telemetry::{check_trace, parse_trace, COORDINATOR_TID};
+use workloads::{Schedule, SynFloodWorkload};
+
+fn flood() -> Schedule {
+    let (s, _) = SynFloodWorkload {
+        background_cps: 500,
+        flood_pps: 20_000,
+        flood_start: 150_000_000,
+        duration: 400_000_000,
+        seed: 11,
+        ..SynFloodWorkload::default()
+    }
+    .generate();
+    s
+}
+
+#[test]
+fn chaos_run_artifacts_survive_every_inspector_view() {
+    let s = flood();
+    let cfg = ReplayConfig {
+        shards: 4,
+        ..ReplayConfig::default()
+    };
+    let faults =
+        FaultSchedule::parse("shard_crash=1@3,ctrl_loss=0.30", 42).expect("valid chaos spec");
+    let out = run_replay_with_faults(&s, &cfg, &faults);
+
+    // The trace must validate and carry spans from the coordinator and
+    // every live shard.
+    let trace_text = out.telemetry.merged_trace().to_chrome_json();
+    let summary = check_trace(&trace_text).expect("merged chaos trace validates");
+    assert!(summary.spans > 0, "no spans in {summary:?}");
+    let doc = parse_trace(&trace_text).expect("parses");
+    let mut tids: Vec<u64> = doc.events.iter().map(|e| e.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    assert!(
+        tids.contains(&u64::from(COORDINATOR_TID)),
+        "coordinator missing from {tids:?}"
+    );
+    for shard in 0..cfg.shards as u64 {
+        if shard == 1 {
+            continue; // crashed at epoch 3 — may or may not have traced
+        }
+        assert!(tids.contains(&shard), "shard {shard} missing from {tids:?}");
+    }
+
+    // Timeline and flamegraph render the same document.
+    let tl = timeline(&doc);
+    assert!(tl.contains("coordinator"), "{tl}");
+    assert!(tl.contains(&thread_name(0)), "{tl}");
+    assert!(tl.contains("▶ ingest"), "{tl}");
+    let fl = flame(&doc);
+    assert!(fl.contains("ingest"), "{fl}");
+    let rows = flame_rows(&doc);
+    for r in &rows {
+        assert!(r.self_ns <= r.total_ns, "self exceeds total in {r:?}");
+    }
+    assert!(
+        rows.iter()
+            .any(|r| r.name == "barrier" && r.tid == u64::from(COORDINATOR_TID)),
+        "coordinator barrier span missing from flame rows"
+    );
+
+    // The snapshot round-trips and explains its first alert.
+    assert!(
+        !out.provenance.is_empty(),
+        "the flood must leave at least one provenance record"
+    );
+    let snap_text = render_outcome_json(&out);
+    let snap = parse_outcome_json(&snap_text).expect("snapshot parses");
+    let story = explain(&snap, out.provenance[0].id).expect("first alert explains");
+    assert!(story.contains("FIRED"), "{story}");
+    assert!(story.contains("score"), "{story}");
+    assert!(story.contains("lineage"), "{story}");
+    assert!(
+        story.contains("quarantined at epoch"),
+        "chaos quarantine missing from: {story}"
+    );
+
+    // Asking for an alert that never fired names the ones that did.
+    let err = explain(&snap, 9_999).expect_err("bogus id must fail");
+    assert!(err.contains("no alert 9999"), "{err}");
+}
+
+#[test]
+fn clean_run_explain_reports_full_lineage() {
+    let s = flood();
+    let cfg = ReplayConfig {
+        shards: 2,
+        ..ReplayConfig::default()
+    };
+    let out = run_replay_with_faults(&s, &cfg, &FaultSchedule::none());
+    assert!(!out.provenance.is_empty());
+    let snap = parse_outcome_json(&render_outcome_json(&out)).expect("snapshot parses");
+    let story = explain(&snap, 0).expect("alert 0 explains");
+    assert!(
+        story.contains("assembled from 2 shard(s)"),
+        "clean run must deliver every shard: {story}"
+    );
+    assert!(
+        story.contains("no shards quarantined"),
+        "clean run has no incidents: {story}"
+    );
+}

@@ -50,15 +50,19 @@
 pub mod check;
 pub mod expo;
 pub mod hist;
+pub mod json;
 pub mod metrics;
 pub mod registry;
 pub mod snapshot;
 pub mod trace;
 
-pub use check::{check_prometheus, PromSummary};
+pub use check::{
+    check_prometheus, check_trace, parse_trace, PromSummary, TraceDoc, TraceRecord, TraceSummary,
+};
 pub use expo::{json_string, render_json, render_prometheus};
 pub use hist::LogLinearHistogram;
+pub use json::Json;
 pub use metrics::{Counter, Gauge};
 pub use registry::{Registry, SharedCounter, SharedGauge, SharedHistogram};
 pub use snapshot::{HistogramSnapshot, Metric, MetricKind, Sample, SampleValue, Snapshot};
-pub use trace::{TraceEvent, TracePhase, Tracer};
+pub use trace::{MergedTrace, TraceEvent, TracePhase, Tracer, COORDINATOR_TID};
