@@ -123,6 +123,45 @@ pub struct DrilldownStats {
     pub gave_up: u64,
     /// Imbalance digests rejected for carrying an older generation.
     pub stale_digests: u64,
+    /// Rebind transactions rejected by the static safety gate
+    /// (`S4L016`) before ever reaching the control channel.
+    pub rebinds_rejected: u64,
+}
+
+impl DrilldownStats {
+    /// Exports the reliability counters into a telemetry snapshot.
+    pub fn export(&self, snap: &mut telemetry::Snapshot) {
+        snap.push_counter(
+            "drilldown_rebinds_total",
+            "rebind transactions started",
+            &[],
+            self.rebinds,
+        );
+        snap.push_counter(
+            "drilldown_rebind_rejected_total",
+            "rebind transactions rejected by the static safety gate",
+            &[],
+            self.rebinds_rejected,
+        );
+        snap.push_counter(
+            "drilldown_retries_total",
+            "whole-transaction re-sends after ack timeouts",
+            &[],
+            self.retries,
+        );
+        snap.push_counter(
+            "drilldown_acks_total",
+            "responses matched to an outstanding request tag",
+            &[],
+            self.acks,
+        );
+        snap.push_counter(
+            "drilldown_stale_digests_total",
+            "imbalance digests rejected for carrying an older generation",
+            &[],
+            self.stale_digests,
+        );
+    }
 }
 
 /// One in-flight rebind transaction awaiting acks.
@@ -163,6 +202,10 @@ pub struct DrilldownController {
     /// older generation were in flight across a rebind and are ignored.
     generation: u64,
     pending: Option<PendingRebind>,
+    /// Shadow copy of the switch pipeline used to statically vet every
+    /// rebind transaction before it is sent (see
+    /// [`Self::with_shadow_model`]). `None` disables the gate.
+    shadow: Option<p4sim::Pipeline>,
 }
 
 impl DrilldownController {
@@ -183,24 +226,81 @@ impl DrilldownController {
             next_tag: 1,
             generation: 0,
             pending: None,
+            shadow: None,
         }
     }
 
-    /// Starts an acknowledged rebind transaction: clear old bindings,
-    /// reset the distribution, bump the generation register, install
-    /// `binds`. The whole list is kept for idempotent re-sends until
-    /// every request is acked.
-    fn rebind(&mut self, ctx: &mut NodeCtx, binds: Vec<p4sim::RuntimeRequest>) {
-        self.generation += 1;
+    /// Arms the static rebind-safety gate: every rebind transaction is
+    /// first applied to `shadow` (a copy of the switch's pipeline) and
+    /// symbolically vetted (`S4L016`) — a transaction whose post-state
+    /// can fault (e.g. a binding whose action data indexes a register
+    /// out of bounds) is rejected and never sent. The shadow tracks
+    /// binding-table structure, not per-packet register contents, which
+    /// is all the static check reads.
+    #[must_use]
+    pub fn with_shadow_model(mut self, shadow: p4sim::Pipeline) -> Self {
+        self.shadow = Some(shadow);
+        self
+    }
+
+    /// Current binding generation.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Assembles and statically vets one rebind transaction: clear old
+    /// bindings, reset the distribution, bump the generation register,
+    /// install `binds`.
+    ///
+    /// With a shadow model armed, the whole batch is vetted with
+    /// [`p4sim::vet_rebind`] first; a rejected transaction increments
+    /// [`DrilldownStats::rebinds_rejected`], leaves the generation
+    /// untouched, and returns `None` — nothing reaches the control
+    /// channel. On acceptance the shadow advances to the vetted
+    /// post-rebind pipeline and the new generation is committed.
+    pub fn prepare_rebind(
+        &mut self,
+        binds: Vec<p4sim::RuntimeRequest>,
+    ) -> Option<Vec<p4sim::RuntimeRequest>> {
+        let generation = self.generation + 1;
         let mut reqs = vec![binding::clear_bindings_h(&self.handles)];
         reqs.extend(binding::reset_distribution_h(&self.handles));
         reqs.push(p4sim::RuntimeRequest::WriteRegister {
             register: self.handles.generation_reg,
             index: 0,
-            value: self.generation,
+            value: generation,
         });
         reqs.extend(binds);
+        if let Some(shadow) = &self.shadow {
+            // Reduced budgets: the gate's teeth are the constant-folded
+            // bounds check and the concrete witness replays, neither of
+            // which needs an exhaustive path sweep.
+            let opts = p4sim::SymbolicOptions {
+                path_budget: 512,
+                samples: 16,
+                ..p4sim::SymbolicOptions::default()
+            };
+            let report =
+                p4sim::vet_rebind(shadow, &p4sim::RuntimeRequest::Batch(reqs.clone()), &opts);
+            if !report.passes() {
+                self.stats.rebinds_rejected += 1;
+                return None;
+            }
+            self.shadow = report.vetted;
+        }
+        self.generation = generation;
         self.stats.rebinds += 1;
+        Some(reqs)
+    }
+
+    /// Starts an acknowledged rebind transaction. The whole request
+    /// list is kept for idempotent re-sends until every request is
+    /// acked; a transaction the static gate rejects is dropped here.
+    fn rebind(&mut self, ctx: &mut NodeCtx, binds: Vec<p4sim::RuntimeRequest>) {
+        let Some(reqs) = self.prepare_rebind(binds) else {
+            return;
+        };
         // A still-unacked older transaction is superseded: its state is
         // about to be overwritten anyway, and its late timer is ignored
         // by the generation check.
@@ -591,6 +691,9 @@ mod tests {
         let (schedule, truth) = workload.generate();
         let app = CaseStudyApp::build(params).unwrap();
         let handles = app.handles();
+        // The shadow model for the static rebind gate: a second build
+        // of the same app, matching the switch's startup state.
+        let shadow = CaseStudyApp::build(params).unwrap().pipeline;
 
         let mut sim = Simulation::new();
         let source = sim.add_node(Box::new(TrafficSource::new(Box::new(TraceGen::new(
@@ -600,15 +703,18 @@ mod tests {
         let sink = sim.add_node(Box::new(SinkHost::new(sink_count.clone())));
         // Placeholder id for the controller; switch needs it first.
         let switch = sim.add_node(Box::new(P4SwitchNode::new(app.pipeline)));
-        let controller = sim.add_node(Box::new(DrilldownController::new(
-            handles,
-            switch,
-            DrilldownTopology {
-                net: 10,
-                subnets: 6,
-                hosts_per_subnet: 6,
-            },
-        )));
+        let controller = sim.add_node(Box::new(
+            DrilldownController::new(
+                handles,
+                switch,
+                DrilldownTopology {
+                    net: 10,
+                    subnets: 6,
+                    hosts_per_subnet: 6,
+                },
+            )
+            .with_shadow_model(shadow),
+        ));
         sim.node_as_mut::<P4SwitchNode>(switch).unwrap().controller = Some(controller);
 
         sim.connect(source, 0, switch, 0, 20 * MICROS);
@@ -642,6 +748,76 @@ mod tests {
         assert!(pinpoint > detect + 4 * MILLIS, "two RTTs at 2 ms each");
         assert!(report.subnet_identified_at.unwrap() > detect);
         assert!(report.subnet_identified_at.unwrap() < pinpoint);
+
+        // Every rebind the drill-down sent passed the static gate.
+        assert_eq!(ctl.stats.rebinds_rejected, 0, "{:?}", ctl.stats);
+        assert!(ctl.stats.rebinds >= 2, "{:?}", ctl.stats);
+    }
+
+    /// The static `S4L016` gate: a rebind transaction whose binding
+    /// would index the statistics registers out of bounds is rejected
+    /// before it reaches the control channel — nothing is sent, the
+    /// binding generation does not advance, and the
+    /// `drilldown_rebind_rejected_total` counter increments.
+    #[test]
+    fn static_gate_rejects_poisoned_rebind() {
+        let params = CaseStudyParams::default();
+        let app = CaseStudyApp::build(params).unwrap();
+        let handles = app.handles();
+        let mut ctl = DrilldownController::new(
+            handles,
+            0,
+            DrilldownTopology {
+                net: 10,
+                subnets: 4,
+                hosts_per_subnet: 4,
+            },
+        )
+        .with_shadow_model(app.pipeline);
+
+        // A sane rebind passes the gate and advances the generation.
+        let good = binding::bind_prefix_h(&handles, Ipv4Addr::new(10, 0, 0, 0), 24, 0, 0);
+        let reqs = ctl
+            .prepare_rebind(vec![good])
+            .expect("a sound rebind must be vetted through");
+        // clear + 5 register resets + generation stamp + one bind
+        assert_eq!(reqs.len(), 8);
+        assert_eq!(ctl.generation(), 1);
+        assert_eq!(ctl.stats.rebinds, 1);
+
+        // A poisoned binding: its action data carries a base far past
+        // the statistics registers, so the tracked path would fault
+        // with a register-out-of-bounds on every matching packet. The
+        // gate finds the constant-folded OOB statically.
+        let bad = p4sim::RuntimeRequest::InsertEntry {
+            table: handles.drill_table,
+            entry: p4sim::Entry {
+                key: binding::prefix_key(Ipv4Addr::new(10, 0, 1, 0), 24),
+                priority: 24,
+                action: handles.track_group_action,
+                action_data: vec![1_000_000, 0, 0],
+            },
+        };
+        assert!(
+            ctl.prepare_rebind(vec![bad]).is_none(),
+            "the poisoned rebind must be rejected"
+        );
+        assert_eq!(ctl.generation(), 1, "generation must not advance");
+        assert_eq!(ctl.stats.rebinds, 1, "no rebind was started");
+        assert_eq!(ctl.stats.rebinds_rejected, 1);
+        assert_eq!(ctl.stats.requests_sent, 0, "nothing reached the channel");
+
+        // The rejection is visible to telemetry.
+        let mut snap = telemetry::Snapshot::new();
+        ctl.stats.export(&mut snap);
+        assert_eq!(snap.counter_sum("drilldown_rebind_rejected_total"), 1);
+        let text = telemetry::render_prometheus(&snap);
+        telemetry::check_prometheus(&text).expect("valid exposition");
+
+        // The gate does not wedge: the next sound rebind still passes.
+        let again = binding::bind_prefix_h(&handles, Ipv4Addr::new(10, 0, 2, 0), 24, 0, 2);
+        assert!(ctl.prepare_rebind(vec![again]).is_some());
+        assert_eq!(ctl.generation(), 2);
     }
 
     #[test]

@@ -90,6 +90,27 @@ pub enum LintCode {
     /// bit flip cannot be detected, so corruption wraps silently
     /// instead of saturating.
     SeuHeadroom,
+    /// `S4L013` — two builds of the same statistic (e.g. bmv2 vs
+    /// tofino-like) diverge on a concrete input: the symbolic
+    /// differential check found a packet + initial register state on
+    /// which the pipelines produce different observable outcomes
+    /// (egress, drop, digests or final registers).
+    TargetDivergence,
+    /// `S4L014` — symbolic path enumeration hit the configured path
+    /// budget and was truncated; the verdict only covers the explored
+    /// paths (emitted as a warning with the bound, never a silent cap).
+    PathBudget,
+    /// `S4L015` — a register's per-packet update function does not
+    /// commute with its declared merge policy (exact-sum, saturating
+    /// sum or max), so sharded replay's cellwise merge is unsound for
+    /// that register.
+    MergeUnsound,
+    /// `S4L016` — a runtime rebind transaction
+    /// (`RuntimeRequest::Batch` over binding tables) would leave the
+    /// program illegal: the batch fails to apply, the post-rebind
+    /// program fails static verification, or a vetting input trips a
+    /// runtime fault (e.g. a register index out of range).
+    UnsafeRebind,
 }
 
 impl LintCode {
@@ -109,6 +130,10 @@ impl LintCode {
             LintCode::MulOverflow => "S4L010",
             LintCode::ShiftOverflow => "S4L011",
             LintCode::SeuHeadroom => "S4L012",
+            LintCode::TargetDivergence => "S4L013",
+            LintCode::PathBudget => "S4L014",
+            LintCode::MergeUnsound => "S4L015",
+            LintCode::UnsafeRebind => "S4L016",
         }
     }
 }
@@ -220,6 +245,10 @@ mod tests {
         assert_eq!(LintCode::StageOverflow.code(), "S4L003");
         assert_eq!(LintCode::WidthTruncation.code(), "S4L005");
         assert_eq!(LintCode::ShiftOverflow.code(), "S4L011");
+        assert_eq!(LintCode::TargetDivergence.code(), "S4L013");
+        assert_eq!(LintCode::PathBudget.code(), "S4L014");
+        assert_eq!(LintCode::MergeUnsound.code(), "S4L015");
+        assert_eq!(LintCode::UnsafeRebind.code(), "S4L016");
     }
 
     #[test]

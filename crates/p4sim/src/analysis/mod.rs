@@ -27,11 +27,17 @@
 pub mod diag;
 pub mod range;
 pub mod stages;
+pub mod symbolic;
 pub mod tdg;
 
 pub use diag::{json_string, Diagnostic, LintCode, Severity};
 pub use range::{analyze_ranges, Interval, RangeSummary};
 pub use stages::{allocate, StageAllocation, StageUse};
+pub use symbolic::{
+    check_agreement, check_equivalence, check_merge_soundness, enumerate_paths, replay_divergence,
+    run_witness, vet_rebind, Counterexample, EquivReport, InputDomain, MergeCounterexample,
+    MergeReport, RebindReport, SymbolicOptions, Witness,
+};
 pub use tdg::{DepKind, NodeKind, TableDepGraph, TdgEdge, TdgNode};
 
 use crate::action::{Operand, Primitive};

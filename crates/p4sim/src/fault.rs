@@ -187,6 +187,7 @@ mod tests {
             name: name.into(),
             width_bits: width,
             cells: vec![0; cells],
+            merge: crate::pipeline::RegMerge::Sum,
         }
     }
 

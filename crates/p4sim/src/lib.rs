@@ -65,14 +65,18 @@ pub mod table;
 pub mod target;
 
 pub use action::{ActionDef, Operand, Primitive};
-pub use analysis::{verify, verify_against, Diagnostic, LintCode, Severity, VerifyReport};
+pub use analysis::{
+    check_agreement, check_equivalence, check_merge_soundness, vet_rebind, Diagnostic, EquivReport,
+    InputDomain, LintCode, MergeReport, RebindReport, Severity, SymbolicOptions, VerifyReport,
+    Witness, {verify, verify_against},
+};
 pub use control::{Cond, Control};
 pub use error::{P4Error, P4Result};
 pub use fault::{FaultHook, MissWindow, ScheduledFaults, SeuEvent, SeuRecovery};
 pub use metrics::PipelineMetrics;
 pub use parser::parse_frame;
 pub use phv::{FieldId, Phv};
-pub use pipeline::{PacketOutcome, Pipeline};
+pub use pipeline::{PacketOutcome, Pipeline, RegMerge};
 pub use program::ProgramBuilder;
 pub use replay::{merge_registers, EpochReport, ShardedPipeline};
 pub use resources::ResourceReport;

@@ -11,6 +11,42 @@ use crate::table::Table;
 use crate::target::TargetModel;
 use serde::{Deserialize, Serialize};
 
+/// How one register's per-shard state folds into a whole-switch view
+/// during sharded replay (`crate::replay::merge_registers`), and the
+/// algebra the merge-soundness check (`S4L015`) verifies the register's
+/// update function against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegMerge {
+    /// Cellwise wrapping addition masked to the register width — the
+    /// arithmetic a fixed-width hardware register performs. Correct for
+    /// counters and sum/sum-of-squares accumulators.
+    #[default]
+    Sum,
+    /// Cellwise saturating addition clamped at the width mask.
+    SatSum,
+    /// Cellwise maximum (high-water marks).
+    Max,
+    /// Not mergeable cellwise: state encodes order (ring heads, marker
+    /// positions, seeded-once flags). The merge keeps the destination
+    /// shard's cells, and the register is exempt from the soundness
+    /// check — a higher-level rebuild must reconcile it.
+    None,
+}
+
+impl RegMerge {
+    /// Folds one source cell into a destination cell under this policy
+    /// (`mask` is the register's width mask). `None` keeps `dst`.
+    #[must_use]
+    pub fn combine(self, dst: u64, src: u64, mask: u64) -> u64 {
+        match self {
+            RegMerge::Sum => dst.wrapping_add(src) & mask,
+            RegMerge::SatSum => dst.saturating_add(src).min(mask),
+            RegMerge::Max => dst.max(src),
+            RegMerge::None => dst,
+        }
+    }
+}
+
 /// A stateful register array.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Register {
@@ -20,6 +56,9 @@ pub struct Register {
     pub width_bits: u32,
     /// Cell storage.
     pub cells: Vec<u64>,
+    /// Declared cross-shard merge policy (see [`RegMerge`]).
+    #[serde(default)]
+    pub merge: RegMerge,
 }
 
 impl Register {

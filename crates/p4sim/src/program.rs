@@ -10,7 +10,7 @@
 use crate::action::{ActionDef, Operand, Primitive};
 use crate::control::Control;
 use crate::error::{P4Error, P4Result};
-use crate::pipeline::{Pipeline, Register};
+use crate::pipeline::{Pipeline, RegMerge, Register};
 use crate::table::{Table, TableDef};
 use crate::target::TargetModel;
 
@@ -36,14 +36,27 @@ impl ProgramBuilder {
     }
 
     /// Declares a register array of `size` cells of `width_bits` each;
-    /// returns its id.
+    /// returns its id. The merge policy defaults to [`RegMerge::Sum`];
+    /// override with [`Self::set_register_merge`].
     pub fn add_register(&mut self, name: impl Into<String>, width_bits: u32, size: usize) -> usize {
         self.registers.push(Register {
             name: name.into(),
             width_bits: width_bits.min(64),
             cells: vec![0; size],
+            merge: RegMerge::Sum,
         });
         self.registers.len() - 1
+    }
+
+    /// Declares how register `id`'s per-shard state merges into a
+    /// whole-switch view (and, therefore, what algebra the `S4L015`
+    /// merge-soundness check verifies its update function against).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not name a declared register.
+    pub fn set_register_merge(&mut self, id: usize, merge: RegMerge) {
+        self.registers[id].merge = merge;
     }
 
     /// Declares an action; returns its id.

@@ -12,19 +12,24 @@
 //!   ([`ShardedPipeline::process_epoch`]), batched to amortise
 //!   per-packet dispatch;
 //! - [`merge_registers`] reduces one shard's register file into
-//!   another's by **cellwise modular addition** (wrapping add, masked
-//!   to the register width — the arithmetic a fixed-width hardware
-//!   register performs).
+//!   another's cell by cell under each register's **declared merge
+//!   policy** ([`crate::pipeline::RegMerge`]): wrapping addition masked
+//!   to the register width (the arithmetic a fixed-width hardware
+//!   register performs), saturating addition, maximum, or — for
+//!   registers declared [`RegMerge::None`] — keep the destination.
 //!
-//! Cellwise addition is the correct merge exactly when register state
-//! is *additive*: counters, `Xsum`/`Xsumsq` accumulators and count-min
-//! sketch rows all commute with any traffic partition, so the merged
-//! file is bit-identical to a single pipeline having processed the
-//! whole trace (the conformance tests below assert this). State that
-//! encodes *order* — last-seen timestamps, percentile marker positions,
-//! window ring heads — is not additive, and a program holding such
-//! registers must be merged at a higher level (see `stat4_core::merge`
-//! for the per-tracker rules the replay driver uses).
+//! A cellwise merge is the correct reduce exactly when register state
+//! commutes with any traffic partition under its policy: counters,
+//! `Xsum`/`Xsumsq` accumulators and count-min sketch rows do under
+//! `Sum`, so the merged file is bit-identical to a single pipeline
+//! having processed the whole trace (the conformance tests below
+//! assert this, and `analysis::symbolic::check_merge_soundness` checks
+//! it statically as lint `S4L015`). State that encodes *order* —
+//! last-seen timestamps, percentile marker positions, window ring
+//! heads — is not cellwise-mergeable; such registers are declared
+//! `RegMerge::None` and must be merged at a higher level (see
+//! `stat4_core::merge` for the per-tracker rules the replay driver
+//! uses).
 
 use crate::error::{P4Error, P4Result};
 use crate::metrics::PipelineMetrics;
@@ -44,14 +49,15 @@ pub struct EpochReport {
     pub digests: Vec<DigestRecord>,
 }
 
-/// Adds `src`'s register file into `dst`, cell by cell, wrapping at
-/// each register's width — the reduce step of sharded replay.
+/// Folds `src`'s register file into `dst`, cell by cell, under each
+/// register's declared merge policy — the reduce step of sharded
+/// replay.
 ///
 /// # Errors
 ///
 /// [`P4Error::Invalid`] if the two pipelines' register files differ in
-/// shape (count, name, width or size) — merging register files of
-/// different programs is always a bug.
+/// shape (count, name, width, size or merge policy) — merging register
+/// files of different programs is always a bug.
 pub fn merge_registers(dst: &mut Pipeline, src: &Pipeline) -> P4Result<()> {
     if dst.registers.len() != src.registers.len() {
         return Err(P4Error::Invalid {
@@ -63,14 +69,19 @@ pub fn merge_registers(dst: &mut Pipeline, src: &Pipeline) -> P4Result<()> {
         });
     }
     for (d, s) in dst.registers.iter_mut().zip(&src.registers) {
-        if d.name != s.name || d.width_bits != s.width_bits || d.cells.len() != s.cells.len() {
+        if d.name != s.name
+            || d.width_bits != s.width_bits
+            || d.cells.len() != s.cells.len()
+            || d.merge != s.merge
+        {
             return Err(P4Error::Invalid {
                 what: format!("register shape mismatch: {} vs {}", d.name, s.name),
             });
         }
         let mask = d.mask();
+        let merge = d.merge;
         for (dc, sc) in d.cells.iter_mut().zip(&s.cells) {
-            *dc = dc.wrapping_add(*sc) & mask;
+            *dc = merge.combine(*dc, *sc, mask);
         }
     }
     dst.packets_processed += src.packets_processed;

@@ -6,16 +6,21 @@
 //! checked against hardware-like limits — the seeded corpus CI pins
 //! `stat4-lint` against.
 
-use p4sim::analysis::{allocate, TableDepGraph};
+use p4sim::analysis::{allocate, replay_divergence, TableDepGraph};
 use p4sim::phv::fields;
 use p4sim::{
-    verify, verify_against, ActionDef, Control, LintCode, MatchKind, Operand, Phv, Primitive,
-    ProgramBuilder, Severity, TableDef, TargetModel,
+    check_equivalence, check_merge_soundness, verify, verify_against, vet_rebind, ActionDef, Cond,
+    Control, Entry, LintCode, MatchKind, MatchValue, Operand, Phv, Primitive, ProgramBuilder,
+    RegMerge, RuntimeRequest, Severity, SymbolicOptions, TableDef, TargetModel,
 };
+use p4sim::control::CmpOp;
 
 fn has(report: &p4sim::VerifyReport, code: LintCode, severity: Severity) -> bool {
-    report
-        .diagnostics
+    has_diag(&report.diagnostics, code, severity)
+}
+
+fn has_diag(diags: &[p4sim::Diagnostic], code: LintCode, severity: Severity) -> bool {
+    diags
         .iter()
         .any(|d| d.code == code && d.severity == severity)
 }
@@ -287,6 +292,346 @@ fn missing_seu_headroom_is_s4l012_warning() {
     // Standard presets reserve no headroom: never flagged.
     let stock = verify_against(&p, &TargetModel::tofino_like());
     assert!(!stock.diagnostics.iter().any(|d| d.code == LintCode::SeuHeadroom));
+}
+
+// ---------------------------------------------------------------------
+// Symbolic differential fixtures: S4L013 target divergence, S4L014
+// path budget, S4L015 merge unsoundness, S4L016 unsafe rebind. Each
+// pins the stable lint code, the severity, and — for divergences —
+// that the shipped counterexample reproduces concretely.
+// ---------------------------------------------------------------------
+
+/// Builds `dst = 3 * PAYLOAD_VALUE` with the given primitives and
+/// emits the result in a digest so the two builds are observationally
+/// comparable (scratch PHV state is not part of [`p4sim::analysis::symbolic`]'s
+/// observation).
+fn triple_pipeline(prims: Vec<Primitive>, target: TargetModel) -> p4sim::Pipeline {
+    let mut b = ProgramBuilder::new();
+    let mut all = prims;
+    all.push(Primitive::Digest {
+        id: 0x30,
+        values: vec![Operand::Field(fields::M0)],
+    });
+    let a = b.add_action(ActionDef::new("triple", all));
+    b.set_control(Control::ApplyAction(a));
+    b.build(target).unwrap()
+}
+
+/// The software build multiplies at runtime; a correct hardware
+/// rewrite (`3x = (x << 1) + x`, exact mod 2^64) verifies equivalent,
+/// while a sloppy one (`x << 2`) is rejected with `S4L013` and a
+/// counterexample packet that reproduces the divergence concretely.
+#[test]
+fn cross_target_rewrite_divergence_is_s4l013() {
+    let sw = triple_pipeline(
+        vec![Primitive::Mul {
+            dst: fields::M0,
+            a: Operand::Field(fields::PAYLOAD_VALUE),
+            b: Operand::Const(3),
+        }],
+        TargetModel::bmv2(),
+    );
+    // The software build is clean on bmv2 — the hazard only appears
+    // when the program is rewritten for the mul-free hardware target.
+    assert!(verify(&sw).passes(true));
+
+    let good_hw = triple_pipeline(
+        vec![
+            Primitive::Shl {
+                dst: fields::M0,
+                src: Operand::Field(fields::PAYLOAD_VALUE),
+                amount: Operand::Const(1),
+            },
+            Primitive::Add {
+                dst: fields::M0,
+                a: Operand::Field(fields::M0),
+                b: Operand::Field(fields::PAYLOAD_VALUE),
+            },
+        ],
+        TargetModel::tofino_like(),
+    );
+    assert!(verify(&good_hw).passes(true));
+
+    let opts = SymbolicOptions::default();
+    let ok = check_equivalence(&sw, &good_hw, &opts);
+    assert!(ok.equivalent(), "{:?}", ok.diagnostics);
+    assert!(ok.passes(true));
+
+    let bad_hw = triple_pipeline(
+        vec![Primitive::Shl {
+            dst: fields::M0,
+            src: Operand::Field(fields::PAYLOAD_VALUE),
+            amount: Operand::Const(2),
+        }],
+        TargetModel::tofino_like(),
+    );
+    let report = check_equivalence(&sw, &bad_hw, &opts);
+    assert!(!report.equivalent());
+    assert!(!report.passes(false));
+    assert!(has_diag(&report.diagnostics, LintCode::TargetDivergence, Severity::Error));
+    assert!(report.to_json().contains("\"code\":\"S4L013\""));
+
+    // The counterexample is a real packet: replaying it concretely
+    // reproduces the divergence the symbolic pass claimed.
+    let ce = report.counterexample.expect("divergence carries a witness");
+    let detail = replay_divergence(&sw, &bad_hw, &ce.witness);
+    assert!(detail.is_some(), "counterexample must reproduce concretely");
+}
+
+/// A branch tree wider than the path budget is reported as `S4L014`,
+/// never silently truncated: the verdict degrades to a warning, not to
+/// a false "equivalent".
+#[test]
+fn path_budget_exhaustion_is_s4l014_warning() {
+    let wide = |target: TargetModel| {
+        let mut b = ProgramBuilder::new();
+        let mut arms = Vec::new();
+        // 2^8 paths over 8 independent header bits.
+        for i in 0..8u16 {
+            let set = b.add_action(ActionDef::new(
+                format!("mark{i}"),
+                vec![Primitive::Add {
+                    dst: fields::M0,
+                    a: Operand::Field(fields::M0),
+                    b: Operand::Const(1 << i),
+                }],
+            ));
+            arms.push(Control::If {
+                cond: Cond::new(
+                    Operand::Field(fields::scratch(i)),
+                    CmpOp::Eq,
+                    Operand::Const(0),
+                ),
+                then_branch: Box::new(Control::ApplyAction(set)),
+                else_branch: None,
+            });
+        }
+        arms.push(Control::ApplyAction(b.add_action(ActionDef::new(
+            "emit",
+            vec![Primitive::Digest {
+                id: 0x31,
+                values: vec![Operand::Field(fields::M0)],
+            }],
+        ))));
+        b.set_control(Control::Seq(arms));
+        b.build(target).unwrap()
+    };
+    let a = wide(TargetModel::bmv2());
+    let b = wide(TargetModel::tofino_like());
+
+    let opts = SymbolicOptions {
+        path_budget: 16,
+        ..SymbolicOptions::default()
+    };
+    let report = check_equivalence(&a, &b, &opts);
+    assert!(report.truncated, "budget of 16 cannot cover 256 paths");
+    assert!(has_diag(&report.diagnostics, LintCode::PathBudget, Severity::Warning));
+    assert!(report.to_json().contains("\"code\":\"S4L014\""));
+    assert!(report.passes(false), "budget exhaustion alone is a warning");
+    assert!(!report.passes(true), "--deny warnings rejects the partial proof");
+}
+
+/// A register declared `Sum`-mergeable whose update is last-writer-wins
+/// (a plain overwrite of a header value) does not commute with the
+/// merge: two shards summed give a different switch state than one
+/// switch seeing both packets. `S4L015`, with both origin packets in
+/// the counterexample.
+#[test]
+fn non_additive_update_under_sum_merge_is_s4l015() {
+    let build = |merge: RegMerge| {
+        let mut b = ProgramBuilder::new();
+        let last = b.add_register("last_seen", 64, 4);
+        b.set_register_merge(last, merge);
+        let a = b.add_action(ActionDef::new(
+            "remember",
+            vec![Primitive::RegWrite {
+                register: last,
+                index: Operand::Const(0),
+                src: Operand::Field(fields::PAYLOAD_VALUE),
+            }],
+        ));
+        b.set_control(Control::ApplyAction(a));
+        b.build(TargetModel::bmv2()).unwrap()
+    };
+
+    let opts = SymbolicOptions::default();
+    let unsound = check_merge_soundness(&build(RegMerge::Sum), &opts);
+    assert!(!unsound.passes(false));
+    assert!(has_diag(&unsound.diagnostics, LintCode::MergeUnsound, Severity::Error));
+    assert!(unsound.to_json().contains("\"code\":\"S4L015\""));
+    assert!(
+        !unsound.counterexamples.is_empty(),
+        "violation ships the two origin packets"
+    );
+
+    // Declaring the register non-mergeable exempts it — the same
+    // program is then clean (and the exemption is visible).
+    let exempted = check_merge_soundness(&build(RegMerge::None), &opts);
+    assert!(exempted.passes(true), "{:?}", exempted.diagnostics);
+    assert!(exempted.exempt.iter().any(|n| n == "last_seen"));
+
+    // A genuine additive counter under Sum is sound.
+    let mut b = ProgramBuilder::new();
+    let hits = b.add_register("hits", 64, 4);
+    let a = b.add_action(ActionDef::new(
+        "count",
+        vec![
+            Primitive::RegRead {
+                dst: fields::M0,
+                register: hits,
+                index: Operand::Const(0),
+            },
+            Primitive::Add {
+                dst: fields::M0,
+                a: Operand::Field(fields::M0),
+                b: Operand::Const(1),
+            },
+            Primitive::RegWrite {
+                register: hits,
+                index: Operand::Const(0),
+                src: Operand::Field(fields::M0),
+            },
+        ],
+    ));
+    b.set_control(Control::ApplyAction(a));
+    let counter = b.build(TargetModel::bmv2()).unwrap();
+    let sound = check_merge_soundness(&counter, &opts);
+    assert!(sound.passes(true), "{:?}", sound.diagnostics);
+    assert!(sound.checked > 0);
+}
+
+/// A rebind pipeline: routing decides on a /8, drilldown binds
+/// per-prefix counter slots keyed on the same address. Used by the
+/// `S4L016` fixtures below.
+fn rebind_pipeline() -> (p4sim::Pipeline, usize, usize) {
+    let mut b = ProgramBuilder::new();
+    let cells = b.add_register("cells", 64, 4);
+    let route = b.add_action(ActionDef::new(
+        "route",
+        vec![Primitive::Set {
+            dst: fields::M0,
+            src: Operand::Const(1),
+        }],
+    ));
+    let route_table = b.add_table(TableDef {
+        name: "route".into(),
+        keys: vec![(fields::IPV4_DST, MatchKind::Lpm { width: 32 })],
+        max_entries: 4,
+        allowed_actions: vec![route],
+        default_action: None,
+    });
+    let track = b.add_action(ActionDef::new(
+        "track",
+        vec![
+            Primitive::RegRead {
+                dst: fields::M0,
+                register: cells,
+                index: Operand::Data(0),
+            },
+            Primitive::Add {
+                dst: fields::M0,
+                a: Operand::Field(fields::M0),
+                b: Operand::Const(1),
+            },
+            Primitive::RegWrite {
+                register: cells,
+                index: Operand::Data(0),
+                src: Operand::Field(fields::M0),
+            },
+        ],
+    ));
+    let drill_table = b.add_table(TableDef {
+        name: "drill".into(),
+        keys: vec![(fields::IPV4_DST, MatchKind::Lpm { width: 32 })],
+        max_entries: 4,
+        allowed_actions: vec![track],
+        default_action: None,
+    });
+    b.set_control(Control::Seq(vec![
+        Control::ApplyTable(route_table),
+        Control::ApplyTable(drill_table),
+    ]));
+    let mut p = b.build(TargetModel::bmv2()).unwrap();
+    // The route table ships with a /8 covering the monitored network,
+    // like the case-study app's rate table.
+    let resp = p.runtime(&RuntimeRequest::InsertEntry {
+        table: route_table,
+        entry: Entry {
+            key: vec![MatchValue::Lpm {
+                value: 0x0a00_0000,
+                prefix_len: 8,
+            }],
+            priority: 8,
+            action: route,
+            action_data: vec![],
+        },
+    });
+    assert!(resp.is_ok(), "{resp:?}");
+    (p, drill_table, track)
+}
+
+fn drill_insert(table: usize, action: usize, prefix: u64, len: u8, slot: u64) -> RuntimeRequest {
+    RuntimeRequest::InsertEntry {
+        table,
+        entry: Entry {
+            key: vec![MatchValue::Lpm {
+                value: prefix,
+                prefix_len: len,
+            }],
+            priority: i32::from(len),
+            action,
+            action_data: vec![slot],
+        },
+    }
+}
+
+/// A rebind whose bound slot provably misses the register is rejected
+/// with an `S4L016` error, a concrete witness packet, and no vetted
+/// pipeline; a well-formed rebind passes and yields one.
+#[test]
+fn out_of_range_rebind_is_s4l016() {
+    let (p, drill, track) = rebind_pipeline();
+    let opts = SymbolicOptions::default();
+
+    let good = vet_rebind(
+        &p,
+        &drill_insert(drill, track, 0x0a00_0100, 24, 2),
+        &opts,
+    );
+    assert!(good.passes(), "{:?}", good.diagnostics);
+    assert!(good.vetted.is_some(), "accepted rebind ships the advanced model");
+
+    let bad = vet_rebind(
+        &p,
+        &drill_insert(drill, track, 0x0a00_0100, 24, 999),
+        &opts,
+    );
+    assert!(!bad.passes());
+    assert!(has_diag(&bad.diagnostics, LintCode::UnsafeRebind, Severity::Error));
+    assert!(bad.to_json().contains("\"code\":\"S4L016\""));
+    assert!(bad.vetted.is_none(), "rejected rebind must not advance the model");
+}
+
+/// Regression: the poisoned drill entry nests *inside* the route
+/// table's /8. The witness solver must prefer the more specific /24
+/// value for the shared key field — taking the first (/8) assignment
+/// would make the replay packet miss the poisoned entry and downgrade
+/// the fault to an unconfirmed warning.
+#[test]
+fn nested_lpm_rebind_fault_still_confirms_as_s4l016_error() {
+    let (p, drill, track) = rebind_pipeline();
+    let opts = SymbolicOptions::default();
+    let report = vet_rebind(
+        &p,
+        &drill_insert(drill, track, 0x0a00_0100, 24, 999),
+        &opts,
+    );
+    assert!(
+        has_diag(&report.diagnostics, LintCode::UnsafeRebind, Severity::Error),
+        "fault inside a nested LPM must still replay concretely: {:?}",
+        report.diagnostics
+    );
+    assert!(!report.passes());
 }
 
 // ---------------------------------------------------------------------

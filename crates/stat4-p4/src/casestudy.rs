@@ -30,7 +30,7 @@ use p4sim::action::{ActionDef, Operand, Primitive};
 use p4sim::control::{CmpOp, Cond, Control};
 use p4sim::phv::fields;
 use p4sim::program::ProgramBuilder;
-use p4sim::{P4Result, Pipeline, TargetModel};
+use p4sim::{P4Result, Pipeline, RegMerge, TargetModel};
 
 /// Digest id for traffic-spike alerts:
 /// `[interval_count, xsum, n, sd, interval_id]`.
@@ -215,6 +215,13 @@ impl CaseStudyApp {
         let xsumsq_reg = b.add_register("stat_xsumsq", cfg.width_bits, cfg.counter_num);
         let suppress_reg = b.add_register("imbalance_suppress", 64, cfg.counter_num);
         let generation_reg = b.add_register("binding_generation", 64, 1);
+        // Sliding-window slots, EWMA rate state, cooldown timers and the
+        // controller-written generation stamp are last-writer state, not
+        // additive counters — exempt them from the sum-merge algebra.
+        b.set_register_merge(win_reg, RegMerge::None);
+        b.set_register_merge(rate_state_reg, RegMerge::None);
+        b.set_register_merge(suppress_reg, RegMerge::None);
+        b.set_register_merge(generation_reg, RegMerge::None);
 
         // ---- 0. rate binding table -----------------------------------
         // Stat4's architecture: even "track the rate of the /8" is a

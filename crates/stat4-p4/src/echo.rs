@@ -17,7 +17,7 @@ use p4sim::action::{ActionDef, Operand, Primitive};
 use p4sim::control::Control;
 use p4sim::phv::fields;
 use p4sim::program::ProgramBuilder;
-use p4sim::{P4Result, Pipeline, TargetModel};
+use p4sim::{P4Result, Pipeline, RegMerge, TargetModel};
 
 /// Digest id carrying `(N, Xsum, Xsumsq, var, sd)` per packet.
 pub const DIGEST_ECHO: u16 = 1;
@@ -86,6 +86,10 @@ impl EchoApp {
         let xsumsq_reg = b.add_register("stat_xsumsq", config.width_bits, config.counter_num);
         let var_reg = b.add_register("stat_var", config.width_bits, config.counter_num);
         let sd_reg = b.add_register("stat_sd", config.width_bits, config.counter_num);
+        // Derived values (recomputed from the sums on every packet), not
+        // additive state: merging shards by summing them would be wrong.
+        b.set_register_merge(var_reg, RegMerge::None);
+        b.set_register_merge(sd_reg, RegMerge::None);
 
         // Binding-table action: extract the payload integer, shift it
         // into the cell domain, then run the frequency update. Action

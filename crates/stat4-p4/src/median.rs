@@ -20,7 +20,7 @@ use p4sim::action::{ActionDef, Operand, Primitive};
 use p4sim::control::{CmpOp, Cond, Control};
 use p4sim::phv::fields;
 use p4sim::program::ProgramBuilder;
-use p4sim::{P4Result, Pipeline, TargetModel};
+use p4sim::{P4Result, Pipeline, RegMerge, TargetModel};
 
 /// Digest id reporting `(marker_value, low, high, total_seen)` per
 /// packet (for validation; real deployments would read the registers).
@@ -111,6 +111,10 @@ impl MedianApp {
         let mut b = ProgramBuilder::new();
         let counters_reg = b.add_register("median_counters", 64, params.domain);
         let state_reg = b.add_register("median_state", 64, state::SIZE);
+        // The marker position / mass split is a single walker's state,
+        // not an additive quantity — summing two shards' markers would
+        // produce an out-of-domain position.
+        b.set_register_merge(state_reg, RegMerge::None);
 
         let extract = b.add_action(ActionDef::new(
             "m_extract",
