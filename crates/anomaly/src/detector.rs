@@ -308,6 +308,12 @@ pub struct Ensemble {
     pub metrics: Vec<DetectorMetrics>,
     first_fired: Vec<Option<u64>>,
     fires: Vec<u64>,
+    /// Per-engine combining-weight overrides, parallel to the engine
+    /// list. `None` leaves the engine's own reported weight in force;
+    /// `Some(w)` replaces it in the combined score and in every logged
+    /// result from the interval the override lands on. Installed by the
+    /// replay lifecycle's vetted hot-swap path.
+    weight_overrides: Vec<Option<i64>>,
     /// Every fired result, in interval order then engine order — the
     /// determinism regression surface.
     pub fired_log: Vec<DetectionResult>,
@@ -332,8 +338,38 @@ impl Ensemble {
             metrics: (0..n).map(|_| DetectorMetrics::new()).collect(),
             first_fired: vec![None; n],
             fires: vec![0; n],
+            weight_overrides: vec![None; n],
             fired_log: Vec::new(),
         }
+    }
+
+    /// Overrides the combining weight of engine `name` for every
+    /// subsequent interval; `None` restores the engine's own weight.
+    /// Returns `false` — changing nothing — for an unknown engine or a
+    /// negative weight (a negative weight could zero or invert the
+    /// combined-score denominator).
+    pub fn set_weight_override(&mut self, name: &str, weight: Option<i64>) -> bool {
+        if weight.is_some_and(|w| w < 0) {
+            return false;
+        }
+        match self.engines.iter().position(|e| e.name() == name) {
+            Some(i) => {
+                self.weight_overrides[i] = weight;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Current weight overrides keyed by engine name (checkpoint
+    /// export).
+    #[must_use]
+    pub fn weight_overrides(&self) -> Vec<(&'static str, Option<i64>)> {
+        self.engines
+            .iter()
+            .zip(&self.weight_overrides)
+            .map(|(e, w)| (e.name(), *w))
+            .collect()
     }
 
     /// Engine names in report order.
@@ -358,9 +394,12 @@ impl Ensemble {
         let mut weighted: i128 = 0;
         let mut weights: i128 = 0;
         for (i, engine) in self.engines.iter_mut().enumerate() {
-            let Some(result) = engine.update(ctx) else {
+            let Some(mut result) = engine.update(ctx) else {
                 continue;
             };
+            if let Some(w) = self.weight_overrides[i] {
+                result.weight = w;
+            }
             weighted += (result.score as i128) * (result.weight as i128);
             weights += result.weight as i128;
             // Episode clock: raw (ungated) anomaly = score past Q16.
@@ -469,6 +508,33 @@ mod tests {
             kinds,
             len_stats: stats,
         }
+    }
+
+    #[test]
+    fn weight_overrides_steer_the_combined_score() {
+        let kinds = FrequencyDist::new(0, 3).unwrap();
+        let stats = RunningStats::new();
+        let mut e = Ensemble::new(vec![
+            Box::new(FixedEngine { name: "hot", score: 2 * Q16, warmup: 0, seen: 0 }),
+            Box::new(FixedEngine { name: "cold", score: 0, warmup: 0, seen: 0 }),
+        ]);
+        let even = e.observe(&ctx_at(10, &kinds, &stats)).combined_q16;
+        assert_eq!(even, Q16, "equal weights average to Q16");
+
+        assert!(e.set_weight_override("cold", Some(0)));
+        let skewed = e.observe(&ctx_at(20, &kinds, &stats)).combined_q16;
+        assert_eq!(skewed, 2 * Q16, "silenced engine no longer dilutes");
+        assert_eq!(
+            e.weight_overrides(),
+            vec![("hot", None), ("cold", Some(0))]
+        );
+
+        assert!(e.set_weight_override("cold", None));
+        let restored = e.observe(&ctx_at(30, &kinds, &stats)).combined_q16;
+        assert_eq!(restored, Q16);
+
+        assert!(!e.set_weight_override("missing", Some(1)));
+        assert!(!e.set_weight_override("cold", Some(-1)));
     }
 
     #[test]

@@ -32,9 +32,10 @@
 //!   applied in full or lost in full, never half-applied;
 //! - the batch carries a tag; the switch's [`ControlMsg::Response`]
 //!   acks it;
-//! - a timer re-sends the transaction while it is unacked, with
-//!   exponential backoff ([`DrilldownController::ack_timeout`]
-//!   doubling per attempt);
+//! - a timer re-sends the transaction while it is unacked, under the
+//!   controller's [`RetryPolicy`]: capped exponential backoff with
+//!   deterministic jitter plus an overall give-up deadline
+//!   ([`DrilldownController::retry`]);
 //! - re-sends are idempotent: the batch starts from a table clear and
 //!   stamps the binding *generation*, so applying it twice converges
 //!   to the same switch state;
@@ -46,6 +47,7 @@
 //! digest, so chaos runs can assert the loop actually healed.
 
 use crate::alerts::Alert;
+use crate::backoff::RetryPolicy;
 use crate::detector::TriggerCause;
 use netsim::control::ControlMsg;
 use netsim::node::{Node, NodeCtx, NodeId};
@@ -121,6 +123,9 @@ pub struct DrilldownStats {
     pub timeouts: u64,
     /// Transactions abandoned after exhausting the retry budget.
     pub gave_up: u64,
+    /// Subset of `gave_up` abandoned for blowing the overall deadline
+    /// rather than the attempt counter.
+    pub deadline_giveups: u64,
     /// Imbalance digests rejected for carrying an older generation.
     pub stale_digests: u64,
     /// Rebind transactions rejected by the static safety gate
@@ -156,6 +161,12 @@ impl DrilldownStats {
             self.acks,
         );
         snap.push_counter(
+            "drilldown_deadline_giveups_total",
+            "transactions abandoned for blowing the overall retry deadline",
+            &[],
+            self.deadline_giveups,
+        );
+        snap.push_counter(
             "drilldown_stale_digests_total",
             "imbalance digests rejected for carrying an older generation",
             &[],
@@ -176,6 +187,8 @@ struct PendingRebind {
     outstanding: Option<u64>,
     /// Re-send attempts so far.
     attempt: u32,
+    /// When the transaction was first sent, for the overall deadline.
+    first_sent_at: SimTime,
 }
 
 /// The controller node.
@@ -191,10 +204,11 @@ pub struct DrilldownController {
     pub report: DrilldownReport,
     /// Reliability counters (retries, acks, stale digests).
     pub stats: DrilldownStats,
-    /// Base ack timeout for a rebind transaction; doubles with each
-    /// retry (exponential backoff). Should comfortably exceed one
+    /// Retry policy for rebind transactions: capped exponential
+    /// backoff with deterministic jitter and an overall deadline
+    /// ([`RetryPolicy`]). The base delay should comfortably exceed one
     /// control-channel round trip.
-    pub ack_timeout: SimTime,
+    pub retry: RetryPolicy,
     /// Re-sends allowed per transaction before giving up.
     pub max_retries: u32,
     next_tag: u64,
@@ -221,7 +235,7 @@ impl DrilldownController {
             alerts: Vec::new(),
             report: DrilldownReport::default(),
             stats: DrilldownStats::default(),
-            ack_timeout: 10 * netsim::MILLIS,
+            retry: RetryPolicy::control_default(0x0064_7269_6c6c),
             max_retries: 8,
             next_tag: 1,
             generation: 0,
@@ -309,6 +323,7 @@ impl DrilldownController {
             reqs,
             outstanding: None,
             attempt: 0,
+            first_sent_at: ctx.now,
         });
         self.send_transaction(ctx);
     }
@@ -338,8 +353,13 @@ impl DrilldownController {
             },
         );
         self.stats.requests_sent += 1;
-        let backoff = self.ack_timeout << p.attempt.min(6);
-        ctx.set_timer(backoff, p.generation);
+        // Each transaction jitters on its own stream so back-to-back
+        // rebinds don't retry in lockstep.
+        let policy = RetryPolicy {
+            seed: self.retry.seed ^ p.generation,
+            ..self.retry
+        };
+        ctx.set_timer(policy.delay_ns(p.attempt), p.generation);
         self.pending = Some(p);
     }
 
@@ -449,6 +469,12 @@ impl Node for DrilldownController {
             return;
         }
         self.stats.timeouts += 1;
+        if self.retry.past_deadline(ctx.now.saturating_sub(p.first_sent_at)) {
+            self.stats.deadline_giveups += 1;
+            self.stats.gave_up += 1;
+            self.pending = None;
+            return;
+        }
         if p.attempt >= self.max_retries {
             self.stats.gave_up += 1;
             self.pending = None;

@@ -30,6 +30,7 @@
 
 
 pub mod alerts;
+pub mod backoff;
 pub mod classify;
 pub mod detector;
 pub mod drilldown;
@@ -42,6 +43,7 @@ pub mod stalled;
 pub mod synflood;
 
 pub use alerts::Alert;
+pub use backoff::RetryPolicy;
 pub use detector::{
     confidence_q16, ratio_q16, AlertProvenance, DetectionResult, Detector, EngineAtFire,
     EngineSummary, Ensemble, EnsembleVerdict, SignalContext, SignalValues, TriggerCause, Q16,

@@ -40,6 +40,8 @@
 //! shard_stall=2@4:1500000     shard 2 stalls 1.5ms at epoch 4
 //! seu=syn_count:12:7@40000    flip bit 7 of cell 12 before packet 40000
 //! table_miss=binding@100..200 table `binding` misses for packets 100..200
+//! ckpt_corrupt=2              corrupt the 3rd checkpoint write (0-based)
+//! reconfig_storm=0.5          redeliver each committed swap w.p. 0.5
 //! ```
 //!
 //! Durations accept a bare nanosecond count or `us`/`ms`/`s` suffixes.
@@ -48,7 +50,7 @@
 mod schedule;
 mod spec;
 
-pub use schedule::{domains, FaultSchedule};
+pub use schedule::{domains, CkptCorruption, FaultSchedule};
 pub use spec::{
     FaultSpec, LinkFlap, SeuFault, ShardFault, ShardFaultKind, SpecError, TableMissWindow,
 };

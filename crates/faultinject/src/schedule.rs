@@ -15,6 +15,29 @@ pub mod domains {
     pub const CTRL_DELAY: u64 = 0x03;
     /// Replay epoch-report drop decisions (ordinal = epoch).
     pub const REPORT_DROP: u64 = 0x04;
+    /// Checkpoint-write corruption-mode decisions (ordinal = write).
+    pub const CKPT_CORRUPT: u64 = 0x05;
+    /// Reconfigure-transaction redelivery decisions (ordinal = swap).
+    pub const RECONFIG_STORM: u64 = 0x06;
+}
+
+/// How a scheduled checkpoint corruption mangles the bytes on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CkptCorruption {
+    /// The write is cut short after `keep` bytes — a torn write.
+    Truncate {
+        /// Bytes that survive (may exceed the payload, in which case
+        /// the injector clamps; the decision is made before the payload
+        /// size is known).
+        keep: u64,
+    },
+    /// One byte is flipped in place — bit rot past the page cache.
+    FlipByte {
+        /// Byte offset to XOR, modulo the payload length.
+        offset: u64,
+        /// The XOR mask (never zero).
+        mask: u8,
+    },
 }
 
 /// A [`FaultSpec`] bound to a seed: the queryable object every layer
@@ -138,6 +161,35 @@ impl FaultSchedule {
         self.spec.ctrl_loss > 0.0 && self.unit(domains::REPORT_DROP, epoch) < self.spec.ctrl_loss
     }
 
+    /// The corruption (if any) scheduled for checkpoint write
+    /// `ordinal`. The *whether* comes from the spec's explicit ordinal
+    /// list; the *how* (torn write vs. flipped byte, and where) is a
+    /// seeded decision so different seeds exercise different damage.
+    #[must_use]
+    pub fn ckpt_corruption(&self, ordinal: u64) -> Option<CkptCorruption> {
+        if !self.spec.ckpt_corrupt.contains(&ordinal) {
+            return None;
+        }
+        let h = self.mix(domains::CKPT_CORRUPT, ordinal);
+        Some(if h & 1 == 0 {
+            CkptCorruption::Truncate { keep: (h >> 1) % 4096 }
+        } else {
+            CkptCorruption::FlipByte {
+                offset: h >> 9,
+                mask: (((h >> 1) & 0xff) as u8) | 1,
+            }
+        })
+    }
+
+    /// Should reconfigure (drain-swap) transaction `ordinal` be
+    /// redelivered after it commits? A correct swap path rejects the
+    /// replayed request as stale (generation already advanced).
+    #[must_use]
+    pub fn duplicate_reconfig(&self, ordinal: u64) -> bool {
+        self.spec.reconfig_storm > 0.0
+            && self.unit(domains::RECONFIG_STORM, ordinal) < self.spec.reconfig_storm
+    }
+
     // ---- p4sim ------------------------------------------------------
 
     /// SEU events scheduled for the pipeline, in spec order.
@@ -241,6 +293,32 @@ mod tests {
         assert!(s.link_down_at(5_000_000));
         assert!(s.link_down_at(8_999_999));
         assert!(!s.link_down_at(9_000_000));
+    }
+
+    #[test]
+    fn ckpt_corruption_fires_only_on_listed_ordinals() {
+        let s = sched("ckpt_corrupt=1,ckpt_corrupt=4", 42);
+        assert!(s.ckpt_corruption(0).is_none());
+        assert!(s.ckpt_corruption(1).is_some());
+        assert!(s.ckpt_corruption(2).is_none());
+        assert!(s.ckpt_corruption(4).is_some());
+        // Same seed, same damage; different seed may choose differently
+        // but still fires on the listed ordinal.
+        assert_eq!(s.ckpt_corruption(1), sched("ckpt_corrupt=1", 42).ckpt_corruption(1));
+        assert!(sched("ckpt_corrupt=1", 7).ckpt_corruption(1).is_some());
+        if let Some(CkptCorruption::FlipByte { mask, .. }) = s.ckpt_corruption(1) {
+            assert_ne!(mask, 0);
+        }
+    }
+
+    #[test]
+    fn reconfig_storm_is_a_seeded_bernoulli() {
+        let s = sched("reconfig_storm=1.0", 11);
+        assert!(s.duplicate_reconfig(0));
+        let p = sched("reconfig_storm=0.5", 11);
+        let hits = (0..1000).filter(|&i| p.duplicate_reconfig(i)).count();
+        assert!((400..600).contains(&hits), "hits = {hits}");
+        assert!(!sched("", 11).duplicate_reconfig(0));
     }
 
     #[test]

@@ -91,6 +91,15 @@ pub struct FaultSpec {
     pub seus: Vec<SeuFault>,
     /// Forced table-miss windows.
     pub table_miss: Vec<TableMissWindow>,
+    /// Checkpoint-write ordinals (0-based) whose bytes are corrupted on
+    /// the way to disk — the torn-write / bit-rot model. Whether a
+    /// given ordinal is truncated or bit-flipped is a seeded decision
+    /// ([`crate::FaultSchedule::ckpt_corruption`]).
+    pub ckpt_corrupt: Vec<u64>,
+    /// Probability in `[0, 1]` that a reconfigure (drain-swap)
+    /// transaction is redelivered after committing — the duplicated
+    /// control-plane request a swap path must reject as stale.
+    pub reconfig_storm: f64,
 }
 
 /// A fault-spec string failed to parse; the message says where and why.
@@ -263,13 +272,21 @@ impl FaultSpec {
                         to_packet,
                     });
                 }
+                "ckpt_corrupt" => {
+                    let ordinal = val.parse().map_err(|_| {
+                        err(entry, format_args!("`{val}` is not a checkpoint ordinal"))
+                    })?;
+                    out.ckpt_corrupt.push(ordinal);
+                }
+                "reconfig_storm" => out.reconfig_storm = parse_prob(entry, val)?,
                 other => {
                     return Err(err(
                         entry,
                         format_args!(
                             "unknown fault key `{other}` (known: ctrl_loss, ctrl_dup, \
                              ctrl_delay_ns, link_flap, shard_crash, shard_panic, \
-                             shard_stall, seu, table_miss)"
+                             shard_stall, seu, table_miss, ckpt_corrupt, \
+                             reconfig_storm)"
                         ),
                     ))
                 }
@@ -289,6 +306,8 @@ impl FaultSpec {
             && self.shard_faults.is_empty()
             && self.seus.is_empty()
             && self.table_miss.is_empty()
+            && self.ckpt_corrupt.is_empty()
+            && self.reconfig_storm == 0.0
     }
 }
 
@@ -353,6 +372,8 @@ mod tests {
             "table_miss=t@5..5",
             "ctrl_delay_ns=4x",
             "justakey",
+            "ckpt_corrupt=soon",
+            "reconfig_storm=2.0",
         ] {
             let e = FaultSpec::parse(bad).unwrap_err();
             assert!(e.to_string().contains("bad fault spec"), "{bad}: {e}");
@@ -365,6 +386,16 @@ mod tests {
             let s = FaultSpec::parse(&format!("ctrl_delay_ns={txt}")).unwrap();
             assert_eq!(s.ctrl_delay_ns, ns, "{txt}");
         }
+    }
+
+    #[test]
+    fn lifecycle_faults_parse_into_fields() {
+        let s = FaultSpec::parse("ckpt_corrupt=2, ckpt_corrupt=5, reconfig_storm=0.75").unwrap();
+        assert_eq!(s.ckpt_corrupt, vec![2, 5]);
+        assert!((s.reconfig_storm - 0.75).abs() < 1e-12);
+        assert!(!s.is_empty());
+        assert!(!FaultSpec::parse("ckpt_corrupt=0").unwrap().is_empty());
+        assert!(!FaultSpec::parse("reconfig_storm=1").unwrap().is_empty());
     }
 
     #[test]

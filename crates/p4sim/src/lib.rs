@@ -76,7 +76,7 @@ pub use fault::{FaultHook, MissWindow, ScheduledFaults, SeuEvent, SeuRecovery};
 pub use metrics::PipelineMetrics;
 pub use parser::parse_frame;
 pub use phv::{FieldId, Phv};
-pub use pipeline::{PacketOutcome, Pipeline, RegMerge};
+pub use pipeline::{PacketOutcome, Pipeline, PipelineState, RegMerge};
 pub use program::ProgramBuilder;
 pub use replay::{merge_registers, EpochReport, ShardedPipeline};
 pub use resources::ResourceReport;

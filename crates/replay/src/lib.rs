@@ -58,12 +58,19 @@
 //! 30% report loss the flood is still detected, and reruns of one seed
 //! are byte-identical.
 
+pub mod ckpt;
+pub mod lifecycle;
 pub mod metrics;
 mod pool;
 pub mod provenance;
 pub mod reference;
 pub mod snapshot;
 
+pub use ckpt::Checkpoint;
+pub use lifecycle::{
+    LifecycleEvent, LifecyclePlan, LifecycleReport, ShedController, ShedLevel, ShedPolicy,
+    SwapRequest,
+};
 pub use metrics::{ReplayTelemetry, ShardMetrics};
 pub use provenance::{AlertProvenanceRecord, EpochLineage, IncidentRef};
 pub use snapshot::{parse_outcome_json, render_outcome_json, RunSnapshot};
@@ -609,7 +616,145 @@ pub fn run_replay_with_faults(
     cfg: &ReplayConfig,
     faults: &FaultSchedule,
 ) -> ReplayOutcome {
-    pool::run(schedule, cfg, faults)
+    pool::run(schedule, cfg, faults, &LifecyclePlan::none(), None).0
+}
+
+/// [`run_replay_with_faults`] with the full lifecycle layer active:
+/// `plan` schedules crash-consistent checkpoints, a cooperative kill,
+/// and drain-point swap requests, and the run's lifecycle activity
+/// comes back in the [`LifecycleReport`]. With an inert plan
+/// ([`LifecyclePlan::none`]) the outcome is bit-identical to
+/// [`run_replay_with_faults`].
+///
+/// # Panics
+///
+/// Panics if `cfg.shards` is zero.
+#[must_use]
+pub fn run_replay_lifecycle(
+    schedule: &Schedule,
+    cfg: &ReplayConfig,
+    faults: &FaultSchedule,
+    plan: &LifecyclePlan,
+) -> (ReplayOutcome, LifecycleReport) {
+    pool::run(schedule, cfg, faults, plan, None)
+}
+
+/// Continues a checkpointed replay to completion.
+///
+/// Loads the newest valid checkpoint from `plan.checkpoint_dir`
+/// (falling back past torn or corrupted files, which the checksum
+/// rejects), validates it against `cfg` and `schedule`, rebuilds the
+/// coordinator — shard trackers through their raw constructors, the
+/// detection ensemble and drilldown ladder by replaying the
+/// checkpoint's delivered-signal log, provenance verbatim — and runs
+/// the remaining epochs. The fault schedule is reparsed from the
+/// spec/seed stored in the checkpoint, so injected chaos continues
+/// exactly where it left off; the completed run's [`RunSnapshot`] is
+/// bit-identical to an uninterrupted run's (`tests/lifecycle.rs`).
+///
+/// # Errors
+///
+/// - the plan has no checkpoint directory, or no checkpoint in it
+///   validates;
+/// - the checkpoint disagrees with `cfg` (shards, batch, interval) or
+///   with the schedule's length;
+/// - the stored fault spec no longer parses;
+/// - the checkpoint carries data-plane register state but the plan
+///   supplies no `initial_program` to restore it into;
+/// - a stored shard state fails its tracker-geometry validation.
+pub fn resume_from_checkpoint(
+    schedule: &Schedule,
+    cfg: &ReplayConfig,
+    plan: &LifecyclePlan,
+) -> Result<(ReplayOutcome, LifecycleReport), String> {
+    let dir = plan
+        .checkpoint_dir
+        .as_deref()
+        .ok_or_else(|| String::from("resume requires a checkpoint directory in the plan"))?;
+    let (c, fallbacks) = ckpt::load_latest(dir)?;
+    if c.cfg_shards != cfg.shards || c.cfg_batch != cfg.batch {
+        return Err(format!(
+            "checkpoint was taken with shards={}, batch={}; run configured with shards={}, \
+             batch={}",
+            c.cfg_shards, c.cfg_batch, cfg.shards, cfg.batch
+        ));
+    }
+    if c.cfg_interval_ns != cfg.detector.interval_ns {
+        return Err(format!(
+            "checkpoint interval {}ns does not match configured {}ns",
+            c.cfg_interval_ns, cfg.detector.interval_ns
+        ));
+    }
+    if c.schedule_packets != schedule.len() as u64 {
+        return Err(format!(
+            "checkpoint covers a {}-frame schedule; this schedule has {} frames",
+            c.schedule_packets,
+            schedule.len()
+        ));
+    }
+    let faults = if c.faults_spec.is_empty() {
+        FaultSchedule::none()
+    } else {
+        FaultSchedule::parse(&c.faults_spec, c.fault_seed)
+            .map_err(|e| format!("stored fault spec {:?}: {e}", c.faults_spec))?
+    };
+    let states = c
+        .shards
+        .iter()
+        .enumerate()
+        .map(|(s, raw)| {
+            raw.as_ref()
+                .map(|r| r.restore().map_err(|e| format!("shard {s}: {e}")))
+                .transpose()
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let shadow = match (&c.pipeline, &plan.initial_program) {
+        (Some(state), Some(program)) => {
+            let mut p = program.clone();
+            p.restore_state(state)
+                .map_err(|e| format!("cannot restore data-plane state: {e}"))?;
+            Some(p)
+        }
+        (Some(_), None) => {
+            return Err(String::from(
+                "checkpoint carries data-plane state; supply the program via the plan's \
+                 initial_program",
+            ))
+        }
+        (None, p) => p.clone(),
+    };
+    let (ensemble, drill) = c.rebuild_detection(cfg);
+    // Checkpoints written after this resume embed the stored spec, not
+    // whatever the caller had in the plan.
+    let mut plan = plan.clone();
+    plan.faults_spec = c.faults_spec.clone();
+    let resume = lifecycle::ResumeState {
+        next_ordinal: c.next_ordinal,
+        next_checkpoint_ordinal: c.checkpoint_ordinal + 1,
+        packets: c.packets,
+        epochs: c.epochs,
+        packets_rerouted: c.packets_rerouted,
+        reports_dropped: c.reports_dropped,
+        carried_syns: c.carried_syns,
+        carried_packets: c.carried_packets,
+        carried_len_sum: c.carried_len_sum,
+        carried_epochs: c.carried_epochs,
+        carried_from: c.carried_from.clone(),
+        alive: c.alive.clone(),
+        states,
+        incidents: c.incidents.clone(),
+        ensemble,
+        drill,
+        context_log: c.context_log.clone(),
+        overrides: c.overrides.clone(),
+        provenance: c.provenance.clone(),
+        generation: c.generation,
+        swaps_committed: c.swaps_committed,
+        shadow,
+        resumed_from: Some(c.checkpoint_ordinal),
+        fallbacks,
+    };
+    Ok(pool::run(schedule, cfg, &faults, &plan, Some(resume)))
 }
 
 #[cfg(test)]

@@ -1,0 +1,600 @@
+//! Replay-pool lifecycle: drain-swap-resume reconfiguration, crash
+//! recovery plumbing, and overload shedding.
+//!
+//! The pool's epoch barrier is a natural *drain point*: at the top of
+//! each loop iteration every shard state is home with the coordinator
+//! and no epoch is in flight. This module defines what may happen
+//! there:
+//!
+//! - **Hot swaps** ([`SwapRequest`]) — replace the compiled data-plane
+//!   program, rewrite binding tables, and/or override ensemble engine
+//!   weights, atomically. Every component is vetted *before* anything
+//!   mutates: the proposed program must be symbolically equivalent to
+//!   the running shadow model ([`p4sim::check_equivalence`]), binding
+//!   rewrites must pass the rebind verifier ([`p4sim::vet_rebind`]),
+//!   and weight overrides must name real engines with sane values. One
+//!   failure rejects the whole request; the old configuration is
+//!   untouched (verified down to the generation counter by
+//!   `tests/lifecycle.rs`). A stale `expected_generation` — e.g. a
+//!   duplicate delivery injected by the `reconfig_storm` fault domain —
+//!   is rejected the same way, which makes commits idempotent under
+//!   control-channel duplication.
+//! - **Checkpoints** — at a configurable epoch cadence the coordinator
+//!   writes a [`crate::ckpt::Checkpoint`]; see that module for the
+//!   crash-consistency discipline.
+//! - **Cooperative kill** — `kill_at_epoch` stops the run at a drain
+//!   point with a clean worker teardown, modelling the crash the
+//!   recovery test resumes from (the checkpoint directory then looks
+//!   exactly as it would after a real mid-run death, because
+//!   checkpoints are written *before* the kill check).
+//! - **Shedding** ([`ShedController`]) — when epoch queue-wait climbs
+//!   past watermarks the coordinator sheds telemetry detail in a strict
+//!   ladder: trace spans first, then histogram records. Counters and
+//!   alerts are never shed, and nothing on the [`crate::RunSnapshot`]
+//!   surface is affected, so an overloaded run still reports correct
+//!   outcomes — it just explains itself less verbosely.
+//!
+//! Everything the lifecycle does is reported out of band in a
+//! [`LifecycleReport`], never inside [`crate::ReplayOutcome`]'s
+//! snapshot surface: recovery must be able to prove bit-identity of
+//! the outcome, so lifecycle chatter gets its own document.
+
+use crate::ckpt::{ContextEntry, OverrideEntry};
+use crate::provenance::AlertProvenanceRecord;
+use crate::snapshot::{obj, opt_u64, req_arr, req_str, req_u64};
+use crate::{ShardIncident, ShardState};
+use anomaly::{Ensemble, ScoreDrilldown};
+use p4sim::{check_equivalence, vet_rebind, Pipeline, RuntimeRequest, SymbolicOptions};
+use std::path::PathBuf;
+use telemetry::json::render;
+use telemetry::Json;
+
+/// Symbolic budgets for in-line swap vetting — same reduced settings
+/// the drilldown ladder uses for per-transaction rebind checks: big
+/// enough to cover every path of the case-study program, small enough
+/// to run at an epoch barrier.
+#[must_use]
+pub(crate) fn vet_options() -> SymbolicOptions {
+    SymbolicOptions {
+        path_budget: 512,
+        samples: 16,
+        ..SymbolicOptions::default()
+    }
+}
+
+// ---- shedding -------------------------------------------------------
+
+/// How much telemetry the coordinator is currently recording.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ShedLevel {
+    /// Everything: trace spans, histograms, counters.
+    Full,
+    /// Trace spans shed; histograms and counters still recorded.
+    NoTraces,
+    /// Trace spans and histogram records shed; only counters (and
+    /// alerts, which are outcome data, not telemetry) remain.
+    CountersOnly,
+}
+
+impl ShedLevel {
+    /// Stable tag for event logs.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShedLevel::Full => "full",
+            ShedLevel::NoTraces => "no_traces",
+            ShedLevel::CountersOnly => "counters_only",
+        }
+    }
+}
+
+/// Queue-wait watermarks driving the shed ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShedPolicy {
+    /// Worst per-epoch queue wait above which trace spans shed.
+    pub high_ns: u64,
+    /// Worst per-epoch queue wait above which histograms shed too.
+    pub critical_ns: u64,
+    /// Consecutive epochs below `high_ns` before stepping one level
+    /// back down (hysteresis against flapping).
+    pub calm_epochs: u32,
+}
+
+impl Default for ShedPolicy {
+    /// Defaults are far above anything a healthy in-process run sees
+    /// (worst observed queue waits are microseconds; injected stalls
+    /// are ≤ a few ms), so shedding only engages under genuine
+    /// overload.
+    fn default() -> Self {
+        Self {
+            high_ns: 50_000_000,
+            critical_ns: 500_000_000,
+            calm_epochs: 3,
+        }
+    }
+}
+
+/// Watermark-driven shed state machine. Escalation is immediate (one
+/// bad epoch is enough — by the time queue wait is visible the backlog
+/// already exists); de-escalation needs `calm_epochs` consecutive
+/// quiet epochs and steps down one level at a time.
+#[derive(Debug, Clone)]
+pub struct ShedController {
+    policy: ShedPolicy,
+    level: ShedLevel,
+    calm_streak: u32,
+}
+
+impl ShedController {
+    /// A controller starting at [`ShedLevel::Full`].
+    #[must_use]
+    pub fn new(policy: ShedPolicy) -> Self {
+        Self {
+            policy,
+            level: ShedLevel::Full,
+            calm_streak: 0,
+        }
+    }
+
+    /// Current level.
+    #[must_use]
+    pub fn level(&self) -> ShedLevel {
+        self.level
+    }
+
+    /// May trace spans be recorded right now?
+    #[must_use]
+    pub fn allow_traces(&self) -> bool {
+        self.level == ShedLevel::Full
+    }
+
+    /// May histogram values be recorded right now?
+    #[must_use]
+    pub fn allow_histograms(&self) -> bool {
+        self.level != ShedLevel::CountersOnly
+    }
+
+    /// Feeds one epoch's worst shard queue wait; returns the new level
+    /// when it changed.
+    pub fn observe(&mut self, worst_queue_wait_ns: u64) -> Option<ShedLevel> {
+        let before = self.level;
+        if worst_queue_wait_ns >= self.policy.critical_ns {
+            self.level = ShedLevel::CountersOnly;
+            self.calm_streak = 0;
+        } else if worst_queue_wait_ns >= self.policy.high_ns {
+            self.level = self.level.max(ShedLevel::NoTraces);
+            self.calm_streak = 0;
+        } else {
+            self.calm_streak += 1;
+            if self.calm_streak >= self.policy.calm_epochs && self.level != ShedLevel::Full {
+                self.level = match self.level {
+                    ShedLevel::CountersOnly => ShedLevel::NoTraces,
+                    _ => ShedLevel::Full,
+                };
+                self.calm_streak = 0;
+            }
+        }
+        (self.level != before).then_some(self.level)
+    }
+}
+
+// ---- swaps ----------------------------------------------------------
+
+/// A drain-point reconfiguration request: any combination of a new
+/// compiled program, binding-table rewrites, and ensemble weight
+/// overrides, applied atomically or not at all.
+#[derive(Debug, Clone)]
+pub struct SwapRequest {
+    /// Epoch ordinal (index into the run's interval sequence) at whose
+    /// drain point this request applies.
+    pub at_epoch: u64,
+    /// Generation the requester believes is running; a mismatch means
+    /// the request is stale (duplicate delivery, lost race) and is
+    /// rejected without vetting.
+    pub expected_generation: u64,
+    /// Replacement compiled program; must be symbolically equivalent
+    /// to the running shadow model.
+    pub program: Option<Pipeline>,
+    /// Binding-table rewrites, vetted as one transaction.
+    pub bindings: Vec<RuntimeRequest>,
+    /// Ensemble weight overrides: `(engine name, Q16 weight)`; `None`
+    /// restores the engine's own weight.
+    pub weights: Vec<(String, Option<i64>)>,
+}
+
+/// The vetted effect of an accepted swap, computed without mutating
+/// anything — commit is a plain move of these values.
+pub(crate) struct VettedSwap {
+    /// The next shadow model (program swap and/or binding rewrites
+    /// applied), when the request touched the data plane.
+    pub(crate) shadow: Option<Pipeline>,
+    /// One-line human summary for the event log.
+    pub(crate) detail: String,
+}
+
+/// Vets `req` against the current configuration without changing it.
+///
+/// # Errors
+///
+/// The rejection reason: stale generation, a non-equivalent program
+/// (with the first counterexample noted), a binding transaction the
+/// rebind verifier refused, or an unknown/negative weight override.
+pub(crate) fn vet_swap(
+    req: &SwapRequest,
+    generation: u64,
+    shadow: Option<&Pipeline>,
+    ensemble: &Ensemble,
+) -> Result<VettedSwap, String> {
+    if req.expected_generation != generation {
+        return Err(format!(
+            "stale request: expected generation {}, running generation {}",
+            req.expected_generation, generation
+        ));
+    }
+    let engines: Vec<&'static str> = ensemble
+        .weight_overrides()
+        .into_iter()
+        .map(|(n, _)| n)
+        .collect();
+    for (name, weight) in &req.weights {
+        if !engines.iter().any(|e| e == name) {
+            return Err(format!("weight override names unknown engine {name:?}"));
+        }
+        if let Some(w) = weight {
+            if *w < 0 {
+                return Err(format!("weight override for {name:?} is negative ({w})"));
+            }
+        }
+    }
+    let opts = vet_options();
+    let mut parts: Vec<String> = Vec::new();
+    let mut next: Option<Pipeline> = None;
+    if let Some(proposed) = &req.program {
+        let Some(current) = shadow else {
+            return Err(String::from(
+                "program swap without a running shadow model to verify against",
+            ));
+        };
+        let equiv = check_equivalence(current, proposed, &opts);
+        if let Some(ce) = &equiv.counterexample {
+            return Err(format!(
+                "proposed program diverges from the running one: {} ({} witnesses checked)",
+                ce.detail, equiv.witnesses
+            ));
+        }
+        parts.push(format!(
+            "program verified equivalent ({} witnesses)",
+            equiv.witnesses
+        ));
+        next = Some(proposed.clone());
+    }
+    if !req.bindings.is_empty() {
+        let base = next.as_ref().or(shadow).ok_or_else(|| {
+            String::from("binding rewrite without a running shadow model to verify against")
+        })?;
+        let report = vet_rebind(base, &RuntimeRequest::Batch(req.bindings.clone()), &opts);
+        if !report.passes() {
+            let first = report
+                .diagnostics
+                .iter()
+                .find(|d| d.severity == p4sim::Severity::Error)
+                .map_or_else(
+                    || String::from("rebind verifier refused the transaction"),
+                    |d| d.message.clone(),
+                );
+            return Err(format!("binding rewrite rejected: {first}"));
+        }
+        let vetted = report
+            .vetted
+            .ok_or_else(|| String::from("rebind verifier passed but returned no vetted model"))?;
+        parts.push(format!(
+            "{} binding request(s) vetted",
+            req.bindings.len()
+        ));
+        next = Some(vetted);
+    }
+    if !req.weights.is_empty() {
+        parts.push(format!("{} weight override(s)", req.weights.len()));
+    }
+    if parts.is_empty() {
+        parts.push(String::from("no-op reconfiguration"));
+    }
+    Ok(VettedSwap {
+        shadow: next,
+        detail: parts.join(", "),
+    })
+}
+
+// ---- plan -----------------------------------------------------------
+
+/// Everything the caller wants the lifecycle layer to do during one
+/// `pool::run`. [`LifecyclePlan::none`] is the zero-cost default every
+/// plain replay uses.
+#[derive(Debug, Clone, Default)]
+pub struct LifecyclePlan {
+    /// Where to write checkpoints; `None` disables checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Write a checkpoint every this many epochs (0 = only where the
+    /// cadence from a resumed run demands; effectively disabled).
+    pub checkpoint_every: u64,
+    /// Stop cooperatively at this epoch ordinal's drain point — the
+    /// crash model the recovery test resumes from.
+    pub kill_at_epoch: Option<u64>,
+    /// Reconfiguration requests, matched by epoch ordinal.
+    pub swaps: Vec<SwapRequest>,
+    /// The compiled program whose shadow model seeds generation 0.
+    /// Required for program/binding swaps and for resuming a
+    /// checkpoint that carries data-plane state.
+    pub initial_program: Option<Pipeline>,
+    /// The fault spec string the run was started with, embedded in
+    /// checkpoints so resume can rebuild the exact schedule.
+    pub faults_spec: String,
+    /// Overload-shedding watermarks.
+    pub shed: ShedPolicy,
+}
+
+impl LifecyclePlan {
+    /// The inert plan: no checkpoints, no kill, no swaps, default
+    /// shedding watermarks (which a healthy run never reaches).
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+}
+
+/// State handed to `pool::run` when continuing from a checkpoint —
+/// everything the run loop would otherwise initialise fresh.
+pub(crate) struct ResumeState {
+    pub(crate) next_ordinal: usize,
+    pub(crate) next_checkpoint_ordinal: u64,
+    pub(crate) packets: u64,
+    pub(crate) epochs: u64,
+    pub(crate) packets_rerouted: u64,
+    pub(crate) reports_dropped: u64,
+    pub(crate) carried_syns: i64,
+    pub(crate) carried_packets: i64,
+    pub(crate) carried_len_sum: i64,
+    pub(crate) carried_epochs: i64,
+    pub(crate) carried_from: Vec<u64>,
+    pub(crate) alive: Vec<bool>,
+    pub(crate) states: Vec<Option<ShardState>>,
+    pub(crate) incidents: Vec<ShardIncident>,
+    pub(crate) ensemble: Ensemble,
+    pub(crate) drill: ScoreDrilldown,
+    pub(crate) context_log: Vec<ContextEntry>,
+    pub(crate) overrides: Vec<OverrideEntry>,
+    pub(crate) provenance: Vec<AlertProvenanceRecord>,
+    pub(crate) generation: u64,
+    pub(crate) swaps_committed: u64,
+    pub(crate) shadow: Option<Pipeline>,
+    /// Ordinal of the checkpoint this resume loaded; `None` marks a
+    /// fresh (non-resumed) run.
+    pub(crate) resumed_from: Option<u64>,
+    /// Fallback notes from the checkpoint loader (rejected newer
+    /// files), surfaced as events.
+    pub(crate) fallbacks: Vec<String>,
+}
+
+impl ResumeState {
+    /// The initial state of a fresh run — what `pool::run` used to
+    /// build inline before resume existed.
+    pub(crate) fn fresh(cfg: &crate::ReplayConfig) -> Self {
+        Self {
+            next_ordinal: 0,
+            next_checkpoint_ordinal: 0,
+            packets: 0,
+            epochs: 0,
+            packets_rerouted: 0,
+            reports_dropped: 0,
+            carried_syns: 0,
+            carried_packets: 0,
+            carried_len_sum: 0,
+            carried_epochs: 0,
+            carried_from: Vec::new(),
+            alive: vec![true; cfg.shards],
+            states: (0..cfg.shards).map(|_| Some(ShardState::new(cfg))).collect(),
+            incidents: Vec::new(),
+            ensemble: crate::build_ensemble(cfg),
+            drill: ScoreDrilldown::new(cfg.ensemble.trigger),
+            context_log: Vec::new(),
+            overrides: Vec::new(),
+            provenance: Vec::new(),
+            generation: 0,
+            swaps_committed: 0,
+            shadow: None,
+            resumed_from: None,
+            fallbacks: Vec::new(),
+        }
+    }
+}
+
+// ---- report ---------------------------------------------------------
+
+/// One lifecycle occurrence, stamped with the epoch ordinal at whose
+/// drain point it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LifecycleEvent {
+    /// Epoch ordinal (index into the run's interval sequence).
+    pub epoch: u64,
+    /// Stable machine tag: `checkpoint_written`, `checkpoint_fallback`,
+    /// `killed`, `swap_committed`, `swap_rejected`,
+    /// `stale_swap_rejected`, `resumed`, `shed_level`.
+    pub kind: String,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+/// The out-of-band record of everything the lifecycle layer did during
+/// one run. Deliberately not part of [`crate::ReplayOutcome`]: the
+/// outcome's snapshot surface must stay bit-identical across
+/// checkpoint/resume and accepted-vs-rejected swap schedules, and
+/// lifecycle chatter (ordinals, fallback notes) legitimately differs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LifecycleReport {
+    /// Everything that happened, in order.
+    pub events: Vec<LifecycleEvent>,
+    /// Final reconfiguration generation.
+    pub generation: u64,
+    /// Checkpoints written this run.
+    pub checkpoints_written: u64,
+    /// Swap requests committed this run.
+    pub swaps_committed: u64,
+    /// Swap requests rejected this run (vet failures + stale
+    /// duplicates).
+    pub swaps_rejected: u64,
+    /// Checkpoint ordinal this run resumed from, if it did.
+    pub resumed_from: Option<u64>,
+}
+
+impl LifecycleReport {
+    pub fn push(&mut self, epoch: u64, kind: &str, detail: String) {
+        self.events.push(LifecycleEvent {
+            epoch,
+            kind: kind.to_string(),
+            detail,
+        });
+    }
+
+    /// Renders the report as a JSON document (the `--lifecycle-out`
+    /// format, consumed by `stat4-trace explain`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        render(&obj(vec![
+            (
+                "events",
+                Json::Arr(
+                    self.events
+                        .iter()
+                        .map(|e| {
+                            obj(vec![
+                                ("epoch", Json::Int(i64::try_from(e.epoch).unwrap_or(i64::MAX))),
+                                ("kind", Json::Str(e.kind.clone())),
+                                ("detail", Json::Str(e.detail.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "generation",
+                Json::Int(i64::try_from(self.generation).unwrap_or(i64::MAX)),
+            ),
+            (
+                "checkpoints_written",
+                Json::Int(i64::try_from(self.checkpoints_written).unwrap_or(i64::MAX)),
+            ),
+            (
+                "swaps_committed",
+                Json::Int(i64::try_from(self.swaps_committed).unwrap_or(i64::MAX)),
+            ),
+            (
+                "swaps_rejected",
+                Json::Int(i64::try_from(self.swaps_rejected).unwrap_or(i64::MAX)),
+            ),
+            (
+                "resumed_from",
+                self.resumed_from.map_or(Json::Null, |o| {
+                    Json::Int(i64::try_from(o).unwrap_or(i64::MAX))
+                }),
+            ),
+        ]))
+    }
+
+    /// Parses a document produced by [`Self::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// A description of the first missing or mistyped field.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let doc = Json::parse(text)?;
+        let events = req_arr(&doc, "events", "$")?
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let p = format!("$.events[{i}]");
+                Ok(LifecycleEvent {
+                    epoch: req_u64(e, "epoch", &p)?,
+                    kind: req_str(e, "kind", &p)?,
+                    detail: req_str(e, "detail", &p)?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Self {
+            events,
+            generation: req_u64(&doc, "generation", "$")?,
+            checkpoints_written: req_u64(&doc, "checkpoints_written", "$")?,
+            swaps_committed: req_u64(&doc, "swaps_committed", "$")?,
+            swaps_rejected: req_u64(&doc, "swaps_rejected", "$")?,
+            resumed_from: opt_u64(&doc, "resumed_from", "$")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shed_escalates_immediately_and_calms_with_hysteresis() {
+        let mut c = ShedController::new(ShedPolicy {
+            high_ns: 100,
+            critical_ns: 1_000,
+            calm_epochs: 2,
+        });
+        assert!(c.allow_traces() && c.allow_histograms());
+        assert_eq!(c.observe(500), Some(ShedLevel::NoTraces));
+        assert!(!c.allow_traces() && c.allow_histograms());
+        assert_eq!(c.observe(5_000), Some(ShedLevel::CountersOnly));
+        assert!(!c.allow_traces() && !c.allow_histograms());
+        // One calm epoch is not enough; two step down one level only.
+        assert_eq!(c.observe(0), None);
+        assert_eq!(c.observe(0), Some(ShedLevel::NoTraces));
+        assert_eq!(c.observe(0), None);
+        assert_eq!(c.observe(0), Some(ShedLevel::Full));
+        assert!(c.allow_traces() && c.allow_histograms());
+    }
+
+    #[test]
+    fn shed_never_de_escalates_past_full_or_flaps_on_spikes() {
+        let mut c = ShedController::new(ShedPolicy {
+            high_ns: 100,
+            critical_ns: 1_000,
+            calm_epochs: 3,
+        });
+        for _ in 0..10 {
+            assert_eq!(c.observe(0), None, "calm controller stays at full");
+        }
+        c.observe(200);
+        // A calm streak interrupted by another spike restarts.
+        assert_eq!(c.observe(0), None);
+        assert_eq!(c.observe(0), None);
+        assert_eq!(c.observe(200), None, "still shedding");
+        assert_eq!(c.observe(0), None);
+        assert_eq!(c.observe(0), None);
+        assert_eq!(c.observe(0), Some(ShedLevel::Full));
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut r = LifecycleReport {
+            generation: 2,
+            checkpoints_written: 3,
+            swaps_committed: 1,
+            swaps_rejected: 2,
+            resumed_from: Some(1),
+            ..LifecycleReport::default()
+        };
+        r.push(4, "swap_committed", String::from("program verified equivalent"));
+        r.push(5, "shed_level", String::from("no_traces"));
+        let text = r.to_json();
+        let parsed = LifecycleReport::parse(&text).expect("own rendering parses");
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.to_json(), text);
+    }
+
+    #[test]
+    fn report_parse_reports_field_paths() {
+        let err = LifecycleReport::parse("{\"events\":[{\"epoch\":1}]}").unwrap_err();
+        assert!(err.contains("$.events[0]"), "{err}");
+    }
+}

@@ -24,7 +24,22 @@
 //! `shard_crash=1@3,ctrl_loss=0.30`); `--seed` picks the chaos seed
 //! (default 0). The run then prints a `chaos:` summary line with the
 //! surviving shard count, coverage, and incident tally — and the same
-//! `(spec, seed)` pair always replays bit-identically.
+//! `(spec, seed)` pair always replays bit-identically. `--faults @FILE`
+//! loads the spec from FILE instead: one entry (or comma-joined group)
+//! per line, `#` comments allowed, and a malformed line is rejected
+//! with its file, line number and reason.
+//!
+//! Lifecycle flags: `--checkpoint-dir D --checkpoint-every N` writes a
+//! crash-consistent checkpoint into D every N epochs;
+//! `--kill-at-epoch K` stops the run cooperatively at ordinal K's
+//! drain point (the crash model); `--resume` continues the newest
+//! valid checkpoint in D to completion — the resumed run's
+//! `--snapshot-out` document is byte-identical to an uninterrupted
+//! run's. `--swap-demo E` stages a hot-swap pair at epoch ordinal E:
+//! an equivalent recompiled program that commits, then a poisoned
+//! (behaviourally different) program that the shadow-model verifier
+//! rejects. `--lifecycle-out PATH` writes the lifecycle event report
+//! as JSON for `stat4-trace explain`.
 //!
 //! Zero is rejected for `--shards`, `--interval-ms` and `--batch` with
 //! a specific message: a zero interval would spin the epoch cutter on
@@ -33,8 +48,13 @@
 
 use anomaly::synflood::SynFloodConfig;
 use anomaly::EnsembleConfig;
-use faultinject::FaultSchedule;
-use replay::{render_outcome_json, run_replay_with_faults, ReplayConfig};
+use faultinject::{FaultSchedule, FaultSpec};
+use replay::{
+    render_outcome_json, resume_from_checkpoint, run_replay_lifecycle, LifecyclePlan,
+    LifecycleReport, ReplayConfig, ReplayOutcome, SwapRequest,
+};
+use stat4_p4::{CaseStudyApp, CaseStudyParams};
+use std::path::PathBuf;
 use workloads::{
     CardinalitySpikeWorkload, LowSlowScanWorkload, PacketMixWorkload, Schedule,
     SeasonalDriftWorkload, SynFloodWorkload,
@@ -42,7 +62,10 @@ use workloads::{
 
 const USAGE: &str = "usage: replay [synflood|mix|seasonal|scan|cardinality] [shards] [interval_ms]\n\
      \x20             [--shards N] [--interval-ms M] [--batch B]\n\
-     \x20             [--faults SPEC] [--seed N]\n\
+     \x20             [--faults SPEC|@FILE] [--seed N]\n\
+     \x20             [--checkpoint-dir DIR] [--checkpoint-every N]\n\
+     \x20             [--kill-at-epoch K] [--resume] [--swap-demo E]\n\
+     \x20             [--lifecycle-out PATH]\n\
      \x20             [--metrics-out PATH] [--metrics-format prom|json]\n\
      \x20             [--trace-out PATH] [--snapshot-out PATH]";
 
@@ -60,6 +83,12 @@ struct Options {
     batch: usize,
     faults: Option<String>,
     seed: u64,
+    checkpoint_dir: Option<String>,
+    checkpoint_every: u64,
+    kill_at_epoch: Option<u64>,
+    resume: bool,
+    swap_demo: Option<u64>,
+    lifecycle_out: Option<String>,
     metrics_out: Option<String>,
     metrics_format: MetricsFormat,
     trace_out: Option<String>,
@@ -75,6 +104,12 @@ impl Default for Options {
             batch: 256,
             faults: None,
             seed: 0,
+            checkpoint_dir: None,
+            checkpoint_every: 0,
+            kill_at_epoch: None,
+            resume: false,
+            swap_demo: None,
+            lifecycle_out: None,
             metrics_out: None,
             metrics_format: MetricsFormat::Json,
             trace_out: None,
@@ -125,6 +160,21 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let v = flag_value("--seed")?;
                 opts.seed = parse_num("--seed", &v)?;
             }
+            "--checkpoint-dir" => opts.checkpoint_dir = Some(flag_value("--checkpoint-dir")?),
+            "--checkpoint-every" => {
+                let v = flag_value("--checkpoint-every")?;
+                opts.checkpoint_every = parse_num("--checkpoint-every", &v)?;
+            }
+            "--kill-at-epoch" => {
+                let v = flag_value("--kill-at-epoch")?;
+                opts.kill_at_epoch = Some(parse_num("--kill-at-epoch", &v)?);
+            }
+            "--resume" => opts.resume = true,
+            "--swap-demo" => {
+                let v = flag_value("--swap-demo")?;
+                opts.swap_demo = Some(parse_num("--swap-demo", &v)?);
+            }
+            "--lifecycle-out" => opts.lifecycle_out = Some(flag_value("--lifecycle-out")?),
             "--metrics-out" => opts.metrics_out = Some(flag_value("--metrics-out")?),
             "--metrics-format" => {
                 opts.metrics_format = match flag_value("--metrics-format")?.as_str() {
@@ -167,7 +217,130 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
              use a batch of at least 1 frame",
         ));
     }
+    if opts.resume && opts.checkpoint_dir.is_none() {
+        return Err(String::from(
+            "--resume needs --checkpoint-dir to know where the checkpoints live",
+        ));
+    }
+    if opts.checkpoint_every > 0 && opts.checkpoint_dir.is_none() {
+        return Err(String::from(
+            "--checkpoint-every needs --checkpoint-dir to have somewhere to write",
+        ));
+    }
     Ok(opts)
+}
+
+/// Resolves a `--faults @FILE` body into an inline spec string. Each
+/// non-comment line must parse as a fault spec on its own; a bad line
+/// is reported with its file, line number, and the parser's reason so
+/// a typo in a 40-line chaos suite names the exact entry at fault.
+/// Pure (takes the already-read text) so every rejection is unit
+/// testable without touching the filesystem.
+fn faults_from_file(path: &str, text: &str) -> Result<String, String> {
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // Validate each comma-separated entry on the line individually
+        // so the error points at the entry, not the whole line.
+        for entry in line.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                return Err(format!(
+                    "{path}:{}: bad fault spec: empty entry (stray comma?)",
+                    idx + 1
+                ));
+            }
+            // `SpecError` already renders as "bad fault spec: ...".
+            if let Err(e) = FaultSpec::parse(entry) {
+                return Err(format!("{path}:{}: {e}", idx + 1));
+            }
+            entries.push(entry.to_string());
+        }
+    }
+    if entries.is_empty() {
+        return Err(format!(
+            "{path}: no fault specs found (only blank lines and comments)"
+        ));
+    }
+    Ok(entries.join(","))
+}
+
+/// Builds the `--swap-demo` request pair: an equivalent recompile that
+/// should commit (generation 0 → 1), then a behaviourally different
+/// "poisoned" build against generation 1 that the shadow-model
+/// verifier must reject. Both land at the same drain point so one run
+/// exercises both verdicts.
+fn swap_demo_requests(at_epoch: u64) -> (p4sim::Pipeline, Vec<SwapRequest>) {
+    let build = |params: CaseStudyParams| match CaseStudyApp::build(params) {
+        Ok(app) => app,
+        Err(e) => {
+            eprintln!("replay: cannot build case-study program for --swap-demo: {e}");
+            std::process::exit(1);
+        }
+    };
+    let base = build(CaseStudyParams::default());
+    let equivalent = build(CaseStudyParams::default());
+    // Halving the rate window changes the ring-buffer modulus, so the
+    // two builds provably diverge on a concrete witness — the verifier
+    // must catch this one.
+    let poisoned = build(CaseStudyParams {
+        window_size: CaseStudyParams::default().window_size / 2,
+        ..CaseStudyParams::default()
+    });
+    let swaps = vec![
+        SwapRequest {
+            at_epoch,
+            expected_generation: 0,
+            program: Some(equivalent.pipeline),
+            bindings: Vec::new(),
+            weights: Vec::new(),
+        },
+        SwapRequest {
+            at_epoch,
+            expected_generation: 1,
+            program: Some(poisoned.pipeline),
+            bindings: Vec::new(),
+            weights: Vec::new(),
+        },
+    ];
+    (base.pipeline, swaps)
+}
+
+/// Prints the lifecycle events a CI grep (or a human) cares about:
+/// commits, rejections, the kill, the resume point, and any fallback
+/// past a corrupt checkpoint.
+fn print_lifecycle(report: &LifecycleReport) {
+    for ev in &report.events {
+        match ev.kind.as_str() {
+            "swap_committed" => {
+                println!("lifecycle: swap committed at epoch {} ({})", ev.epoch, ev.detail)
+            }
+            "swap_rejected" | "stale_swap_rejected" => {
+                println!("lifecycle: swap rejected at epoch {}: {}", ev.epoch, ev.detail)
+            }
+            "killed" => println!("lifecycle: killed at epoch {} ({})", ev.epoch, ev.detail),
+            "resumed" => println!("lifecycle: resumed at epoch {} ({})", ev.epoch, ev.detail),
+            "checkpoint_fallback" => {
+                println!("lifecycle: checkpoint fallback: {}", ev.detail)
+            }
+            "checkpoint_error" => {
+                println!("lifecycle: checkpoint error at epoch {}: {}", ev.epoch, ev.detail)
+            }
+            _ => {}
+        }
+    }
+    if report.checkpoints_written > 0 || report.swaps_committed > 0 || report.swaps_rejected > 0 {
+        println!(
+            "lifecycle: {} checkpoint(s) written, {} swap(s) committed, {} rejected, generation {}",
+            report.checkpoints_written,
+            report.swaps_committed,
+            report.swaps_rejected,
+            report.generation,
+        );
+    }
 }
 
 fn generate(name: &str) -> Schedule {
@@ -256,7 +429,29 @@ fn main() {
         },
         ensemble: EnsembleConfig::default(),
     };
-    let faults = match &opts.faults {
+    // `--faults @FILE` reads the spec from a file, validating each
+    // line so a malformed entry is reported as file:line: reason.
+    let faults_spec = match &opts.faults {
+        Some(spec) if spec.starts_with('@') => {
+            let path = &spec[1..];
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("replay: cannot read fault spec file {path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            match faults_from_file(path, &text) {
+                Ok(joined) => Some(joined),
+                Err(e) => {
+                    eprintln!("replay: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        other => other.clone(),
+    };
+    let faults = match &faults_spec {
         Some(spec) => match FaultSchedule::parse(spec, opts.seed) {
             Ok(f) => f,
             Err(e) => {
@@ -266,7 +461,31 @@ fn main() {
         },
         None => FaultSchedule::none(),
     };
-    let out = run_replay_with_faults(&schedule, &cfg, &faults);
+
+    let mut plan = LifecyclePlan {
+        checkpoint_dir: opts.checkpoint_dir.as_ref().map(PathBuf::from),
+        checkpoint_every: opts.checkpoint_every,
+        kill_at_epoch: opts.kill_at_epoch,
+        faults_spec: faults_spec.clone().unwrap_or_default(),
+        ..LifecyclePlan::none()
+    };
+    if let Some(at) = opts.swap_demo {
+        let (base, swaps) = swap_demo_requests(at);
+        plan.initial_program = Some(base);
+        plan.swaps = swaps;
+    }
+
+    let (out, lifecycle): (ReplayOutcome, LifecycleReport) = if opts.resume {
+        match resume_from_checkpoint(&schedule, &cfg, &plan) {
+            Ok(pair) => pair,
+            Err(e) => {
+                eprintln!("replay: cannot resume: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        run_replay_lifecycle(&schedule, &cfg, &faults, &plan)
+    };
 
     println!(
         "replayed {} packets over {} epochs on {} shard(s) in {:.1} ms ({:.0} pkt/s)",
@@ -327,7 +546,15 @@ fn main() {
             out.provenance.len() - PROVENANCE_SHOWN,
         );
     }
-    if opts.faults.is_some() {
+    print_lifecycle(&lifecycle);
+    if let Some(path) = &opts.lifecycle_out {
+        write_or_die(path, &lifecycle.to_json(), "lifecycle report");
+        println!(
+            "lifecycle: {} event(s) written to {path}",
+            lifecycle.events.len()
+        );
+    }
+    if faults_spec.is_some() {
         let h = &out.health;
         println!(
             "chaos: seed {} | shards alive {}/{}, coverage {:.1}%, incidents {}, \
@@ -467,4 +694,83 @@ mod tests {
             .unwrap_err()
             .contains("too many positionals"));
     }
+
+    #[test]
+    fn lifecycle_flags_parse() {
+        let opts = parse(&[
+            "--checkpoint-dir",
+            "ckpts",
+            "--checkpoint-every",
+            "2",
+            "--kill-at-epoch",
+            "5",
+            "--swap-demo",
+            "3",
+            "--lifecycle-out",
+            "lc.json",
+        ])
+        .unwrap();
+        assert_eq!(opts.checkpoint_dir.as_deref(), Some("ckpts"));
+        assert_eq!(opts.checkpoint_every, 2);
+        assert_eq!(opts.kill_at_epoch, Some(5));
+        assert_eq!(opts.swap_demo, Some(3));
+        assert_eq!(opts.lifecycle_out.as_deref(), Some("lc.json"));
+        assert!(!opts.resume);
+
+        let opts = parse(&["--resume", "--checkpoint-dir", "ckpts"]).unwrap();
+        assert!(opts.resume);
+    }
+
+    #[test]
+    fn resume_without_checkpoint_dir_rejected() {
+        let err = parse(&["--resume"]).unwrap_err();
+        assert!(err.contains("--resume needs --checkpoint-dir"), "got: {err}");
+    }
+
+    #[test]
+    fn checkpoint_every_without_dir_rejected() {
+        let err = parse(&["--checkpoint-every", "2"]).unwrap_err();
+        assert!(
+            err.contains("--checkpoint-every needs --checkpoint-dir"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn fault_file_joins_valid_lines() {
+        let text = "# chaos suite\nshard_crash=1@3\n\nctrl_loss=0.30, ctrl_dup=0.10\n";
+        let spec = faults_from_file("suite.txt", text).unwrap();
+        assert_eq!(spec, "shard_crash=1@3,ctrl_loss=0.30,ctrl_dup=0.10");
+        // The joined form must itself parse as a schedule.
+        FaultSchedule::parse(&spec, 7).unwrap();
+    }
+
+    #[test]
+    fn fault_file_reports_file_line_and_reason() {
+        let text = "shard_crash=1@3\nno_such_fault=1\n";
+        let err = faults_from_file("suite.txt", text).unwrap_err();
+        assert!(err.starts_with("suite.txt:2: bad fault spec: "), "got: {err}");
+        assert!(err.contains("no_such_fault"), "names the entry: {err}");
+    }
+
+    #[test]
+    fn fault_file_rejects_malformed_value() {
+        let text = "ctrl_loss=lots\n";
+        let err = faults_from_file("suite.txt", text).unwrap_err();
+        assert!(err.starts_with("suite.txt:1: bad fault spec: "), "got: {err}");
+    }
+
+    #[test]
+    fn fault_file_rejects_stray_comma() {
+        let err = faults_from_file("suite.txt", "shard_crash=1@3,,ctrl_loss=0.1\n").unwrap_err();
+        assert!(err.contains("suite.txt:1"), "got: {err}");
+        assert!(err.contains("stray comma"), "got: {err}");
+    }
+
+    #[test]
+    fn fault_file_rejects_empty_file() {
+        let err = faults_from_file("suite.txt", "# nothing here\n\n").unwrap_err();
+        assert!(err.contains("no fault specs found"), "got: {err}");
+    }
 }
+

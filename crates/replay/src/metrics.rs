@@ -143,6 +143,18 @@ pub struct ReplayTelemetry {
     /// Bound of the per-shard dispatch queues (0 = unqueued reference
     /// engine).
     pub queue_capacity: u64,
+    /// Crash-consistent checkpoints written at epoch drain points.
+    pub checkpoints_written: Counter,
+    /// Time serializing and durably writing each checkpoint, ns.
+    pub ckpt_write_ns: LogLinearHistogram,
+    /// Drain-point reconfiguration requests committed.
+    pub swaps_committed: Counter,
+    /// Drain-point reconfiguration requests rejected (vet failures and
+    /// stale duplicates).
+    pub swaps_rejected: Counter,
+    /// Epochs that ran with telemetry detail shed (trace spans or
+    /// histograms suppressed under queue-wait overload).
+    pub telemetry_shed: Counter,
     /// Epoch lifecycle events recorded by the coordinator (bounded).
     pub trace: Tracer,
     /// One bounded tracer per shard, sharing the coordinator's time
@@ -181,6 +193,11 @@ impl ReplayTelemetry {
             partition_ns: LogLinearHistogram::default(),
             overlap_ns: LogLinearHistogram::default(),
             queue_capacity: 0,
+            checkpoints_written: Counter::new(),
+            ckpt_write_ns: LogLinearHistogram::default(),
+            swaps_committed: Counter::new(),
+            swaps_rejected: Counter::new(),
+            telemetry_shed: Counter::new(),
             trace,
             shard_traces: (0..shards)
                 .map(|s| Tracer::for_shard(Self::TRACE_CAPACITY, s as u32, origin))
@@ -378,6 +395,36 @@ impl ReplayTelemetry {
             &[],
             i64::try_from(self.queue_capacity).unwrap_or(i64::MAX),
         );
+        snap.push_counter(
+            "replay_checkpoints_written_total",
+            "crash-consistent checkpoints written at epoch drain points",
+            &[],
+            self.checkpoints_written.get(),
+        );
+        snap.push_histogram(
+            "replay_ckpt_write_ns",
+            "time serializing and durably writing each checkpoint",
+            &[],
+            &self.ckpt_write_ns,
+        );
+        snap.push_counter(
+            "replay_swaps_committed_total",
+            "drain-point reconfiguration requests committed",
+            &[],
+            self.swaps_committed.get(),
+        );
+        snap.push_counter(
+            "replay_swaps_rejected_total",
+            "drain-point reconfiguration requests rejected",
+            &[],
+            self.swaps_rejected.get(),
+        );
+        snap.push_counter(
+            "replay_telemetry_shed_epochs_total",
+            "epochs run with telemetry detail shed under overload",
+            &[],
+            self.telemetry_shed.get(),
+        );
         let merged_trace = self.merged_trace();
         snap.push_counter(
             "replay_trace_events_total",
@@ -501,6 +548,24 @@ mod tests {
             text.contains("replay_shard_trace_dropped_total{shard=\"1\"}"),
             "per-shard dropped counter missing: {text}"
         );
+        telemetry::check_prometheus(&text).expect("valid exposition");
+    }
+
+    #[test]
+    fn lifecycle_series_render_in_snapshot() {
+        let mut t = ReplayTelemetry::new(1);
+        t.checkpoints_written.add(2);
+        t.ckpt_write_ns.record(40_000);
+        t.swaps_committed.inc();
+        t.swaps_rejected.add(3);
+        t.telemetry_shed.add(5);
+        let snap = t.snapshot();
+        assert_eq!(snap.counter_sum("replay_checkpoints_written_total"), 2);
+        assert_eq!(snap.counter_sum("replay_swaps_committed_total"), 1);
+        assert_eq!(snap.counter_sum("replay_swaps_rejected_total"), 3);
+        assert_eq!(snap.counter_sum("replay_telemetry_shed_epochs_total"), 5);
+        let text = telemetry::render_prometheus(&snap);
+        assert!(text.contains("replay_ckpt_write_ns"));
         telemetry::check_prometheus(&text).expect("valid exposition");
     }
 

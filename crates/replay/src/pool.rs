@@ -45,14 +45,16 @@
 //! `tests/pool.rs` and `tests/pool_teardown.rs` hold the engine to
 //! bit-identical outcomes and leak-free teardown.
 
+use crate::ckpt::{self, Checkpoint, ContextEntry, OverrideEntry, ShardStateRaw};
+use crate::lifecycle::{self, LifecyclePlan, LifecycleReport, ResumeState};
 use crate::provenance::{AlertProvenanceRecord, LineageSources};
 use crate::{
-    build_ensemble, merge_surviving_entries, next_alive, panic_message, EnsembleReport,
-    IncidentKind, ReplayConfig, ReplayHealth, ReplayOutcome, ReplayTelemetry, ShardIncident,
-    ShardState,
+    merge_surviving_entries, next_alive, panic_message, EnsembleReport, IncidentKind, ReplayConfig,
+    ReplayHealth, ReplayOutcome, ReplayTelemetry, ShardIncident, ShardState,
 };
-use anomaly::{ScoreDrilldown, SignalContext, SynFloodEngine};
+use anomaly::{SignalContext, SignalValues, SynFloodEngine};
 use faultinject::{FaultSchedule, ShardFaultKind};
+use p4sim::Pipeline;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::time::Instant;
 use telemetry::Tracer;
@@ -213,44 +215,83 @@ fn recycle<'a>(work: Vec<Vec<&'a bytes::Bytes>>, spare: &mut Vec<Vec<&'a bytes::
     }
 }
 
-/// [`crate::run_replay_with_faults`] on the persistent worker pool.
-/// Outcome semantics are documented there; this body is required (and
-/// tested) to be a bit-identical drop-in for
+/// [`crate::run_replay_with_faults`] on the persistent worker pool,
+/// with the lifecycle layer threaded through: `plan` schedules
+/// checkpoints, cooperative kills and drain-point swaps; `resume`
+/// continues a checkpointed run bit-identically. Outcome semantics are
+/// documented on the public wrappers; a fresh run with an inert plan is
+/// required (and tested) to be a bit-identical drop-in for
 /// [`crate::reference::run_replay_with_faults`].
 #[allow(clippy::too_many_lines)]
-pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedule) -> ReplayOutcome {
+pub(crate) fn run(
+    schedule: &Schedule,
+    cfg: &ReplayConfig,
+    faults: &FaultSchedule,
+    plan: &LifecyclePlan,
+    resume: Option<ResumeState>,
+) -> (ReplayOutcome, LifecycleReport) {
     assert!(cfg.shards >= 1, "need at least one shard");
     let interval = cfg.detector.interval_ns.max(1);
     let batch = cfg.batch.max(1);
     let batch_u64 = batch as u64;
 
+    // Fresh runs and resumes share one initialisation path: the state
+    // a fresh run starts from is just the resume state of ordinal 0.
+    let r = resume.unwrap_or_else(|| ResumeState::fresh(cfg));
+    let start_ordinal = r.next_ordinal;
+    let mut next_ckpt_ordinal = r.next_checkpoint_ordinal;
     // Ping-pong slots: `Some` while the coordinator holds the state,
     // `None` while it is out with the worker (or died with one).
-    let mut states: Vec<Option<ShardState>> =
-        (0..cfg.shards).map(|_| Some(ShardState::new(cfg))).collect();
-    let mut alive: Vec<bool> = vec![true; cfg.shards];
-    let mut incidents: Vec<ShardIncident> = Vec::new();
-    let mut ensemble = build_ensemble(cfg);
+    let mut states: Vec<Option<ShardState>> = r.states;
+    let mut alive: Vec<bool> = r.alive;
+    let mut incidents: Vec<ShardIncident> = r.incidents;
+    let mut ensemble = r.ensemble;
     let mut telemetry = ReplayTelemetry::new(cfg.shards);
     telemetry.queue_capacity = QUEUE_CAPACITY as u64;
-    let mut packets: u64 = 0;
-    let mut epochs: u64 = 0;
-    let mut packets_rerouted: u64 = 0;
-    let mut reports_dropped: u64 = 0;
+    let mut packets: u64 = r.packets;
+    let mut epochs: u64 = r.epochs;
+    let mut packets_rerouted: u64 = r.packets_rerouted;
+    let mut reports_dropped: u64 = r.reports_dropped;
     // Report-loss carry-forward — identical to the reference engine:
     // the next delivered report observes the per-interval average of
     // the span it covers. (HLL registers are not carried: a dropped
     // interval's distinct-source registers wash at its barrier.)
-    let mut carried_syns: i64 = 0;
-    let mut carried_packets: i64 = 0;
-    let mut carried_len_sum: i64 = 0;
-    let mut carried_epochs: i64 = 0;
+    let mut carried_syns: i64 = r.carried_syns;
+    let mut carried_packets: i64 = r.carried_packets;
+    let mut carried_len_sum: i64 = r.carried_len_sum;
+    let mut carried_epochs: i64 = r.carried_epochs;
     // Epoch ordinals of the carried (dropped) reports — alert lineage.
-    let mut carried_from: Vec<u64> = Vec::new();
+    let mut carried_from: Vec<u64> = r.carried_from;
     // Drilldown ladder fed by every delivered verdict; each trigger
     // yields one provenance record.
-    let mut drill = ScoreDrilldown::new(cfg.ensemble.trigger);
-    let mut provenance: Vec<AlertProvenanceRecord> = Vec::new();
+    let mut drill = r.drill;
+    let mut provenance: Vec<AlertProvenanceRecord> = r.provenance;
+
+    // Lifecycle state. The shadow model starts from the plan's program
+    // on a fresh run; a resume arrives with the checkpointed registers
+    // already restored into it.
+    let mut shadow: Option<Pipeline> = r.shadow.or_else(|| plan.initial_program.clone());
+    let mut generation: u64 = r.generation;
+    let mut swaps_committed_total: u64 = r.swaps_committed;
+    // The ensemble warm-replay log: kept only when checkpoints can be
+    // written (it is checkpoint payload, nothing else reads it).
+    let collect_log = plan.checkpoint_dir.is_some();
+    let mut context_log: Vec<ContextEntry> = r.context_log;
+    let mut overrides: Vec<OverrideEntry> = r.overrides;
+    let mut observes: u64 = context_log.len() as u64;
+    let mut shed = lifecycle::ShedController::new(plan.shed);
+    let mut report = LifecycleReport::default();
+    if let Some(from) = r.resumed_from {
+        report.resumed_from = Some(from);
+        report.push(
+            start_ordinal as u64,
+            "resumed",
+            format!("from checkpoint {from} at epoch ordinal {start_ordinal}"),
+        );
+        for note in r.fallbacks {
+            report.push(start_ordinal as u64, "checkpoint_fallback", note);
+        }
+    }
 
     let started = Instant::now();
 
@@ -300,8 +341,150 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
             let mut in_flight: Vec<u64> = vec![0; cfg.shards];
             let mut speculative: Option<RoutedEpoch> = None;
 
-            for (k, (epoch_idx, range)) in ranges.iter().enumerate() {
+            for (k, (epoch_idx, range)) in ranges.iter().enumerate().skip(start_ordinal) {
                 let epoch_idx = *epoch_idx;
+                let k64 = k as u64;
+
+                // (0) Drain point: every surviving state is home, no
+                // epoch is in flight — the only place configuration or
+                // persistence may change.
+                //
+                // (0a) Checkpoint cadence. Written *before* the kill
+                // check so a killed run's directory looks exactly like
+                // a crashed run's. `k != start_ordinal` skips the
+                // vacuous checkpoint of the state we just loaded (or,
+                // fresh, of an empty run).
+                if let Some(dir) = plan.checkpoint_dir.as_deref() {
+                    if plan.checkpoint_every > 0
+                        && k64.is_multiple_of(plan.checkpoint_every)
+                        && k != start_ordinal
+                    {
+                        let t0 = Instant::now();
+                        let c = Checkpoint {
+                            next_ordinal: k,
+                            checkpoint_ordinal: next_ckpt_ordinal,
+                            cfg_shards: cfg.shards,
+                            cfg_batch: cfg.batch,
+                            cfg_interval_ns: cfg.detector.interval_ns,
+                            schedule_packets: schedule.len() as u64,
+                            faults_spec: plan.faults_spec.clone(),
+                            fault_seed: faults.seed(),
+                            packets,
+                            epochs,
+                            packets_rerouted,
+                            reports_dropped,
+                            carried_syns,
+                            carried_packets,
+                            carried_len_sum,
+                            carried_epochs,
+                            carried_from: carried_from.clone(),
+                            alive: alive.clone(),
+                            shards: states
+                                .iter()
+                                .map(|s| s.as_ref().map(ShardStateRaw::of))
+                                .collect(),
+                            incidents: incidents.clone(),
+                            context_log: context_log.clone(),
+                            overrides: overrides.clone(),
+                            provenance: provenance.clone(),
+                            generation,
+                            swaps_committed: swaps_committed_total,
+                            pipeline: shadow.as_ref().map(Pipeline::export_state),
+                        };
+                        match ckpt::write_checkpoint(dir, &c, faults) {
+                            Ok(path) => {
+                                telemetry.checkpoints_written.inc();
+                                report.checkpoints_written += 1;
+                                report.push(
+                                    k64,
+                                    "checkpoint_written",
+                                    format!("{} (resumes at ordinal {k})", path.display()),
+                                );
+                            }
+                            Err(e) => report.push(k64, "checkpoint_error", e),
+                        }
+                        telemetry.ckpt_write_ns.record(elapsed_ns(t0));
+                        next_ckpt_ordinal += 1;
+                    }
+                }
+
+                // (0b) Cooperative kill: stop at the drain point with a
+                // clean teardown — the crash model recovery tests
+                // resume from.
+                if plan.kill_at_epoch == Some(k64) {
+                    report.push(
+                        k64,
+                        "killed",
+                        format!("stopped at drain point before epoch ordinal {k}"),
+                    );
+                    break;
+                }
+
+                // (0c) Drain-point swaps: vet everything against the
+                // running configuration, then commit atomically — or
+                // reject leaving it untouched.
+                for req in plan.swaps.iter().filter(|s| s.at_epoch == k64) {
+                    match lifecycle::vet_swap(req, generation, shadow.as_ref(), &ensemble) {
+                        Ok(vetted) => {
+                            if let Some(next) = vetted.shadow {
+                                shadow = Some(next);
+                            }
+                            for (name, w) in &req.weights {
+                                let _ = ensemble.set_weight_override(name, *w);
+                                overrides.push(OverrideEntry {
+                                    after_observes: observes,
+                                    engine: name.clone(),
+                                    weight: *w,
+                                });
+                            }
+                            generation += 1;
+                            swaps_committed_total += 1;
+                            telemetry.swaps_committed.inc();
+                            report.swaps_committed += 1;
+                            report.push(
+                                k64,
+                                "swap_committed",
+                                format!("generation {generation}: {}", vetted.detail),
+                            );
+                            // Control-channel duplication: the storm
+                            // fault redelivers the request we just
+                            // committed. Its expected generation is now
+                            // stale, so the duplicate vets to rejection
+                            // — commits are idempotent.
+                            if faults.duplicate_reconfig(swaps_committed_total) {
+                                if let Err(e) = lifecycle::vet_swap(
+                                    req,
+                                    generation,
+                                    shadow.as_ref(),
+                                    &ensemble,
+                                ) {
+                                    telemetry.swaps_rejected.inc();
+                                    report.swaps_rejected += 1;
+                                    report.push(k64, "stale_swap_rejected", e);
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            telemetry.swaps_rejected.inc();
+                            report.swaps_rejected += 1;
+                            let kind = if req.expected_generation == generation {
+                                "swap_rejected"
+                            } else {
+                                "stale_swap_rejected"
+                            };
+                            report.push(k64, kind, e);
+                        }
+                    }
+                }
+
+                // Telemetry shedding is sampled once per epoch so every
+                // span opened this epoch also closes this epoch.
+                let traces_on = shed.allow_traces();
+                let hists_on = shed.allow_histograms();
+                if !traces_on {
+                    telemetry.telemetry_shed.inc();
+                }
+
                 let incidents_before = incidents.len();
 
                 // (A) This epoch's routing: the speculative partition
@@ -315,7 +498,9 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
                         let t0 = Instant::now();
                         let routed =
                             route(schedule, &homes, range.clone(), &alive, &mut spare, cfg.shards);
-                        telemetry.partition_ns.record(elapsed_ns(t0));
+                        if hists_on {
+                            telemetry.partition_ns.record(elapsed_ns(t0));
+                        }
                         routed
                     }
                 };
@@ -350,7 +535,9 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
 
                 // (C) Dispatch to every surviving worker: move the
                 // state and frame list through the bounded queue.
-                telemetry.trace.begin("ingest", epoch_idx);
+                if traces_on {
+                    telemetry.trace.begin("ingest", epoch_idx);
+                }
                 let epoch_started = Instant::now();
                 let mut dispatched = vec![false; cfg.shards];
                 for s in 0..cfg.shards {
@@ -372,7 +559,9 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
                             .send(msg)
                             .expect("dispatch to a live worker cannot fail");
                         in_flight[s] += 1;
-                        telemetry.shards[s].queue_depth.record(in_flight[s]);
+                        if hists_on {
+                            telemetry.shards[s].queue_depth.record(in_flight[s]);
+                        }
                         dispatched[s] = true;
                     } else {
                         recycle(vec![frames], &mut spare);
@@ -395,7 +584,9 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
                     let (w, r) =
                         route(schedule, &homes, next_range.clone(), &pred, &mut spare, cfg.shards);
                     let dur = elapsed_ns(t0);
-                    telemetry.partition_ns.record(dur);
+                    if hists_on {
+                        telemetry.partition_ns.record(dur);
+                    }
                     spec_route_ns = Some(dur);
                     speculative = Some(RoutedEpoch {
                         work: w,
@@ -409,7 +600,9 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
                 // panic payload and quarantine (its state is gone).
                 type EpochResult = (usize, Result<(u64, u64, u64), String>);
                 let mut results: Vec<EpochResult> = Vec::with_capacity(cfg.shards);
-                telemetry.trace.begin("barrier", epoch_idx);
+                if traces_on {
+                    telemetry.trace.begin("barrier", epoch_idx);
+                }
                 for s in 0..cfg.shards {
                     if !dispatched[s] {
                         continue;
@@ -433,9 +626,14 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
                         }
                     }
                 }
-                telemetry.trace.end("barrier", epoch_idx);
+                if traces_on {
+                    telemetry.trace.end("barrier", epoch_idx);
+                }
                 let epoch_wall = elapsed_ns(epoch_started);
-                telemetry.trace.end("ingest", epoch_idx);
+                if traces_on {
+                    telemetry.trace.end("ingest", epoch_idx);
+                }
+                let mut worst_queue_wait_ns = 0u64;
                 for (s, r) in &results {
                     match r {
                         Ok((busy_ns, ingested, queue_wait_ns)) => {
@@ -447,16 +645,19 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
                             // `record`s.
                             let full = ingested / batch_u64;
                             let rem = ingested % batch_u64;
+                            worst_queue_wait_ns = worst_queue_wait_ns.max(*queue_wait_ns);
                             let m = &mut telemetry.shards[*s];
                             m.packets.add(*ingested);
                             m.batches.add(full + u64::from(rem > 0));
-                            m.batch_size.record_n(batch_u64, full);
-                            if rem > 0 {
-                                m.batch_size.record(rem);
-                            }
                             m.ingest_ns.add(*busy_ns);
-                            m.queue_wait_ns.record(*queue_wait_ns);
-                            m.barrier_wait_ns.record(epoch_wall.saturating_sub(*busy_ns));
+                            if hists_on {
+                                m.batch_size.record_n(batch_u64, full);
+                                if rem > 0 {
+                                    m.batch_size.record(rem);
+                                }
+                                m.queue_wait_ns.record(*queue_wait_ns);
+                                m.barrier_wait_ns.record(epoch_wall.saturating_sub(*busy_ns));
+                            }
                         }
                         Err(msg) => {
                             recover_started.get_or_insert_with(Instant::now);
@@ -475,7 +676,9 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
                 // (F) Barrier: merge surviving state (serialized on
                 // the coordinator, like the reference engine) and feed
                 // the central detector unless this report is lost.
-                telemetry.trace.begin("merge", epoch_idx);
+                if traces_on {
+                    telemetry.trace.begin("merge", epoch_idx);
+                }
                 let merge_started = Instant::now();
                 let entries: Vec<(usize, &ShardState)> = states
                     .iter()
@@ -484,20 +687,26 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
                     .collect();
                 let merged =
                     merge_surviving_entries(&entries, &mut alive, cfg, epoch_idx, &mut incidents);
-                telemetry.trace.end("merge", epoch_idx);
+                if traces_on {
+                    telemetry.trace.end("merge", epoch_idx);
+                }
                 let at = (epoch_idx + 1) * interval;
                 let mut any_fired = false;
                 if faults.drop_epoch_report(epoch_idx) {
                     reports_dropped += 1;
                     telemetry.reports_dropped.inc();
-                    telemetry.trace.instant("report_dropped", epoch_idx);
+                    if traces_on {
+                        telemetry.trace.instant("report_dropped", epoch_idx);
+                    }
                     carried_syns += merged.syn_in_interval;
                     carried_packets += merged.packets_in_interval;
                     carried_len_sum += merged.len_sum_in_interval;
                     carried_epochs += 1;
                     carried_from.push(epoch_idx);
                 } else {
-                    telemetry.trace.begin("detect", epoch_idx);
+                    if traces_on {
+                        telemetry.trace.begin("detect", epoch_idx);
+                    }
                     let span = carried_epochs + 1;
                     let ctx = SignalContext {
                         at,
@@ -513,10 +722,24 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
                         kinds: &merged.kinds,
                         len_stats: &merged.len_stats,
                     };
+                    // The warm-replay log records exactly what the
+                    // ensemble just observed: the scalar signals plus
+                    // the two merged trackers the context borrows.
+                    if collect_log {
+                        context_log.push(ContextEntry {
+                            signals: SignalValues::capture(&ctx),
+                            kinds_min: merged.kinds.min_value(),
+                            kinds_counts: merged.kinds.counts().to_vec(),
+                            len_n: merged.len_stats.n(),
+                            len_xsum: merged.len_stats.xsum(),
+                            len_xsumsq: merged.len_stats.xsumsq(),
+                        });
+                    }
+                    observes += 1;
                     let verdict = ensemble.observe(&ctx);
                     any_fired = !verdict.fired.is_empty();
                     if let Some(outcome) = drill.observe(&verdict) {
-                        if !outcome.transactions.is_empty() {
+                        if traces_on && !outcome.transactions.is_empty() {
                             telemetry.trace.instant("rebind", epoch_idx);
                         }
                         let delivered: Vec<usize> = alive
@@ -538,7 +761,9 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
                             },
                         ));
                     }
-                    telemetry.trace.end("detect", epoch_idx);
+                    if traces_on {
+                        telemetry.trace.end("detect", epoch_idx);
+                    }
                     carried_syns = 0;
                     carried_packets = 0;
                     carried_len_sum = 0;
@@ -546,16 +771,22 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
                     carried_from.clear();
                 }
                 let merge_ns = elapsed_ns(merge_started);
-                telemetry.merge_ns.record(merge_ns);
-                if any_fired {
+                if hists_on {
+                    telemetry.merge_ns.record(merge_ns);
+                }
+                if any_fired && traces_on {
                     telemetry.trace.instant("alert", epoch_idx);
                 }
-                telemetry.epoch_ns.record(epoch_wall.saturating_add(merge_ns));
+                if hists_on {
+                    telemetry.epoch_ns.record(epoch_wall.saturating_add(merge_ns));
+                }
                 telemetry.epochs.inc();
                 if let Some(dur) = spec_route_ns {
                     // The k+1 routing ran inside k's ingest window;
                     // anything beyond the wall was coordinator-bound.
-                    telemetry.overlap_ns.record(dur.min(epoch_wall));
+                    if hists_on {
+                        telemetry.overlap_ns.record(dur.min(epoch_wall));
+                    }
                 }
 
                 // (G) Quarantine bookkeeping, same clock semantics as
@@ -563,7 +794,9 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
                 let new_incidents = incidents.len() - incidents_before;
                 if new_incidents > 0 {
                     telemetry.shards_quarantined.add(new_incidents as u64);
-                    telemetry.trace.instant("quarantine", epoch_idx);
+                    if traces_on {
+                        telemetry.trace.instant("quarantine", epoch_idx);
+                    }
                     let t0 = recover_started.unwrap_or(merge_started);
                     let spent = elapsed_ns(t0);
                     for _ in 0..new_incidents {
@@ -581,16 +814,27 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
                     .enumerate()
                 {
                     if let Some(state) = st {
-                        if let Some(tr) = shard_tracers[s].as_mut() {
-                            tr.begin("close_interval", epoch_idx);
+                        if traces_on {
+                            if let Some(tr) = shard_tracers[s].as_mut() {
+                                tr.begin("close_interval", epoch_idx);
+                            }
                         }
                         m.syn_packets
                             .add(u64::try_from(state.syn_in_interval).unwrap_or(0));
                         state.close_interval();
-                        if let Some(tr) = shard_tracers[s].as_mut() {
-                            tr.end("close_interval", epoch_idx);
+                        if traces_on {
+                            if let Some(tr) = shard_tracers[s].as_mut() {
+                                tr.end("close_interval", epoch_idx);
+                            }
                         }
                     }
+                }
+
+                // Feed the shed controller the epoch's worst queue
+                // wait; a level change takes effect next epoch (this
+                // one's spans are already committed).
+                if let Some(level) = shed.observe(worst_queue_wait_ns) {
+                    report.push(k64, "shed_level", level.as_str().to_string());
                 }
             }
 
@@ -634,7 +878,7 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
         .into_iter()
         .map(|(n, m)| (n.to_string(), m))
         .collect();
-    let report = EnsembleReport {
+    let ensemble_report = EnsembleReport {
         engines: ensemble.summaries(),
         fired: ensemble.fired_log.clone(),
     };
@@ -658,7 +902,8 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
     };
     telemetry.packets_lost.add(health.packets_lost);
     telemetry.packets_rerouted.add(health.packets_rerouted);
-    ReplayOutcome {
+    report.generation = generation;
+    let outcome = ReplayOutcome {
         merged,
         alerts,
         detected_at,
@@ -666,8 +911,9 @@ pub(crate) fn run(schedule: &Schedule, cfg: &ReplayConfig, faults: &FaultSchedul
         epochs,
         elapsed,
         health,
-        ensemble: report,
+        ensemble: ensemble_report,
         provenance,
         telemetry,
-    }
+    };
+    (outcome, report)
 }

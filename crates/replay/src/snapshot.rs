@@ -226,23 +226,23 @@ impl RunSnapshot {
 
 // ---- render ---------------------------------------------------------
 
-fn ju(v: u64) -> Json {
+pub(crate) fn ju(v: u64) -> Json {
     Json::Int(i64::try_from(v).unwrap_or(i64::MAX))
 }
 
-fn jus(v: usize) -> Json {
+pub(crate) fn jus(v: usize) -> Json {
     Json::Int(i64::try_from(v).unwrap_or(i64::MAX))
 }
 
-fn js(v: &str) -> Json {
+pub(crate) fn js(v: &str) -> Json {
     Json::Str(v.to_string())
 }
 
-fn jopt(v: Option<u64>) -> Json {
+pub(crate) fn jopt(v: Option<u64>) -> Json {
     v.map_or(Json::Null, ju)
 }
 
-fn obj(members: Vec<(&str, Json)>) -> Json {
+pub(crate) fn obj(members: Vec<(&str, Json)>) -> Json {
     Json::Obj(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
 }
 
@@ -344,7 +344,7 @@ fn rebind_json(t: &RebindTransaction) -> Json {
     ])
 }
 
-fn record_json(r: &AlertProvenanceRecord) -> Json {
+pub(crate) fn record_json(r: &AlertProvenanceRecord) -> Json {
     obj(vec![
         ("id", ju(r.id)),
         ("provenance", provenance_json(&r.provenance)),
@@ -464,29 +464,29 @@ pub fn render_snapshot_json(s: &RunSnapshot) -> String {
 
 // ---- parse ----------------------------------------------------------
 
-fn req<'a>(v: &'a Json, key: &str, path: &str) -> Result<&'a Json, String> {
+pub(crate) fn req<'a>(v: &'a Json, key: &str, path: &str) -> Result<&'a Json, String> {
     v.get(key)
         .ok_or_else(|| format!("{path}: missing \"{key}\""))
 }
 
-fn req_u64(v: &Json, key: &str, path: &str) -> Result<u64, String> {
+pub(crate) fn req_u64(v: &Json, key: &str, path: &str) -> Result<u64, String> {
     req(v, key, path)?
         .as_u64()
         .ok_or_else(|| format!("{path}: \"{key}\" is not a non-negative integer"))
 }
 
-fn req_usize(v: &Json, key: &str, path: &str) -> Result<usize, String> {
+pub(crate) fn req_usize(v: &Json, key: &str, path: &str) -> Result<usize, String> {
     usize::try_from(req_u64(v, key, path)?)
         .map_err(|_| format!("{path}: \"{key}\" overflows usize"))
 }
 
-fn req_i64(v: &Json, key: &str, path: &str) -> Result<i64, String> {
+pub(crate) fn req_i64(v: &Json, key: &str, path: &str) -> Result<i64, String> {
     req(v, key, path)?
         .as_i64()
         .ok_or_else(|| format!("{path}: \"{key}\" is not an integer"))
 }
 
-fn req_str(v: &Json, key: &str, path: &str) -> Result<String, String> {
+pub(crate) fn req_str(v: &Json, key: &str, path: &str) -> Result<String, String> {
     Ok(req(v, key, path)?
         .as_str()
         .ok_or_else(|| format!("{path}: \"{key}\" is not a string"))?
@@ -499,13 +499,13 @@ fn req_bool(v: &Json, key: &str, path: &str) -> Result<bool, String> {
         .ok_or_else(|| format!("{path}: \"{key}\" is not a boolean"))
 }
 
-fn req_arr<'a>(v: &'a Json, key: &str, path: &str) -> Result<&'a [Json], String> {
+pub(crate) fn req_arr<'a>(v: &'a Json, key: &str, path: &str) -> Result<&'a [Json], String> {
     req(v, key, path)?
         .as_arr()
         .ok_or_else(|| format!("{path}: \"{key}\" is not an array"))
 }
 
-fn opt_u64(v: &Json, key: &str, path: &str) -> Result<Option<u64>, String> {
+pub(crate) fn opt_u64(v: &Json, key: &str, path: &str) -> Result<Option<u64>, String> {
     let field = req(v, key, path)?;
     if field.is_null() {
         return Ok(None);
@@ -546,7 +546,7 @@ fn parse_incident(v: &Json, path: &str) -> Result<IncidentRef, String> {
     })
 }
 
-fn parse_record(v: &Json, path: &str) -> Result<AlertProvenanceRecord, String> {
+pub(crate) fn parse_record(v: &Json, path: &str) -> Result<AlertProvenanceRecord, String> {
     let prov = req(v, "provenance", path)?;
     let ppath = format!("{path}.provenance");
     let sig = req(prov, "signals", &ppath)?;

@@ -1,0 +1,73 @@
+//! Property: every checkpoint a real run writes — across shard
+//! counts, chaos seeds, and kill points — parses back and re-renders
+//! byte-identically. The serialized form IS the canonical form; any
+//! drift between writer and parser shows up here as a one-byte diff.
+
+use proptest::prelude::*;
+
+use faultinject::FaultSchedule;
+use replay::ckpt;
+use replay::{run_replay_lifecycle, LifecyclePlan, ReplayConfig};
+use workloads::{Schedule, SynFloodWorkload};
+
+fn tiny_flood(seed: u64) -> Schedule {
+    let (s, _) = SynFloodWorkload {
+        background_cps: 400,
+        flood_pps: 10_000,
+        flood_start: 100_000_000,
+        duration: 250_000_000,
+        seed,
+        ..SynFloodWorkload::default()
+    }
+    .generate();
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn written_checkpoints_reparse_byte_identically(
+        shards in 1usize..=4,
+        chaos_seed in 0u64..1000,
+        workload_seed in 0u64..4,
+        kill_at in 3u64..8,
+    ) {
+        let s = tiny_flood(workload_seed);
+        let cfg = ReplayConfig { shards, ..ReplayConfig::default() };
+        let spec = "shard_crash=1@3,ctrl_loss=0.25";
+        let faults = FaultSchedule::parse(spec, chaos_seed).unwrap();
+        let dir = std::env::temp_dir().join(format!(
+            "replay-ckpt-prop-{}-{shards}-{chaos_seed}-{workload_seed}-{kill_at}",
+            std::process::id(),
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let plan = LifecyclePlan {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 2,
+            kill_at_epoch: Some(kill_at),
+            faults_spec: String::from(spec),
+            ..LifecyclePlan::none()
+        };
+        let (_, report) = run_replay_lifecycle(&s, &cfg, &faults, &plan);
+        prop_assert!(report.checkpoints_written >= 1, "no checkpoint written before the kill");
+
+        let mut files = 0usize;
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            let text = std::fs::read_to_string(&path).unwrap();
+            let parsed = ckpt::parse(&text)
+                .unwrap_or_else(|e| panic!("{path:?} does not parse: {e}"));
+            prop_assert_eq!(
+                &ckpt::serialize(&parsed),
+                &text,
+                "{:?}: parse → serialize is not the identity",
+                path
+            );
+            files += 1;
+        }
+        prop_assert_eq!(files as u64, report.checkpoints_written);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,317 @@
+//! Lifecycle guarantees: a run killed mid-stream and resumed from its
+//! newest checkpoint is byte-identical to the uninterrupted run; a
+//! rejected hot-swap leaves the running configuration untouched; a
+//! torn checkpoint write is detected by the checksum and recovery
+//! falls back to the previous checkpoint.
+
+use std::path::PathBuf;
+
+use faultinject::FaultSchedule;
+use replay::{
+    render_outcome_json, resume_from_checkpoint, run_replay_lifecycle, LifecyclePlan,
+    ReplayConfig, SwapRequest,
+};
+use stat4_p4::{CaseStudyApp, CaseStudyParams};
+use workloads::{Schedule, SynFloodWorkload};
+
+const CHAOS: &str = "shard_crash=1@3,ctrl_loss=0.30";
+const SEED: u64 = 7;
+
+fn small_flood() -> Schedule {
+    let (s, _) = SynFloodWorkload {
+        background_cps: 500,
+        flood_pps: 20_000,
+        flood_start: 150_000_000,
+        duration: 400_000_000,
+        seed: 11,
+        ..SynFloodWorkload::default()
+    }
+    .generate();
+    s
+}
+
+fn cfg(shards: usize) -> ReplayConfig {
+    ReplayConfig {
+        shards,
+        ..ReplayConfig::default()
+    }
+}
+
+/// A unique scratch dir per test invocation; cleaned up at the end of
+/// each test that succeeds (a failed test leaves it for inspection).
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "replay-lifecycle-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id(),
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn chaos(spec: &str) -> FaultSchedule {
+    FaultSchedule::parse(spec, SEED).unwrap()
+}
+
+/// The acceptance criterion: kill at an epoch ordinal, resume from the
+/// newest checkpoint, and the deterministic run snapshot must be
+/// byte-identical to the uninterrupted run's — across shard counts,
+/// under chaos.
+#[test]
+fn kill_and_resume_is_byte_identical_across_shard_counts() {
+    let s = small_flood();
+    for shards in [1usize, 2, 4, 8] {
+        let cfg = cfg(shards);
+        let dir = fresh_dir(&format!("resume-{shards}"));
+
+        let (full, _) = run_replay_lifecycle(&s, &cfg, &chaos(CHAOS), &LifecyclePlan::none());
+
+        let plan = LifecyclePlan {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 2,
+            kill_at_epoch: Some(5),
+            faults_spec: String::from(CHAOS),
+            ..LifecyclePlan::none()
+        };
+        let (killed, killed_report) = run_replay_lifecycle(&s, &cfg, &chaos(CHAOS), &plan);
+        assert!(
+            killed.epochs < full.epochs,
+            "{shards} shard(s): the kill must actually cut the run short"
+        );
+        assert!(
+            killed_report.checkpoints_written >= 1,
+            "{shards} shard(s): no checkpoint was written before the kill"
+        );
+        assert!(killed_report
+            .events
+            .iter()
+            .any(|e| e.kind == "killed" && e.epoch == 5));
+
+        let resume_plan = LifecyclePlan {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 2,
+            ..LifecyclePlan::none()
+        };
+        let (resumed, resumed_report) = resume_from_checkpoint(&s, &cfg, &resume_plan)
+            .unwrap_or_else(|e| panic!("{shards} shard(s): resume failed: {e}"));
+        assert!(resumed_report.resumed_from.is_some());
+        assert_eq!(
+            render_outcome_json(&resumed),
+            render_outcome_json(&full),
+            "{shards} shard(s): resumed snapshot differs from the uninterrupted run"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// A swap whose proposed program provably diverges from the running
+/// one must be rejected at the drain point with the configuration —
+/// and the run's outcome — untouched.
+#[test]
+fn rejected_swap_leaves_outcome_and_generation_untouched() {
+    let s = small_flood();
+    let cfg = cfg(4);
+    let base = CaseStudyApp::build(CaseStudyParams::default()).unwrap();
+    // Halving the rate window changes the ring-buffer modulus, so the
+    // equivalence check finds a concrete counterexample.
+    let poisoned = CaseStudyApp::build(CaseStudyParams {
+        window_size: CaseStudyParams::default().window_size / 2,
+        ..CaseStudyParams::default()
+    })
+    .unwrap();
+
+    let (baseline, _) = run_replay_lifecycle(&s, &cfg, &chaos(CHAOS), &LifecyclePlan::none());
+
+    let plan = LifecyclePlan {
+        initial_program: Some(base.pipeline),
+        swaps: vec![SwapRequest {
+            at_epoch: 3,
+            expected_generation: 0,
+            program: Some(poisoned.pipeline),
+            bindings: Vec::new(),
+            weights: Vec::new(),
+        }],
+        faults_spec: String::from(CHAOS),
+        ..LifecyclePlan::none()
+    };
+    let (out, report) = run_replay_lifecycle(&s, &cfg, &chaos(CHAOS), &plan);
+
+    assert_eq!(report.swaps_rejected, 1);
+    assert_eq!(report.swaps_committed, 0);
+    assert_eq!(report.generation, 0, "a rejected swap must not bump the generation");
+    let rejection = report
+        .events
+        .iter()
+        .find(|e| e.kind == "swap_rejected")
+        .expect("a swap_rejected event");
+    assert_eq!(rejection.epoch, 3);
+    assert!(
+        rejection.detail.contains("diverges"),
+        "the rejection names the counterexample: {}",
+        rejection.detail
+    );
+    assert_eq!(
+        render_outcome_json(&out),
+        render_outcome_json(&baseline),
+        "a rejected swap must leave the run's outcome untouched"
+    );
+}
+
+/// An equivalent recompile commits and bumps the generation — and
+/// still leaves the statistical outcome untouched, because the swap is
+/// a control-plane event, not a data mutation.
+#[test]
+fn accepted_swap_bumps_generation_without_changing_the_outcome() {
+    let s = small_flood();
+    let cfg = cfg(2);
+    let base = CaseStudyApp::build(CaseStudyParams::default()).unwrap();
+    let recompile = CaseStudyApp::build(CaseStudyParams::default()).unwrap();
+
+    let (baseline, _) = run_replay_lifecycle(&s, &cfg, &FaultSchedule::none(), &LifecyclePlan::none());
+
+    let plan = LifecyclePlan {
+        initial_program: Some(base.pipeline),
+        swaps: vec![SwapRequest {
+            at_epoch: 3,
+            expected_generation: 0,
+            program: Some(recompile.pipeline),
+            bindings: Vec::new(),
+            weights: Vec::new(),
+        }],
+        ..LifecyclePlan::none()
+    };
+    let (out, report) = run_replay_lifecycle(&s, &cfg, &FaultSchedule::none(), &plan);
+
+    assert_eq!(report.swaps_committed, 1);
+    assert_eq!(report.swaps_rejected, 0);
+    assert_eq!(report.generation, 1);
+    assert!(report
+        .events
+        .iter()
+        .any(|e| e.kind == "swap_committed" && e.epoch == 3));
+    assert_eq!(render_outcome_json(&out), render_outcome_json(&baseline));
+}
+
+/// `reconfig_storm=1.0` redelivers every committed swap; the duplicate
+/// carries the old expected generation, so it must vet to a stale
+/// rejection — commit exactly once, reject exactly once.
+#[test]
+fn storm_redelivered_swap_is_rejected_as_stale() {
+    let s = small_flood();
+    let cfg = cfg(2);
+    let base = CaseStudyApp::build(CaseStudyParams::default()).unwrap();
+    let recompile = CaseStudyApp::build(CaseStudyParams::default()).unwrap();
+
+    let spec = "reconfig_storm=1.0";
+    let plan = LifecyclePlan {
+        initial_program: Some(base.pipeline),
+        swaps: vec![SwapRequest {
+            at_epoch: 3,
+            expected_generation: 0,
+            program: Some(recompile.pipeline),
+            bindings: Vec::new(),
+            weights: Vec::new(),
+        }],
+        faults_spec: String::from(spec),
+        ..LifecyclePlan::none()
+    };
+    let (_, report) = run_replay_lifecycle(&s, &cfg, &chaos(spec), &plan);
+
+    assert_eq!(report.swaps_committed, 1, "the original commits once");
+    assert_eq!(report.swaps_rejected, 1, "the redelivery is rejected");
+    assert_eq!(report.generation, 1, "the generation bumps exactly once");
+    let stale = report
+        .events
+        .iter()
+        .find(|e| e.kind == "stale_swap_rejected")
+        .expect("a stale_swap_rejected event");
+    assert!(stale.detail.contains("stale"), "{}", stale.detail);
+}
+
+/// `ckpt_corrupt=N` tears the Nth checkpoint write after its checksum
+/// is computed. The loader must detect the damage, fall back to the
+/// previous checkpoint, and the resumed run must still be
+/// byte-identical to the uninterrupted one.
+#[test]
+fn torn_checkpoint_write_falls_back_and_still_resumes_identically() {
+    let s = small_flood();
+    let cfg = cfg(4);
+    let dir = fresh_dir("torn");
+    // Checkpoints land at epochs 2 (#0), 4 (#1), 6 (#2); the newest
+    // (#2) is corrupted, so resume must fall back to #1.
+    let spec = "shard_crash=1@3,ctrl_loss=0.30,ckpt_corrupt=2";
+
+    let (full, _) = run_replay_lifecycle(&s, &cfg, &chaos(spec), &LifecyclePlan::none());
+
+    let plan = LifecyclePlan {
+        checkpoint_dir: Some(dir.clone()),
+        checkpoint_every: 2,
+        kill_at_epoch: Some(7),
+        faults_spec: String::from(spec),
+        ..LifecyclePlan::none()
+    };
+    let (_, killed_report) = run_replay_lifecycle(&s, &cfg, &chaos(spec), &plan);
+    assert_eq!(killed_report.checkpoints_written, 3);
+
+    let resume_plan = LifecyclePlan {
+        checkpoint_dir: Some(dir.clone()),
+        checkpoint_every: 2,
+        ..LifecyclePlan::none()
+    };
+    let (resumed, report) = resume_from_checkpoint(&s, &cfg, &resume_plan).unwrap();
+    assert_eq!(
+        report.resumed_from,
+        Some(1),
+        "resume must fall back past the corrupt newest checkpoint"
+    );
+    assert!(
+        report
+            .events
+            .iter()
+            .any(|e| e.kind == "checkpoint_fallback" && e.detail.contains("ckpt-000002")),
+        "the fallback names the rejected file: {:?}",
+        report.events
+    );
+    assert_eq!(render_outcome_json(&resumed), render_outcome_json(&full));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Resume validates its inputs: a missing directory, a mismatched
+/// topology, and a mismatched schedule are all loud errors instead of
+/// silently divergent runs.
+#[test]
+fn resume_rejects_mismatched_inputs() {
+    let s = small_flood();
+    let dir = fresh_dir("mismatch");
+
+    let err = resume_from_checkpoint(
+        &s,
+        &cfg(4),
+        &LifecyclePlan {
+            checkpoint_dir: Some(dir.clone()),
+            ..LifecyclePlan::none()
+        },
+    )
+    .unwrap_err();
+    assert!(err.contains("checkpoint"), "missing dir is a clear error: {err}");
+
+    let plan = LifecyclePlan {
+        checkpoint_dir: Some(dir.clone()),
+        checkpoint_every: 2,
+        kill_at_epoch: Some(5),
+        ..LifecyclePlan::none()
+    };
+    let _ = run_replay_lifecycle(&s, &cfg(4), &FaultSchedule::none(), &plan);
+
+    let err = resume_from_checkpoint(
+        &s,
+        &cfg(2),
+        &LifecyclePlan {
+            checkpoint_dir: Some(dir.clone()),
+            ..LifecyclePlan::none()
+        },
+    )
+    .unwrap_err();
+    assert!(err.contains("shard"), "topology mismatch is named: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -8,7 +8,10 @@
 //! process, so interleaved tests would race the baseline.
 
 use faultinject::FaultSchedule;
-use replay::{reference, run_replay_with_faults, IncidentKind, ReplayConfig};
+use replay::{
+    reference, resume_from_checkpoint, run_replay_lifecycle, run_replay_with_faults,
+    IncidentKind, LifecyclePlan, ReplayConfig, SwapRequest,
+};
 use workloads::{Schedule, SynFloodWorkload};
 
 fn small_flood() -> Schedule {
@@ -108,4 +111,61 @@ fn faulted_pool_runs_tear_down_without_leaking_workers() {
     assert_eq!(first.alerts, refr.alerts);
     assert_eq!(first.detected_at, refr.detected_at);
     assert_eq!(first.health, refr.health);
+
+    // Drain-swap-resume under the same active chaos: checkpoint every
+    // other epoch, reject a stale reconfiguration at a drain point,
+    // kill mid-run, then resume. Two pools get built and torn down —
+    // neither may leak a thread, and the stitched-together run must
+    // still equal the single-pass reference engine above.
+    let spec = "shard_crash=1@3,shard_panic=2@5,ctrl_loss=0.30";
+    let dir = std::env::temp_dir().join(format!(
+        "replay-pool-teardown-lifecycle-{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let plan = LifecyclePlan {
+        checkpoint_dir: Some(dir.clone()),
+        checkpoint_every: 2,
+        kill_at_epoch: Some(6),
+        // expected_generation 1 while generation 0 runs: a stale
+        // request, rejected without vetting — the drain point still
+        // exercises the swap path without perturbing the run.
+        swaps: vec![SwapRequest {
+            at_epoch: 4,
+            expected_generation: 1,
+            program: None,
+            bindings: Vec::new(),
+            weights: Vec::new(),
+        }],
+        faults_spec: String::from(spec),
+        ..LifecyclePlan::none()
+    };
+    let (_, killed_report) = run_replay_lifecycle(&s, &cfg, &faults, &plan);
+    assert!(killed_report.checkpoints_written >= 1);
+    assert_eq!(killed_report.swaps_rejected, 1, "the stale swap is rejected");
+    assert_eq!(killed_report.generation, 0, "rejection leaves the generation alone");
+    assert!(
+        settles_to(baseline),
+        "worker threads leaked after the killed lifecycle run: baseline {baseline}, now {:?}",
+        thread_count()
+    );
+
+    let resume_plan = LifecyclePlan {
+        checkpoint_dir: Some(dir.clone()),
+        checkpoint_every: 2,
+        ..LifecyclePlan::none()
+    };
+    let (resumed, resumed_report) =
+        resume_from_checkpoint(&s, &cfg, &resume_plan).expect("resume after kill");
+    assert!(resumed_report.resumed_from.is_some());
+    assert!(
+        settles_to(baseline),
+        "worker threads leaked after the resumed run: baseline {baseline}, now {:?}",
+        thread_count()
+    );
+    assert_eq!(resumed.merged, refr.merged);
+    assert_eq!(resumed.alerts, refr.alerts);
+    assert_eq!(resumed.detected_at, refr.detected_at);
+    assert_eq!(resumed.health, refr.health);
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -89,6 +89,30 @@ impl HyperLogLog {
         })
     }
 
+    /// Rebuilds a sketch from a previously exported register file
+    /// (`precision()`, `registers()`), as a crash-recovery checkpoint
+    /// does.
+    ///
+    /// # Errors
+    ///
+    /// [`Stat4Error::InvalidDomain`] for an out-of-range precision, a
+    /// register file of the wrong length, or a register value above the
+    /// maximum rank `64 − precision + 1`.
+    pub fn from_registers(precision: u32, registers: Vec<u8>) -> Stat4Result<Self> {
+        if !(4..=16).contains(&precision)
+            || registers.len() != 1 << precision
+            || registers
+                .iter()
+                .any(|&r| u32::from(r) > 64 - precision + 1)
+        {
+            return Err(Stat4Error::InvalidDomain { min: 4, max: 16 });
+        }
+        Ok(Self {
+            precision,
+            registers,
+        })
+    }
+
     /// Register-file precision (log2 of the register count).
     #[must_use]
     pub fn precision(&self) -> u32 {
@@ -260,6 +284,24 @@ mod tests {
                 "ln({num}/{den}): int {got} float {want}"
             );
         }
+    }
+
+    #[test]
+    fn from_registers_round_trips() {
+        let mut h = HyperLogLog::new(8).unwrap();
+        for k in 0..5_000u64 {
+            h.observe(k.wrapping_mul(0x9e37_79b9));
+        }
+        let restored = HyperLogLog::from_registers(h.precision(), h.registers().to_vec()).unwrap();
+        assert_eq!(restored, h);
+        assert_eq!(restored.estimate(), h.estimate());
+    }
+
+    #[test]
+    fn from_registers_rejects_bad_state() {
+        assert!(HyperLogLog::from_registers(3, vec![0; 8]).is_err());
+        assert!(HyperLogLog::from_registers(8, vec![0; 7]).is_err());
+        assert!(HyperLogLog::from_registers(8, vec![64; 256]).is_err());
     }
 
     #[test]

@@ -80,7 +80,7 @@ pub use isqrt::{
     log_linear_lower_bound, msb_decompose,
 };
 pub use merge::Mergeable;
-pub use percentile::{PercentileTracker, Quantile};
+pub use percentile::{MarkerRaw, PercentileTracker, Quantile};
 pub use running::RunningStats;
 pub use scale::Scale;
 pub use sketch::CountMinSketch;

@@ -212,6 +212,29 @@ impl Marker {
     }
 }
 
+/// The raw register state of one percentile marker, as exported by
+/// [`PercentileSet::export_markers`] and reloaded through
+/// [`PercentileSet::from_raw`]. Marker positions are path-dependent
+/// (one step per packet), so a crash-recovery checkpoint must carry
+/// them verbatim — rebuilding from the counters would land on the
+/// canonical quantile instead of the cell the live walk occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MarkerRaw {
+    /// Weight of the mass below the marker (see [`Quantile`]).
+    pub low_weight: u32,
+    /// Weight of the mass above the marker.
+    pub high_weight: u32,
+    /// Index of the current estimate, `None` before the first
+    /// observation.
+    pub pos: Option<usize>,
+    /// Combined frequency strictly below `pos`.
+    pub low: u64,
+    /// Combined frequency strictly above `pos`.
+    pub high: u64,
+    /// Total marker movements.
+    pub moves: u64,
+}
+
 /// A frequency-counter array with any number of percentile markers
 /// tracked over it — the register layout a Stat4 switch allocates per
 /// monitored distribution.
@@ -246,6 +269,81 @@ impl PercentileSet {
             total: 0,
             markers: quantiles.iter().copied().map(Marker::new).collect(),
         })
+    }
+
+    /// Rebuilds a tracker from previously exported raw state
+    /// ([`counts`], [`total`], [`export_markers`]), as a crash-recovery
+    /// checkpoint does. Unlike a merge, markers are restored verbatim,
+    /// preserving the path-dependent walk position.
+    ///
+    /// [`counts`]: PercentileSet::counts
+    /// [`total`]: PercentileSet::total
+    /// [`export_markers`]: PercentileSet::export_markers
+    ///
+    /// # Errors
+    ///
+    /// [`Stat4Error::InvalidDomain`] for a bad domain, a counts array of
+    /// the wrong length, or a marker position outside the domain;
+    /// [`Stat4Error::InvalidQuantile`] for zero marker weights.
+    pub fn from_raw(
+        min: i64,
+        max: i64,
+        counts: Vec<u64>,
+        total: u64,
+        markers: &[MarkerRaw],
+    ) -> Stat4Result<Self> {
+        if min > max {
+            return Err(Stat4Error::InvalidDomain { min, max });
+        }
+        let size = (max as i128) - (min as i128) + 1;
+        if size > (1i128 << 32) || counts.len() != size as usize {
+            return Err(Stat4Error::InvalidDomain { min, max });
+        }
+        let markers = markers
+            .iter()
+            .map(|r| {
+                if r.pos.is_some_and(|p| p >= counts.len()) {
+                    return Err(Stat4Error::InvalidDomain { min, max });
+                }
+                Ok(Marker {
+                    q: Quantile::from_weights(r.low_weight, r.high_weight)?,
+                    pos: r.pos,
+                    low: r.low,
+                    high: r.high,
+                    moves: r.moves,
+                })
+            })
+            .collect::<Stat4Result<Vec<_>>>()?;
+        Ok(Self {
+            min,
+            max,
+            counts,
+            total,
+            markers,
+        })
+    }
+
+    /// Raw per-cell frequency counters — the checkpoint export
+    /// counterpart of [`PercentileSet::from_raw`].
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Raw marker state, verbatim, for checkpoint export.
+    #[must_use]
+    pub fn export_markers(&self) -> Vec<MarkerRaw> {
+        self.markers
+            .iter()
+            .map(|m| MarkerRaw {
+                low_weight: m.q.low_weight(),
+                high_weight: m.q.high_weight(),
+                pos: m.pos,
+                low: m.low,
+                high: m.high,
+                moves: m.moves,
+            })
+            .collect()
     }
 
     /// Records one occurrence of `value` and rebalances every marker by
@@ -611,6 +709,51 @@ mod tests {
         assert!((48..=52).contains(&p50), "p50 = {p50}");
         assert!((88..=92).contains(&p90), "p90 = {p90}");
         assert!(s.masses_consistent());
+    }
+
+    #[test]
+    fn from_raw_round_trips_verbatim() {
+        let qs = [Quantile::median(), Quantile::percentile(90).unwrap()];
+        let mut s = PercentileSet::new(0, 50, &qs).unwrap();
+        // An asymmetric stream leaves the markers mid-walk, away from
+        // the canonical rebuilt position — exactly what a checkpoint
+        // must preserve.
+        s.observe(0).unwrap();
+        for _ in 0..40 {
+            s.observe(50).unwrap();
+        }
+        let restored = PercentileSet::from_raw(
+            0,
+            50,
+            s.counts().to_vec(),
+            s.total(),
+            &s.export_markers(),
+        )
+        .unwrap();
+        assert_eq!(restored, s);
+    }
+
+    #[test]
+    fn from_raw_rejects_bad_state() {
+        assert!(PercentileSet::from_raw(0, 10, vec![0; 5], 0, &[]).is_err());
+        let bad_pos = MarkerRaw {
+            low_weight: 1,
+            high_weight: 1,
+            pos: Some(11),
+            low: 0,
+            high: 0,
+            moves: 0,
+        };
+        assert!(PercentileSet::from_raw(0, 10, vec![0; 11], 0, &[bad_pos]).is_err());
+        let bad_q = MarkerRaw {
+            low_weight: 0,
+            high_weight: 1,
+            pos: None,
+            low: 0,
+            high: 0,
+            moves: 0,
+        };
+        assert!(PercentileSet::from_raw(0, 10, vec![0; 11], 0, &[bad_q]).is_err());
     }
 
     #[test]

@@ -56,6 +56,21 @@ impl RunningStats {
         Self::default()
     }
 
+    /// Rebuilds a tracker from previously exported raw accumulators
+    /// (`n()`, `xsum()`, `xsumsq()`), as a crash-recovery checkpoint
+    /// does. The derived-statistic cache starts cold, exactly as after
+    /// any mutation, so a restored tracker compares equal to the live
+    /// tracker it was exported from.
+    #[must_use]
+    pub fn from_raw(n: u64, xsum: i64, xsumsq: i64) -> Self {
+        Self {
+            n,
+            sum: xsum,
+            sumsq: xsumsq,
+            sd_cache: None,
+        }
+    }
+
     /// Number of values observed so far.
     #[must_use]
     pub fn n(&self) -> u64 {
@@ -255,6 +270,17 @@ mod tests {
     use super::*;
     use crate::oracle;
     use proptest::prelude::*;
+
+    #[test]
+    fn from_raw_round_trips() {
+        let mut s = RunningStats::new();
+        for v in [3i64, -7, 40, 40, 12] {
+            s.push(v);
+        }
+        let restored = RunningStats::from_raw(s.n(), s.xsum(), s.xsumsq());
+        assert_eq!(restored, s);
+        assert_eq!(restored.variance_nx(), s.variance_nx());
+    }
 
     #[test]
     fn empty_state() {

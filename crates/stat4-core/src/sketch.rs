@@ -83,6 +83,39 @@ impl CountMinSketch {
         }
     }
 
+    /// Rebuilds a sketch from a previously exported cell array and
+    /// increment total (`cells()`, `total()`), as a crash-recovery
+    /// checkpoint does. Geometry is validated the same way [`new`]
+    /// validates it, plus the cell count must match `rows × 2^width_log2`.
+    ///
+    /// [`new`]: CountMinSketch::new
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range geometry or a cell array of the wrong
+    /// length.
+    #[must_use]
+    pub fn from_raw(rows: usize, width_log2: u32, cells: Vec<u64>, total: u64) -> Self {
+        assert!((1..=ROW_SALTS.len()).contains(&rows), "rows out of range");
+        assert!(width_log2 < 28, "width too large");
+        let width = 1usize << width_log2;
+        assert_eq!(cells.len(), rows * width, "cell array length mismatch");
+        Self {
+            rows,
+            mask: (width - 1) as u64,
+            width_log2,
+            cells,
+            total,
+        }
+    }
+
+    /// Raw cell array in row-major order — the checkpoint export
+    /// counterpart of [`CountMinSketch::from_raw`].
+    #[must_use]
+    pub fn cells(&self) -> &[u64] {
+        &self.cells
+    }
+
     /// The row/column cell index for `key` in `row`.
     #[inline]
     fn index(&self, row: usize, key: u64) -> usize {
@@ -256,6 +289,23 @@ mod tests {
         }
         assert!(s.is_heavy(42, 2), "42 holds > 1/4 of the total");
         assert!(!s.is_heavy(77 | 0x8000_0000, 2));
+    }
+
+    #[test]
+    fn from_raw_round_trips() {
+        let mut s = CountMinSketch::new(4, 6);
+        for k in 0..200u64 {
+            s.update(k * 31, (k % 3) + 1);
+        }
+        let restored =
+            CountMinSketch::from_raw(s.rows(), s.width_log2(), s.cells().to_vec(), s.total());
+        assert_eq!(restored, s);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell array length mismatch")]
+    fn from_raw_rejects_bad_length() {
+        let _ = CountMinSketch::from_raw(2, 4, vec![0; 3], 0);
     }
 
     #[test]

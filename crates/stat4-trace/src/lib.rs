@@ -20,7 +20,7 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
-use replay::RunSnapshot;
+use replay::{LifecycleReport, RunSnapshot};
 use telemetry::{TraceDoc, COORDINATOR_TID};
 
 /// Q16 fixed-point unit — matches the anomaly crate's scale.
@@ -316,6 +316,46 @@ pub fn explain(snap: &RunSnapshot, id: u64) -> Result<String, String> {
         }
     }
     Ok(out)
+}
+
+/// Renders a replay lifecycle report (`--lifecycle-out`) as a short
+/// narrative: where the run resumed from, every checkpoint, every swap
+/// verdict, the kill point, and the closing generation tally.
+#[must_use]
+pub fn lifecycle_story(report: &LifecycleReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "lifecycle:");
+    if report.events.is_empty() {
+        let _ = writeln!(out, "  quiet run: no lifecycle events");
+    }
+    for ev in &report.events {
+        let line = match ev.kind.as_str() {
+            "resumed" => format!("resumed ({})", ev.detail),
+            "checkpoint_written" => format!("checkpoint written ({})", ev.detail),
+            "checkpoint_error" => format!("checkpoint FAILED ({})", ev.detail),
+            "checkpoint_fallback" => format!("fell back past a bad checkpoint ({})", ev.detail),
+            "killed" => format!("killed ({})", ev.detail),
+            "swap_committed" => format!("swap committed ({})", ev.detail),
+            "swap_rejected" => format!("swap REJECTED: {}", ev.detail),
+            "stale_swap_rejected" => format!("stale swap rejected: {}", ev.detail),
+            "shed_level" => format!("telemetry shed level changed ({})", ev.detail),
+            other => format!("{other}: {}", ev.detail),
+        };
+        let _ = writeln!(out, "  epoch {:>4}  {line}", ev.epoch);
+    }
+    let _ = writeln!(
+        out,
+        "  summary: generation {}, {} checkpoint(s) written, {} swap(s) committed, {} rejected{}",
+        report.generation,
+        report.checkpoints_written,
+        report.swaps_committed,
+        report.swaps_rejected,
+        match report.resumed_from {
+            Some(ord) => format!(", resumed from checkpoint {ord}"),
+            None => String::new(),
+        },
+    );
+    out
 }
 
 fn describe_cause(c: &anomaly::TriggerCause) -> String {
