@@ -78,7 +78,10 @@ pub use parser::parse_frame;
 pub use phv::{FieldId, Phv};
 pub use pipeline::{PacketOutcome, Pipeline, PipelineState, RegMerge};
 pub use program::ProgramBuilder;
-pub use replay::{merge_registers, EpochReport, ShardedPipeline};
+pub use replay::{
+    apply_register_delta, merge_registers, EpochReport, PipelineDelta, RegisterDelta,
+    ShardedPipeline,
+};
 pub use resources::ResourceReport;
 pub use runtime::{RuntimeRequest, RuntimeResponse};
 pub use table::{Entry, MatchKind, MatchValue, TableDef};

@@ -10,6 +10,7 @@ use crate::phv::{fields, Phv, DROP_PORT};
 use crate::table::Table;
 use crate::target::TargetModel;
 use serde::{Deserialize, Serialize};
+use stat4_core::delta::DirtyJournal;
 
 /// How one register's per-shard state folds into a whole-switch view
 /// during sharded replay (`crate::replay::merge_registers`), and the
@@ -48,7 +49,7 @@ impl RegMerge {
 }
 
 /// A stateful register array.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Register {
     /// Name for reports.
     pub name: String,
@@ -59,7 +60,25 @@ pub struct Register {
     /// Declared cross-shard merge policy (see [`RegMerge`]).
     #[serde(default)]
     pub merge: RegMerge,
+    /// Cells written since the last [`Pipeline::take_register_delta`]
+    /// — the changed-register-span journal behind sparse cross-shard
+    /// merges. Bookkeeping, not identity: excluded from eq and serde.
+    #[serde(skip, default)]
+    pub(crate) journal: DirtyJournal,
 }
+
+/// Equality is over the declared shape and cell contents only — the
+/// dirty journal is bookkeeping, not identity.
+impl PartialEq for Register {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.width_bits == other.width_bits
+            && self.cells == other.cells
+            && self.merge == other.merge
+    }
+}
+
+impl Eq for Register {}
 
 impl Register {
     pub(crate) fn mask(&self) -> u64 {
@@ -68,6 +87,15 @@ impl Register {
         } else {
             (1u64 << self.width_bits) - 1
         }
+    }
+
+    /// The one journaled write path: records the cell's pre-write value
+    /// on first touch, then writes `v` masked to the register width.
+    /// Every interpreter/controller mutation funnels through here so
+    /// register deltas stay complete.
+    pub(crate) fn write_cell(&mut self, i: usize, v: u64) {
+        self.journal.mark(i, self.cells[i]);
+        self.cells[i] = v & self.mask();
     }
 }
 
@@ -124,6 +152,12 @@ pub struct Pipeline {
     pub(crate) control: Control,
     pub(crate) packets_processed: u64,
     pub(crate) fault_hook: Option<Box<dyn FaultHook>>,
+    /// `packets_processed` at the last [`Self::take_register_delta`].
+    pub(crate) taken_packets: u64,
+    /// Set when a fault hook has run: hooks mutate registers directly
+    /// (bypassing the journal), so pending deltas are unreliable and
+    /// the next take must signal "full merge required".
+    pub(crate) hook_touched: bool,
 }
 
 impl Pipeline {
@@ -142,6 +176,8 @@ impl Pipeline {
             control,
             packets_processed: 0,
             fault_hook: None,
+            taken_packets: 0,
+            hook_touched: false,
         }
     }
 
@@ -231,9 +267,57 @@ impl Pipeline {
             for (dst, src) in reg.cells.iter_mut().zip(cells) {
                 *dst = src & mask;
             }
+            // A restore replaces the whole file: re-base the journal so
+            // the next delta is relative to the restored state (a
+            // consumer must full-merge once before trusting deltas).
+            reg.journal.clear();
         }
         self.packets_processed = state.packets_processed;
+        self.taken_packets = state.packets_processed;
         Ok(())
+    }
+
+    /// Drains the per-register dirty journals into a
+    /// [`crate::replay::PipelineDelta`] — the changed-register spans
+    /// since the last take — and re-bases them.
+    ///
+    /// Returns `None` when the delta cannot be trusted: a fault hook is
+    /// installed or has run since the last take. Hooks mutate the
+    /// register file directly ([`crate::fault::FaultHook::before_packet`]
+    /// takes `&mut [Register]`), bypassing the journal, so the only
+    /// sound answer is "do a full merge this round". The journals are
+    /// re-based either way, so a later fault-free window deltas cleanly
+    /// after one full rebuild.
+    pub fn take_register_delta(&mut self) -> Option<crate::replay::PipelineDelta> {
+        let tainted = self.hook_touched || self.fault_hook.is_some();
+        self.hook_touched = false;
+        let packets_base = self.taken_packets;
+        self.taken_packets = self.packets_processed;
+        let mut regs = Vec::new();
+        for (i, r) in self.registers.iter_mut().enumerate() {
+            let touched = r.journal.take();
+            if !tainted && !touched.is_empty() {
+                let cells = touched
+                    .into_iter()
+                    .map(|(idx, base)| (idx, base, r.cells[idx as usize]))
+                    .collect();
+                regs.push(crate::replay::RegisterDelta { register: i, cells });
+            }
+        }
+        if tainted {
+            return None;
+        }
+        Some(crate::replay::PipelineDelta {
+            regs,
+            packets_base,
+            packets_cur: self.packets_processed,
+        })
+    }
+
+    /// Drops pending journal entries and re-bases, without building the
+    /// delta — what a coordinator does right after a full merge.
+    pub fn discard_register_delta(&mut self) {
+        let _ = self.take_register_delta();
     }
 
     /// Read-only table access.
@@ -281,6 +365,7 @@ impl Pipeline {
         if let Some(mut hook) = self.fault_hook.take() {
             hook.before_packet(self.packets_processed, &mut self.registers);
             self.fault_hook = Some(hook);
+            self.hook_touched = true;
         }
         let control = self.control.clone();
         self.exec_control(&control, phv, &mut outcome)?;
@@ -544,8 +629,7 @@ impl Pipeline {
             } => {
                 let i = self.reg_index(*register, ev!(index))?;
                 let v = ev!(src);
-                let mask = self.registers[*register].mask();
-                self.registers[*register].cells[i] = v & mask;
+                self.registers[*register].write_cell(i, v);
             }
             Primitive::Digest { id, values } => {
                 let mut vals = Vec::with_capacity(values.len());

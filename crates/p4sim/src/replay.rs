@@ -33,7 +33,7 @@
 
 use crate::error::{P4Error, P4Result};
 use crate::metrics::PipelineMetrics;
-use crate::pipeline::{DigestRecord, Pipeline};
+use crate::pipeline::{DigestRecord, Pipeline, RegMerge};
 use stat4_core::Mergeable;
 use telemetry::Snapshot;
 
@@ -47,6 +47,108 @@ pub struct EpochReport {
     pub dropped: u64,
     /// Digests emitted, in processing order.
     pub digests: Vec<DigestRecord>,
+}
+
+/// The changed cells of one register since the last delta take:
+/// `(cell index, value at the window open, value now)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterDelta {
+    /// Register id in declaration order.
+    pub register: usize,
+    /// Touched cells as `(index, base, current)`.
+    pub cells: Vec<(u32, u64, u64)>,
+}
+
+/// The changed-register spans of one pipeline window, produced by
+/// [`Pipeline::take_register_delta`] and folded into a coordinator's
+/// view by [`apply_register_delta`]. Registers with no touched cells
+/// are absent entirely — the sparsity the epoch barrier exploits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineDelta {
+    /// Per-register touched spans; registers untouched this window are
+    /// omitted.
+    pub regs: Vec<RegisterDelta>,
+    /// `packets_processed` at the window open.
+    pub packets_base: u64,
+    /// `packets_processed` now.
+    pub packets_cur: u64,
+}
+
+impl PipelineDelta {
+    /// Distinct cells carried by this delta.
+    #[must_use]
+    pub fn touched_cells(&self) -> usize {
+        self.regs.iter().map(|r| r.cells.len()).sum()
+    }
+
+    /// Modelled wire size: 4-byte index + two 8-byte values per cell,
+    /// plus the packet-counter pair.
+    #[must_use]
+    pub fn wire_bytes(&self) -> u64 {
+        16 + self.touched_cells() as u64 * 20
+    }
+}
+
+/// Applies one shard's changed-register spans to `dst` under each
+/// register's declared merge policy — the sparse counterpart of
+/// [`merge_registers`], applied on top of a coordinator view that
+/// already holds the previous fold.
+///
+/// Per policy (`cur − base` is the window's change):
+///
+/// - [`RegMerge::Sum`]: `dst += (cur − base)` wrapping, masked. Masked
+///   wrapping addition is modular-group arithmetic, so this is exact
+///   **even when the register wrapped** during the window.
+/// - [`RegMerge::SatSum`]: saturating adjust clamped at the mask —
+///   exact unless a cell pinned at its ceiling (the same caveat the
+///   full merge carries).
+/// - [`RegMerge::Max`]: `dst = max(dst, cur)` — exact always.
+/// - [`RegMerge::None`]: destination kept, entry skipped (order-coded
+///   state reconciles at a higher level, as in the full merge).
+///
+/// # Errors
+///
+/// [`P4Error::Invalid`] for a register id outside `dst`'s file;
+/// [`P4Error::RegisterOutOfBounds`] for a cell index outside the
+/// register.
+pub fn apply_register_delta(dst: &mut Pipeline, delta: &PipelineDelta) -> P4Result<()> {
+    for rd in &delta.regs {
+        let nregs = dst.registers.len();
+        let reg = dst
+            .registers
+            .get_mut(rd.register)
+            .ok_or_else(|| P4Error::Invalid {
+                what: format!(
+                    "delta register {} outside file of {nregs} register(s)",
+                    rd.register
+                ),
+            })?;
+        let mask = reg.mask();
+        let merge = reg.merge;
+        for &(idx, base, cur) in &rd.cells {
+            let size = reg.cells.len() as u64;
+            let cell = reg.cells.get_mut(idx as usize).ok_or(
+                P4Error::RegisterOutOfBounds {
+                    register: rd.register,
+                    index: u64::from(idx),
+                    size,
+                },
+            )?;
+            *cell = match merge {
+                RegMerge::Sum => cell.wrapping_add(cur.wrapping_sub(base)) & mask,
+                RegMerge::SatSum => if cur >= base {
+                    cell.saturating_add(cur - base)
+                } else {
+                    cell.saturating_sub(base - cur)
+                }
+                .min(mask),
+                RegMerge::Max => (*cell).max(cur),
+                RegMerge::None => *cell,
+            };
+        }
+    }
+    dst.packets_processed += delta.packets_cur - delta.packets_base;
+    Ok(())
 }
 
 /// Folds `src`'s register file into `dst`, cell by cell, under each
@@ -553,6 +655,80 @@ mod tests {
         }
         assert_eq!(merged_after.registers(), merged_before.registers());
         assert_eq!(merged_after.packets_processed(), trace.len() as u64);
+    }
+
+    /// Delta-applied coordinator state stays bit-identical to a full
+    /// re-merge across several epochs, including a 16-bit register that
+    /// wraps (Sum is modular, so the delta is exact even under wrap).
+    #[test]
+    fn register_delta_equals_full_merge() {
+        let trace = frames(400);
+        let work = split(&trace, 4);
+        let mut sharded = ShardedPipeline::new(&counting_pipeline(), 4);
+
+        // Rebuild: full merge once, then re-base every shard's journal.
+        sharded.process_epoch(&work).unwrap();
+        let mut acc = sharded.merged().unwrap();
+        for i in 0..sharded.num_shards() {
+            sharded.shard_mut(i).unwrap().discard_register_delta();
+        }
+
+        for _ in 0..3 {
+            sharded.process_epoch(&work).unwrap();
+            for i in 0..sharded.num_shards() {
+                let d = sharded
+                    .shard_mut(i)
+                    .unwrap()
+                    .take_register_delta()
+                    .expect("no fault hooks installed");
+                assert!(d.touched_cells() > 0, "traffic touched cells");
+                apply_register_delta(&mut acc, &d).unwrap();
+            }
+            let full = sharded.merged().unwrap();
+            assert_eq!(acc.registers(), full.registers());
+            assert_eq!(acc.packets_processed(), full.packets_processed());
+        }
+    }
+
+    /// An idle epoch ships an empty delta — the sparsity the barrier
+    /// exploits.
+    #[test]
+    fn idle_window_ships_empty_delta() {
+        let trace = frames(50);
+        let mut p = counting_pipeline();
+        for (ts, f) in &trace {
+            p.process_frame(f, 0, *ts).unwrap();
+        }
+        p.discard_register_delta();
+        let d = p.take_register_delta().unwrap();
+        assert_eq!(d.touched_cells(), 0);
+        assert_eq!(d.packets_base, d.packets_cur);
+        assert!(d.regs.is_empty());
+    }
+
+    /// A fault hook bypasses the journal, so the take must refuse to
+    /// produce a delta (and re-base, so a post-fault window deltas
+    /// cleanly after one rebuild).
+    #[test]
+    fn fault_hook_taints_the_delta() {
+        use crate::fault::{ScheduledFaults, SeuEvent, SeuRecovery};
+        let trace = frames(50);
+        let mut p = counting_pipeline();
+        p.discard_register_delta();
+        p.set_fault_hook(Some(Box::new(ScheduledFaults::new(
+            vec![SeuEvent { register: "pkts".into(), cell: 1, bit: 2, at_packet: 0 }],
+            vec![],
+            SeuRecovery::None,
+        ))));
+        for (ts, f) in &trace {
+            p.process_frame(f, 0, *ts).unwrap();
+        }
+        assert!(p.take_register_delta().is_none(), "hook installed: tainted");
+        p.set_fault_hook(None);
+        assert!(
+            p.take_register_delta().is_some(),
+            "hook removed and journals re-based: clean again"
+        );
     }
 
     #[test]

@@ -222,13 +222,7 @@ impl Pipeline {
                         size,
                     });
                 }
-                let width = self.registers[*register].width_bits;
-                let mask = if width >= 64 {
-                    u64::MAX
-                } else {
-                    (1u64 << width) - 1
-                };
-                self.registers[*register].cells[*index as usize] = value & mask;
+                self.registers[*register].write_cell(*index as usize, *value);
                 Ok(RuntimeResponse::Ok)
             }
             RuntimeRequest::ResetRegister { register } => {
@@ -236,7 +230,14 @@ impl Pipeline {
                     kind: "register",
                     id: *register,
                 })?;
-                r.cells.fill(0);
+                // Journal the cells actually holding state so a reset
+                // ships as (base → 0) entries rather than tainting the
+                // whole delta path.
+                for i in 0..r.cells.len() {
+                    if r.cells[i] != 0 {
+                        r.write_cell(i, 0);
+                    }
+                }
                 Ok(RuntimeResponse::Ok)
             }
             RuntimeRequest::Batch(reqs) => {

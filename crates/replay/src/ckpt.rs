@@ -183,6 +183,9 @@ impl ShardStateRaw {
             syn_in_interval: self.syn_in_interval,
             packets_in_interval: self.packets_in_interval,
             len_sum_in_interval: self.len_sum_in_interval,
+            // Restored trackers re-base their delta journals at the
+            // restored values, so the delta baseline matches.
+            taken_packets: self.packets,
         })
     }
 }

@@ -58,6 +58,7 @@
 //! 30% report loss the flood is still detected, and reruns of one seed
 //! are byte-identical.
 
+mod barrier;
 pub mod ckpt;
 pub mod lifecycle;
 pub mod metrics;
@@ -90,7 +91,8 @@ use stat4_core::hll::HyperLogLog;
 use stat4_core::percentile::{PercentileSet, Quantile};
 use stat4_core::running::RunningStats;
 use stat4_core::sketch::CountMinSketch;
-use stat4_core::{Mergeable, Stat4Result};
+use stat4_core::delta::{FreqDelta, HllDelta, PercentileDelta, RunningDelta, SketchDelta};
+use stat4_core::{DeltaMergeable, Mergeable, Stat4Result};
 use workloads::Schedule;
 
 /// Kind cell for non-SYN TCP segments.
@@ -110,21 +112,42 @@ pub const MAX_LEN: i64 = 2047;
 /// pipe, the in-switch budget the paper's scale implies).
 pub const SRC_HLL_PRECISION: u32 = 10;
 
-/// Classifies a frame into the kind cells above ([`KIND_SYN`] for pure
-/// TCP SYNs). Mirrors the streaming detector's classification so both
-/// engines see the same composition.
+/// Everything the trackers need from one frame, parsed in a single
+/// header pass. The worker hot path parses each frame **once** into a
+/// `FrameMeta`, batches the metas in a flat reusable buffer, and feeds
+/// the trackers from the batch ([`ShardState::ingest_meta`]) — the
+/// zero-copy replacement for the old per-tracker re-parse
+/// (`kind_of` + private dst/src key extractors walked the same headers
+/// three times per frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameMeta {
+    /// Packet kind cell ([`KIND_SYN`], [`KIND_TCP`], ...).
+    pub kind: i64,
+    /// Frame length clamped to [`MAX_LEN`].
+    pub len: i64,
+    /// IPv4 destination address as a sketch key (0 for non-IPv4).
+    pub dst: u64,
+    /// IPv4 source address as an HLL key (0 for non-IPv4).
+    pub src: u64,
+}
+
+/// Parses one frame into its [`FrameMeta`] in a single pass.
+/// Non-IPv4 and malformed frames classify as [`KIND_OTHER`] with zero
+/// address keys, exactly as the old per-field extractors did.
 #[must_use]
-pub fn kind_of(frame: &[u8]) -> i64 {
+pub fn parse_frame(frame: &[u8]) -> FrameMeta {
+    let len = (frame.len() as i64).min(MAX_LEN);
+    let other = FrameMeta { kind: KIND_OTHER, len, dst: 0, src: 0 };
     let Ok(eth) = EthernetFrame::new_checked(frame) else {
-        return KIND_OTHER;
+        return other;
     };
     if eth.ethertype() != EtherType::Ipv4 {
-        return KIND_OTHER;
+        return other;
     }
     let Ok(ip) = Ipv4Packet::new_checked(eth.payload()) else {
-        return KIND_OTHER;
+        return other;
     };
-    match ip.protocol() {
+    let kind = match ip.protocol() {
         IpProtocol::Tcp => match TcpSegment::new_checked(ip.payload()) {
             Ok(t) if t.syn() && !t.ack() => KIND_SYN,
             _ => KIND_TCP,
@@ -134,27 +157,21 @@ pub fn kind_of(frame: &[u8]) -> i64 {
             _ => KIND_UDP,
         },
         _ => KIND_OTHER,
+    };
+    FrameMeta {
+        kind,
+        len,
+        dst: u64::from(u32::from(ip.dst())),
+        src: u64::from(u32::from(ip.src())),
     }
 }
 
-fn dst_key(frame: &[u8]) -> u64 {
-    let Ok(eth) = EthernetFrame::new_checked(frame) else {
-        return 0;
-    };
-    if eth.ethertype() != EtherType::Ipv4 {
-        return 0;
-    }
-    Ipv4Packet::new_checked(eth.payload()).map_or(0, |ip| u64::from(u32::from(ip.dst())))
-}
-
-fn src_key(frame: &[u8]) -> u64 {
-    let Ok(eth) = EthernetFrame::new_checked(frame) else {
-        return 0;
-    };
-    if eth.ethertype() != EtherType::Ipv4 {
-        return 0;
-    }
-    Ipv4Packet::new_checked(eth.payload()).map_or(0, |ip| u64::from(u32::from(ip.src())))
+/// Classifies a frame into the kind cells above ([`KIND_SYN`] for pure
+/// TCP SYNs). Mirrors the streaming detector's classification so both
+/// engines see the same composition.
+#[must_use]
+pub fn kind_of(frame: &[u8]) -> i64 {
+    parse_frame(frame).kind
 }
 
 /// Replay-engine configuration.
@@ -235,7 +252,7 @@ impl EnsembleReport {
 /// The full Stat4 state one shard maintains — one instance of every
 /// tracker family the paper builds, so the merge rules of all of them
 /// are exercised.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ShardState {
     /// Packet-kind composition (merged by cellwise count addition).
     pub kinds: FrequencyDist,
@@ -258,6 +275,70 @@ pub struct ShardState {
     pub packets_in_interval: i64,
     /// Frame-length sum of the current (open) interval.
     pub len_sum_in_interval: i64,
+    /// `packets` at the last delta window open — the baseline
+    /// [`Self::take_delta`] ships `packets` against.
+    taken_packets: u64,
+}
+
+/// Equality over the observable statistics only — the delta baseline
+/// (`taken_packets`, plus each tracker's internal dirty journal) is
+/// bookkeeping, invisible to the conformance surface exactly as it is
+/// invisible to serde.
+impl PartialEq for ShardState {
+    fn eq(&self, other: &Self) -> bool {
+        self.kinds == other.kinds
+            && self.len_stats == other.len_stats
+            && self.dst_sketch == other.dst_sketch
+            && self.len_median == other.len_median
+            && self.src_hll == other.src_hll
+            && self.packets == other.packets
+            && self.syn_in_interval == other.syn_in_interval
+            && self.packets_in_interval == other.packets_in_interval
+            && self.len_sum_in_interval == other.len_sum_in_interval
+    }
+}
+
+impl Eq for ShardState {}
+
+/// Everything one shard mutated since its last delta window opened —
+/// the sparse payload the epoch barrier ships instead of the full
+/// tracker set. Built by [`ShardState::take_delta`], applied by
+/// [`ShardState::apply_delta`].
+#[derive(Debug, Clone)]
+pub struct ShardDelta {
+    kinds: FreqDelta,
+    len_stats: RunningDelta,
+    dst_sketch: SketchDelta,
+    len_median: PercentileDelta,
+    src_hll: HllDelta,
+    packets_delta: u64,
+    syn_in_interval: i64,
+    packets_in_interval: i64,
+    len_sum_in_interval: i64,
+}
+
+impl ShardDelta {
+    /// Approximate wire size of this delta in bytes — what a control
+    /// channel would actually ship, the `merge_delta_bytes` telemetry.
+    #[must_use]
+    pub fn wire_bytes(&self) -> u64 {
+        self.kinds.wire_bytes()
+            + self.len_stats.wire_bytes()
+            + self.dst_sketch.wire_bytes()
+            + self.len_median.wire_bytes()
+            + self.src_hll.wire_bytes()
+            // packets_delta + the three interval scalars.
+            + 32
+    }
+
+    /// Register cells / HLL registers carried by this delta.
+    #[must_use]
+    pub fn touched_registers(&self) -> u64 {
+        (self.kinds.touched()
+            + self.dst_sketch.touched()
+            + self.len_median.touched()
+            + self.src_hll.touched()) as u64
+    }
 }
 
 impl ShardState {
@@ -279,24 +360,100 @@ impl ShardState {
             syn_in_interval: 0,
             packets_in_interval: 0,
             len_sum_in_interval: 0,
+            taken_packets: 0,
         }
     }
 
-    /// Ingests one frame.
+    /// Ingests one frame (parse + observe; convenience over
+    /// [`Self::ingest_meta`]).
     pub fn ingest(&mut self, frame: &[u8]) {
-        let kind = kind_of(frame);
-        let _ = self.kinds.observe(kind);
-        let len = (frame.len() as i64).min(MAX_LEN);
-        self.len_stats.push(len);
-        let _ = self.len_median.observe(len);
-        self.dst_sketch.update(dst_key(frame), 1);
-        self.src_hll.observe(src_key(frame));
-        if kind == KIND_SYN {
+        self.ingest_meta(&parse_frame(frame));
+    }
+
+    /// Ingests one already-parsed frame. The pool's worker hot path
+    /// parses a whole batch into [`FrameMeta`]s once and replays the
+    /// flat buffer through here, touching no frame bytes twice.
+    pub fn ingest_meta(&mut self, m: &FrameMeta) {
+        let _ = self.kinds.observe(m.kind);
+        self.len_stats.push(m.len);
+        let _ = self.len_median.observe(m.len);
+        self.dst_sketch.update(m.dst, 1);
+        self.src_hll.observe(m.src);
+        if m.kind == KIND_SYN {
             self.syn_in_interval += 1;
         }
         self.packets += 1;
         self.packets_in_interval += 1;
-        self.len_sum_in_interval += len;
+        self.len_sum_in_interval += m.len;
+    }
+
+    /// Takes everything mutated since the last take (or the last
+    /// [`Self::discard_delta`]) and opens a fresh delta window. The
+    /// interval-scoped scalars ship their **current** values — the
+    /// barrier zeroes them in the accumulator before applying, so each
+    /// epoch's delta carries exactly that epoch's contribution.
+    #[must_use]
+    pub fn take_delta(&mut self) -> ShardDelta {
+        let packets_delta = self.packets - self.taken_packets;
+        self.taken_packets = self.packets;
+        ShardDelta {
+            kinds: self.kinds.take_delta(),
+            len_stats: self.len_stats.take_delta(),
+            dst_sketch: self.dst_sketch.take_delta(),
+            len_median: self.len_median.take_delta(),
+            src_hll: self.src_hll.take_delta(),
+            packets_delta,
+            syn_in_interval: self.syn_in_interval,
+            packets_in_interval: self.packets_in_interval,
+            len_sum_in_interval: self.len_sum_in_interval,
+        }
+    }
+
+    /// Applies a delta taken from a merge-compatible shard. Absent
+    /// counter saturation the result is bit-identical to a full
+    /// [`Self::merge_from`] of the source shard into a state that
+    /// already held everything up to the source's previous take.
+    ///
+    /// # Errors
+    ///
+    /// [`stat4_core::Stat4Error::MergeMismatch`] if the delta indexes
+    /// cells outside this state's tracker geometries.
+    pub fn apply_delta(&mut self, delta: &ShardDelta) -> Stat4Result<()> {
+        self.kinds.apply_delta(&delta.kinds)?;
+        self.len_stats.apply_delta(&delta.len_stats)?;
+        self.dst_sketch.apply_delta(&delta.dst_sketch)?;
+        self.len_median.apply_delta(&delta.len_median)?;
+        self.src_hll.apply_delta(&delta.src_hll)?;
+        self.packets += delta.packets_delta;
+        self.syn_in_interval += delta.syn_in_interval;
+        self.packets_in_interval += delta.packets_in_interval;
+        self.len_sum_in_interval += delta.len_sum_in_interval;
+        Ok(())
+    }
+
+    /// Drops any pending delta and re-bases the window at the current
+    /// state — the coordinator calls this on every source right after
+    /// a full rebuild merge, so the next [`Self::take_delta`] ships
+    /// only post-rebuild mutations.
+    pub fn discard_delta(&mut self) {
+        self.taken_packets = self.packets;
+        self.kinds.discard_delta();
+        self.len_stats.discard_delta();
+        self.dst_sketch.discard_delta();
+        self.len_median.discard_delta();
+        self.src_hll.discard_delta();
+    }
+
+    /// Total register cells this state holds across all trackers — the
+    /// denominator for the `merge_skipped_registers` sparsity counter.
+    #[must_use]
+    pub fn register_cells(&self) -> u64 {
+        let kinds = self.kinds.max_value() - self.kinds.min_value() + 1;
+        let cms = (self.dst_sketch.rows() as u64) * (1u64 << self.dst_sketch.width_log2());
+        let (lo, hi) = self.len_median.domain();
+        let median = (hi - lo + 1) as u64;
+        let hll = 1u64 << self.src_hll.precision();
+        kinds as u64 + cms + median + hll
     }
 
     /// Folds `other` into `self` using each tracker's merge rule.
@@ -503,6 +660,39 @@ pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
         s.clone()
     } else {
         String::from("shard thread panicked (non-string payload)")
+    }
+}
+
+/// The merged median frame length handed to the detectors. An empty
+/// merged state (every shard quarantined) has no median; that used to
+/// be silently flattened to 0 by `unwrap_or` — now the fallback is
+/// still 0 (the detectors need *a* number) but the incident is counted
+/// in `median_fallbacks` so a degraded signal is visible.
+pub(crate) fn median_len_signal(
+    len_median: &PercentileSet,
+    fallbacks: &mut telemetry::Counter,
+) -> i64 {
+    match len_median.estimate(0) {
+        Some(v) => v,
+        None => {
+            fallbacks.inc();
+            0
+        }
+    }
+}
+
+/// The closed interval's SYN count as the detectors' u64 signal. The
+/// counter is i64 (carried-forward arithmetic can in principle go
+/// negative on a corrupted pipe); a negative value used to be silently
+/// flattened to 0 by `unwrap_or` — now the clamp is counted in
+/// `syn_clamps`.
+pub(crate) fn closed_interval_syns(syns: i64, clamps: &mut telemetry::Counter) -> u64 {
+    match u64::try_from(syns) {
+        Ok(v) => v,
+        Err(_) => {
+            clamps.inc();
+            0
+        }
     }
 }
 
@@ -1008,6 +1198,103 @@ mod tests {
             Some("hyperloglog precisions")
         );
         assert!(base.clone().merge_from(&other_precision).is_err());
+    }
+
+    #[test]
+    fn parse_frame_matches_per_field_extraction() {
+        // One parse must agree with the kind classifier on every frame
+        // of a real mixed workload, and malformed frames must land in
+        // the same KIND_OTHER / zero-key bucket the old per-field
+        // extractors produced.
+        let s = small_flood();
+        for (_, frame) in &s {
+            let m = parse_frame(frame);
+            assert_eq!(m.kind, kind_of(frame));
+            assert_eq!(m.len, (frame.len() as i64).min(MAX_LEN));
+            if m.kind != KIND_OTHER {
+                assert!(m.dst != 0 || m.src != 0, "IPv4 frames carry address keys");
+            }
+        }
+        let garbage = [0u8; 9];
+        let m = parse_frame(&garbage);
+        assert_eq!((m.kind, m.dst, m.src, m.len), (KIND_OTHER, 0, 0, 9));
+    }
+
+    #[test]
+    fn ingest_meta_equals_ingest() {
+        let s = small_flood();
+        let cfg = ReplayConfig::default();
+        let mut by_frame = ShardState::new(&cfg);
+        let mut by_meta = ShardState::new(&cfg);
+        for (_, frame) in &s {
+            by_frame.ingest(frame);
+            by_meta.ingest_meta(&parse_frame(frame));
+        }
+        assert_eq!(by_frame, by_meta);
+    }
+
+    #[test]
+    fn shard_delta_equals_full_merge() {
+        // apply_delta(take_delta()) over several windows must land on
+        // the same state as a fresh full merge of the sources — the
+        // invariant the barrier merger's delta path rests on.
+        let s = small_flood();
+        let cfg = ReplayConfig {
+            shards: 3,
+            ..ReplayConfig::default()
+        };
+        let mut shards: Vec<ShardState> = (0..3).map(|_| ShardState::new(&cfg)).collect();
+        let mut acc = ShardState::new(&cfg);
+        let chunk = s.len() / 6;
+        for (i, (_, frame)) in s.iter().enumerate() {
+            shards[i % 3].ingest(frame);
+            if i % chunk == chunk - 1 {
+                // One "barrier": interval-scoped state restarts in the
+                // accumulator, then each shard's delta folds in.
+                acc.syn_in_interval = 0;
+                acc.packets_in_interval = 0;
+                acc.len_sum_in_interval = 0;
+                acc.src_hll.reset();
+                let mut delta_bytes = 0;
+                for sh in &mut shards {
+                    let d = sh.take_delta();
+                    delta_bytes += d.wire_bytes();
+                    assert!(d.touched_registers() <= sh.register_cells());
+                    acc.apply_delta(&d).unwrap();
+                }
+                assert!(delta_bytes > 0);
+                let mut full = ShardState::new(&cfg);
+                for sh in &shards {
+                    full.merge_from(sh).unwrap();
+                }
+                assert_eq!(acc, full, "delta accumulation diverged at frame {i}");
+                // As in both engines: interval state washes on every
+                // shard after the barrier (the HLL delta path relies
+                // on this — a washed HLL journals every live register
+                // of the next interval afresh).
+                for sh in &mut shards {
+                    sh.close_interval();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn median_fallback_and_syn_clamp_are_counted() {
+        let mut fallbacks = telemetry::Counter::new();
+        let empty = PercentileSet::new(0, MAX_LEN, &[Quantile::percentile(50).unwrap()]).unwrap();
+        assert_eq!(median_len_signal(&empty, &mut fallbacks), 0);
+        assert_eq!(fallbacks.get(), 1, "empty estimate is a counted incident");
+        let mut one = empty.clone();
+        one.observe(42).unwrap();
+        assert_eq!(median_len_signal(&one, &mut fallbacks), 42);
+        assert_eq!(fallbacks.get(), 1, "a real estimate adds nothing");
+
+        let mut clamps = telemetry::Counter::new();
+        assert_eq!(closed_interval_syns(17, &mut clamps), 17);
+        assert_eq!(clamps.get(), 0);
+        assert_eq!(closed_interval_syns(-3, &mut clamps), 0);
+        assert_eq!(clamps.get(), 1, "negative SYN count is a counted clamp");
     }
 
     #[test]

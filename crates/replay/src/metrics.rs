@@ -105,9 +105,12 @@ pub struct ReplayTelemetry {
     pub epochs: Counter,
     /// Alerts the central detector raised.
     pub alerts: Counter,
-    /// Wall time of each epoch (spawn → all shards joined), ns.
+    /// Wall time of each epoch (dispatch → merged, detected verdict),
+    /// ns. A real clock measurement: every sample is bounded by the
+    /// run's `elapsed_ns`.
     pub epoch_ns: LogLinearHistogram,
-    /// Time folding shard state into the merged view + detecting, ns.
+    /// Time folding shard state into the merged view per epoch
+    /// (rebuild fold or sparse delta application), ns.
     pub merge_ns: LogLinearHistogram,
     /// The central detector's fire counts and detection-delay
     /// histogram (copied out after the run).
@@ -134,8 +137,34 @@ pub struct ReplayTelemetry {
     /// surviving state, per quarantine incident, ns.
     pub recover_ns: LogLinearHistogram,
     /// Time spent flow-hash partitioning each epoch's frames into
-    /// per-shard work lists (the pre-partition stage), ns.
+    /// per-shard work lists (the pre-partition stage), ns. One sample
+    /// per closed epoch — the warm-up partition of epoch 0's frames,
+    /// which happens before any epoch runs, lands in
+    /// [`Self::prepartition_ns`] instead.
     pub partition_ns: LogLinearHistogram,
+    /// Time spent on the warm-up partition before the first epoch
+    /// (pool engine; zero on the reference engine). Kept out of
+    /// `partition_ns` so that histogram's sample count equals the
+    /// closed-epoch count.
+    pub prepartition_ns: Counter,
+    /// Bytes of sparse delta state shipped across all epoch-barrier
+    /// merges (what a control channel would carry; full rebuild merges
+    /// contribute nothing here).
+    pub merge_delta_bytes: Counter,
+    /// Register cells the delta path did **not** ship because they
+    /// were untouched since the previous barrier — the sparsity win
+    /// over a full-state merge.
+    pub merge_skipped_registers: Counter,
+    /// Epoch barriers that fell back to a full rebuild merge (first
+    /// epoch, resume, or a change in the alive map).
+    pub merge_rebuilds: Counter,
+    /// Median-length estimates that came back empty and were reported
+    /// as 0 to the detectors (previously swallowed by `unwrap_or`).
+    pub median_fallbacks: Counter,
+    /// Closed-interval SYN counts outside the u64 range that were
+    /// clamped to 0 for the detectors (previously swallowed by
+    /// `unwrap_or`).
+    pub syn_clamps: Counter,
     /// Portion of each epoch's partition time that overlapped worker
     /// ingest — the pool's pipelining win; zero on the reference
     /// engine, which partitions serially between barriers.
@@ -191,6 +220,12 @@ impl ReplayTelemetry {
             reports_dropped: Counter::new(),
             recover_ns: LogLinearHistogram::default(),
             partition_ns: LogLinearHistogram::default(),
+            prepartition_ns: Counter::new(),
+            merge_delta_bytes: Counter::new(),
+            merge_skipped_registers: Counter::new(),
+            merge_rebuilds: Counter::new(),
+            median_fallbacks: Counter::new(),
+            syn_clamps: Counter::new(),
             overlap_ns: LogLinearHistogram::default(),
             queue_capacity: 0,
             checkpoints_written: Counter::new(),
@@ -325,13 +360,13 @@ impl ReplayTelemetry {
         );
         snap.push_histogram(
             "replay_epoch_ns",
-            "wall time per epoch (spawn to barrier)",
+            "wall time per epoch (dispatch through merge and detection)",
             &[],
             &self.epoch_ns,
         );
         snap.push_histogram(
             "replay_merge_ns",
-            "time folding shard state and running detection per epoch",
+            "time folding shard state into the merged view per epoch",
             &[],
             &self.merge_ns,
         );
@@ -382,6 +417,42 @@ impl ReplayTelemetry {
             "time flow-hash partitioning each epoch into shard work lists",
             &[],
             &self.partition_ns,
+        );
+        snap.push_counter(
+            "replay_prepartition_ns_total",
+            "time spent on the warm-up partition before the first epoch",
+            &[],
+            self.prepartition_ns.get(),
+        );
+        snap.push_counter(
+            "replay_merge_delta_bytes_total",
+            "bytes of sparse delta state shipped across barrier merges",
+            &[],
+            self.merge_delta_bytes.get(),
+        );
+        snap.push_counter(
+            "replay_merge_skipped_registers_total",
+            "untouched register cells the delta merges did not ship",
+            &[],
+            self.merge_skipped_registers.get(),
+        );
+        snap.push_counter(
+            "replay_merge_rebuilds_total",
+            "epoch barriers that fell back to a full rebuild merge",
+            &[],
+            self.merge_rebuilds.get(),
+        );
+        snap.push_counter(
+            "replay_median_fallbacks_total",
+            "empty median estimates reported to the detectors as 0",
+            &[],
+            self.median_fallbacks.get(),
+        );
+        snap.push_counter(
+            "replay_syn_clamps_total",
+            "out-of-range closed-interval SYN counts clamped to 0",
+            &[],
+            self.syn_clamps.get(),
         );
         snap.push_histogram(
             "replay_overlap_ns",

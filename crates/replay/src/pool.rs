@@ -129,6 +129,10 @@ fn elapsed_ns(t: Instant) -> u64 {
 /// both channel ends — the reply-channel disconnect is how the
 /// supervisor notices.
 fn worker_loop<'a>(shard: usize, rx: &Receiver<Dispatch<'a>>, tx: &SyncSender<Reply<'a>>) {
+    // Flat parsed-batch buffer, reused for the worker's whole life:
+    // each batch's headers are parsed once into it, then the trackers
+    // replay the metas without touching the frame bytes again.
+    let mut metas: Vec<crate::FrameMeta> = Vec::new();
     while let Ok(Dispatch::Epoch(mut work)) = rx.recv() {
         let queue_wait_ns = elapsed_ns(work.sent_at);
         let mut tracer = work.tracer;
@@ -151,8 +155,10 @@ fn worker_loop<'a>(shard: usize, rx: &Receiver<Dispatch<'a>>, tx: &SyncSender<Re
         tracer.begin("ingest", work.epoch_idx);
         let busy = Instant::now();
         for chunk in work.frames.chunks(work.batch) {
-            for frame in chunk {
-                work.state.ingest(frame);
+            metas.clear();
+            metas.extend(chunk.iter().map(|f| crate::parse_frame(f)));
+            for m in &metas {
+                work.state.ingest_meta(m);
             }
         }
         let busy_ns = elapsed_ns(busy);
@@ -293,15 +299,27 @@ pub(crate) fn run(
         }
     }
 
+    // Incremental barrier merger: keeps the previous epoch's merged
+    // view and folds per-shard deltas into it; rebuilds from scratch
+    // (the old full fold) on the first barrier and whenever the alive
+    // map changes. A resume starts with no accumulator, so its first
+    // barrier is a rebuild over the restored states.
+    let mut merger = crate::barrier::BarrierMerger::new();
+
     let started = Instant::now();
 
     if !schedule.is_empty() {
         // Parallel pre-partition stage: hash every frame's flow once,
         // up front. Assignments depend only on frame bytes — the
         // alive-dependent routing stays per-epoch (and overlapped).
+        // Recorded as `prepartition_ns`, not into the per-epoch
+        // `partition_ns` histogram: this warm-up pass happens before
+        // any epoch runs, and counting it there left the histogram
+        // with epochs + 1 samples — off by one against every
+        // per-epoch series.
         let hash_started = Instant::now();
         let homes = workloads::shard::assignments_parallel(schedule, cfg.shards, PARTITION_THREADS);
-        telemetry.partition_ns.record(elapsed_ns(hash_started));
+        telemetry.prepartition_ns.add(elapsed_ns(hash_started));
 
         // Epoch boundaries: contiguous runs of `t / interval` in the
         // time-sorted schedule, exactly like the reference engine.
@@ -680,15 +698,28 @@ pub(crate) fn run(
                     telemetry.trace.begin("merge", epoch_idx);
                 }
                 let merge_started = Instant::now();
-                let entries: Vec<(usize, &ShardState)> = states
-                    .iter()
+                let mut entries: Vec<(usize, &mut ShardState)> = states
+                    .iter_mut()
                     .enumerate()
-                    .filter_map(|(s, st)| st.as_ref().map(|st| (s, st)))
+                    .filter_map(|(s, st)| st.as_mut().map(|st| (s, st)))
                     .collect();
-                let merged =
-                    merge_surviving_entries(&entries, &mut alive, cfg, epoch_idx, &mut incidents);
+                let merge_stats =
+                    merger.merge(&mut entries, &mut alive, cfg, epoch_idx, &mut incidents);
+                drop(entries);
+                let merged = merger.merged();
+                let merge_ns = elapsed_ns(merge_started);
                 if traces_on {
                     telemetry.trace.end("merge", epoch_idx);
+                }
+                if hists_on {
+                    telemetry.merge_ns.record(merge_ns);
+                }
+                telemetry.merge_delta_bytes.add(merge_stats.delta_bytes);
+                telemetry
+                    .merge_skipped_registers
+                    .add(merge_stats.skipped_registers);
+                if merge_stats.rebuilt {
+                    telemetry.merge_rebuilds.inc();
                 }
                 let at = (epoch_idx + 1) * interval;
                 let mut any_fired = false;
@@ -718,7 +749,10 @@ pub(crate) fn run(
                         len_sum: (merged.len_sum_in_interval + carried_len_sum) / span,
                         distinct_sources: i64::try_from(merged.src_hll.estimate())
                             .unwrap_or(i64::MAX),
-                        median_len: merged.len_median.estimate(0).unwrap_or(0),
+                        median_len: crate::median_len_signal(
+                            &merged.len_median,
+                            &mut telemetry.median_fallbacks,
+                        ),
                         kinds: &merged.kinds,
                         len_stats: &merged.len_stats,
                     };
@@ -770,15 +804,16 @@ pub(crate) fn run(
                     carried_epochs = 0;
                     carried_from.clear();
                 }
-                let merge_ns = elapsed_ns(merge_started);
-                if hists_on {
-                    telemetry.merge_ns.record(merge_ns);
-                }
                 if any_fired && traces_on {
                     telemetry.trace.instant("alert", epoch_idx);
                 }
                 if hists_on {
-                    telemetry.epoch_ns.record(epoch_wall.saturating_add(merge_ns));
+                    // Actual wall time of the whole epoch (dispatch
+                    // through merge and detection). The old record
+                    // summed the ingest window with the merge window,
+                    // double-counting any overlap — epoch_ns samples
+                    // could exceed what a wall clock ever measured.
+                    telemetry.epoch_ns.record(elapsed_ns(epoch_started));
                 }
                 telemetry.epochs.inc();
                 if let Some(dur) = spec_route_ns {
@@ -819,8 +854,10 @@ pub(crate) fn run(
                                 tr.begin("close_interval", epoch_idx);
                             }
                         }
-                        m.syn_packets
-                            .add(u64::try_from(state.syn_in_interval).unwrap_or(0));
+                        m.syn_packets.add(crate::closed_interval_syns(
+                            state.syn_in_interval,
+                            &mut telemetry.syn_clamps,
+                        ));
                         state.close_interval();
                         if traces_on {
                             if let Some(tr) = shard_tracers[s].as_mut() {

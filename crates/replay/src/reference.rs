@@ -80,6 +80,10 @@ pub fn run_replay_with_faults(
     let mut drill = ScoreDrilldown::new(cfg.ensemble.trigger);
     let mut provenance: Vec<AlertProvenanceRecord> = Vec::new();
 
+    // Incremental barrier merger — same delta path as the pool engine,
+    // so conformance covers the sparse merge on both sides.
+    let mut merger = crate::barrier::BarrierMerger::new();
+
     let started = std::time::Instant::now();
 
     // Cut the schedule into epochs (one detector interval each). The
@@ -228,8 +232,21 @@ pub fn run_replay_with_faults(
         // central detector judge the merged aggregates.
         telemetry.trace.begin("merge", epoch_idx);
         let merge_started = std::time::Instant::now();
-        let merged = merge_surviving(&shards, &mut alive, cfg, epoch_idx, &mut incidents);
+        let mut entries: Vec<(usize, &mut ShardState)> =
+            shards.iter_mut().enumerate().collect();
+        let merge_stats = merger.merge(&mut entries, &mut alive, cfg, epoch_idx, &mut incidents);
+        drop(entries);
+        let merged = merger.merged();
+        let merge_ns = u64::try_from(merge_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         telemetry.trace.end("merge", epoch_idx);
+        telemetry.merge_ns.record(merge_ns);
+        telemetry.merge_delta_bytes.add(merge_stats.delta_bytes);
+        telemetry
+            .merge_skipped_registers
+            .add(merge_stats.skipped_registers);
+        if merge_stats.rebuilt {
+            telemetry.merge_rebuilds.inc();
+        }
         let at = (epoch_idx + 1) * interval;
         let mut any_fired = false;
         if faults.drop_epoch_report(epoch_idx) {
@@ -253,7 +270,10 @@ pub fn run_replay_with_faults(
                 syns: (merged.syn_in_interval + carried_syns) / span,
                 len_sum: (merged.len_sum_in_interval + carried_len_sum) / span,
                 distinct_sources: i64::try_from(merged.src_hll.estimate()).unwrap_or(i64::MAX),
-                median_len: merged.len_median.estimate(0).unwrap_or(0),
+                median_len: crate::median_len_signal(
+                    &merged.len_median,
+                    &mut telemetry.median_fallbacks,
+                ),
                 kinds: &merged.kinds,
                 len_stats: &merged.len_stats,
             };
@@ -289,12 +309,15 @@ pub fn run_replay_with_faults(
             carried_epochs = 0;
             carried_from.clear();
         }
-        let merge_ns = u64::try_from(merge_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        telemetry.merge_ns.record(merge_ns);
         if any_fired {
             telemetry.trace.instant("alert", epoch_idx);
         }
-        telemetry.epoch_ns.record(epoch_wall.saturating_add(merge_ns));
+        // Actual wall time of the whole epoch (spawn through merge and
+        // detection) — see the pool engine for the double-count this
+        // replaces.
+        telemetry
+            .epoch_ns
+            .record(u64::try_from(epoch_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
         telemetry.epochs.inc();
 
         // Quarantine bookkeeping: recovery is complete once the
@@ -317,7 +340,8 @@ pub fn run_replay_with_faults(
             .enumerate()
         {
             telemetry.shard_traces[i].begin("close_interval", epoch_idx);
-            m.syn_packets.add(u64::try_from(s.syn_in_interval).unwrap_or(0));
+            m.syn_packets
+                .add(crate::closed_interval_syns(s.syn_in_interval, &mut telemetry.syn_clamps));
             s.close_interval();
             telemetry.shard_traces[i].end("close_interval", epoch_idx);
         }

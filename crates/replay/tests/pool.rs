@@ -245,10 +245,12 @@ fn pool_reports_queue_and_pipeline_telemetry() {
         // Collect-before-dispatch keeps at most one epoch in flight.
         assert_eq!(m.queue_depth.max(), Some(1), "shard {s_idx}: queue depth");
     }
-    // Partition work: one up-front hash pass, one initial route, and
-    // one speculative route per remaining epoch (faultless runs never
-    // mispredict).
-    assert_eq!(t.partition_ns.count(), out.epochs + 1);
+    // Partition work: one initial route plus one speculative route per
+    // remaining epoch (faultless runs never mispredict) — exactly one
+    // sample per epoch. The up-front hash pass lands in the dedicated
+    // warm-up counter, not the per-epoch histogram.
+    assert_eq!(t.partition_ns.count(), out.epochs);
+    assert!(t.prepartition_ns.get() > 0, "warm-up hash pass recorded");
     // Every epoch except the last overlapped the next epoch's routing.
     assert_eq!(t.overlap_ns.count(), out.epochs - 1);
 
@@ -291,4 +293,139 @@ fn pool_beats_reference_on_four_shards() {
         pool_best < ref_best,
         "4-shard pool ({pool_best:?}) must beat the scope-respawn engine ({ref_best:?})"
     );
+}
+
+/// The epoch histogram must record what a wall clock actually
+/// measured. The old record summed the ingest window with the merge
+/// window — double-counting overlap — so `epoch_ns` samples could
+/// exceed real time. Every epoch's wall time strictly contains its
+/// merge window, so exact sums must dominate.
+#[test]
+fn epoch_ns_is_wall_time_and_dominates_merge_ns() {
+    let s = small_flood();
+    for engine in ["pool", "reference"] {
+        let cfg = ReplayConfig {
+            shards: 4,
+            ..ReplayConfig::default()
+        };
+        let out = if engine == "pool" {
+            run_replay(&s, &cfg)
+        } else {
+            reference::run_replay(&s, &cfg)
+        };
+        let t = &out.telemetry;
+        assert_eq!(t.epoch_ns.count(), out.epochs, "{engine}: one sample per epoch");
+        assert_eq!(t.merge_ns.count(), out.epochs, "{engine}: one merge per epoch");
+        assert!(
+            t.epoch_ns.sum() >= t.merge_ns.sum(),
+            "{engine}: epoch wall time ({}) must contain the merge window ({})",
+            t.epoch_ns.sum(),
+            t.merge_ns.sum()
+        );
+        assert!(
+            u128::from(t.elapsed_ns) >= t.epoch_ns.sum(),
+            "{engine}: run wall time ({}) must contain every epoch ({}) — \
+             the double-count this regression test guards against",
+            t.elapsed_ns,
+            t.epoch_ns.sum()
+        );
+    }
+}
+
+/// Steady-state barriers ship sparse deltas; quarantines force full
+/// rebuilds. Both paths must stay bit-identical across engines — and
+/// the delta telemetry itself is deterministic (journals depend only
+/// on the frame sequence), so it must match across engines too.
+#[test]
+fn delta_merges_are_sparse_and_identical_across_engines() {
+    let s = small_flood();
+    let cfg = ReplayConfig {
+        shards: 4,
+        ..ReplayConfig::default()
+    };
+
+    // Faultless: exactly one rebuild (the first barrier), everything
+    // else rides the delta path.
+    let pool = run_replay(&s, &cfg);
+    let refr = reference::run_replay(&s, &cfg);
+    assert_outcomes_identical(&pool, &refr, "faultless delta merges");
+    for (name, out) in [("pool", &pool), ("reference", &refr)] {
+        let t = &out.telemetry;
+        assert_eq!(t.merge_rebuilds.get(), 1, "{name}: only the first barrier rebuilds");
+        assert!(t.merge_delta_bytes.get() > 0, "{name}: deltas shipped");
+        assert!(
+            t.merge_skipped_registers.get() > 0,
+            "{name}: untouched registers skipped"
+        );
+    }
+    for (name, p, r) in [
+        ("merge_rebuilds", pool.telemetry.merge_rebuilds.get(), refr.telemetry.merge_rebuilds.get()),
+        (
+            "merge_delta_bytes",
+            pool.telemetry.merge_delta_bytes.get(),
+            refr.telemetry.merge_delta_bytes.get(),
+        ),
+        (
+            "merge_skipped_registers",
+            pool.telemetry.merge_skipped_registers.get(),
+            refr.telemetry.merge_skipped_registers.get(),
+        ),
+    ] {
+        assert_eq!(p, r, "faultless: delta telemetry counter {name}");
+    }
+
+    // A quarantined shard's carried-forward state must leave the
+    // merged view through a rebuild, then the survivors resume the
+    // delta path — outcomes stay identical and the rebuild count shows
+    // both transitions (first barrier + post-quarantine).
+    let faults = FaultSchedule::parse("shard_crash=1@3,shard_panic=2@5", 7).unwrap();
+    let pool = run_replay_with_faults(&s, &cfg, &faults);
+    let refr = reference::run_replay_with_faults(&s, &cfg, &faults);
+    assert_outcomes_identical(&pool, &refr, "quarantine through the delta path");
+    assert_eq!(pool.health.incidents.len(), 2);
+    for (name, out) in [("pool", &pool), ("reference", &refr)] {
+        let t = &out.telemetry;
+        assert_eq!(
+            t.merge_rebuilds.get(),
+            3,
+            "{name}: first barrier + one rebuild per quarantine epoch"
+        );
+        assert!(t.merge_delta_bytes.get() > 0, "{name}: survivors still delta-merge");
+    }
+    assert_eq!(
+        pool.telemetry.merge_delta_bytes.get(),
+        refr.telemetry.merge_delta_bytes.get(),
+        "chaos: delta bytes identical across engines"
+    );
+    assert_eq!(
+        pool.telemetry.merge_skipped_registers.get(),
+        refr.telemetry.merge_skipped_registers.get(),
+        "chaos: skipped registers identical across engines"
+    );
+}
+
+/// With every shard quarantined the merged view is empty, so the
+/// median estimate has no answer. That used to be silently flattened
+/// to 0; now each fallback is counted — identically on both engines.
+#[test]
+fn total_shard_loss_counts_median_fallbacks() {
+    let s = small_flood();
+    let cfg = ReplayConfig {
+        shards: 2,
+        ..ReplayConfig::default()
+    };
+    let faults = FaultSchedule::parse("shard_crash=0@1,shard_panic=1@1", 0).unwrap();
+    let pool = run_replay_with_faults(&s, &cfg, &faults);
+    let refr = reference::run_replay_with_faults(&s, &cfg, &faults);
+    assert_outcomes_identical(&pool, &refr, "total loss median fallback");
+    assert!(
+        pool.telemetry.median_fallbacks.get() > 0,
+        "empty merged state must be counted, not silently zeroed"
+    );
+    assert_eq!(
+        pool.telemetry.median_fallbacks.get(),
+        refr.telemetry.median_fallbacks.get(),
+        "median fallbacks identical across engines"
+    );
+    assert_eq!(pool.telemetry.syn_clamps.get(), 0, "no negative SYN counts here");
 }

@@ -16,6 +16,7 @@
 //! register array a switch pre-allocates (`STAT_COUNTER_SIZE` cells); the
 //! paper's validation app uses the domain `[-255, 255]`.
 
+use crate::delta::{DeltaMergeable, DirtyJournal, FreqDelta};
 use crate::error::{Stat4Error, Stat4Result};
 use crate::isqrt::approx_isqrt;
 use crate::running::RunningStats;
@@ -23,7 +24,7 @@ use serde::{Deserialize, Serialize};
 
 /// A bounded-domain frequency distribution with O(1) updates of
 /// `N`, `Xsum` and `Xsumsq`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FrequencyDist {
     min: i64,
     max: i64,
@@ -34,7 +35,26 @@ pub struct FrequencyDist {
     total: u64,
     /// Sum of squared frequencies (`Xsumsq = Σ f_i²`).
     sumsq: u128,
+    /// Buckets touched since the last `take_delta`; not part of the
+    /// distribution's identity (excluded from eq and serde).
+    #[serde(skip, default)]
+    journal: DirtyJournal,
 }
+
+/// Equality is over counters and moments only — the dirty journal is
+/// bookkeeping, not identity.
+impl PartialEq for FrequencyDist {
+    fn eq(&self, other: &Self) -> bool {
+        self.min == other.min
+            && self.max == other.max
+            && self.counts == other.counts
+            && self.n_distinct == other.n_distinct
+            && self.total == other.total
+            && self.sumsq == other.sumsq
+    }
+}
+
+impl Eq for FrequencyDist {}
 
 impl FrequencyDist {
     /// Creates a distribution over the inclusive domain `[min, max]`.
@@ -58,6 +78,7 @@ impl FrequencyDist {
             n_distinct: 0,
             total: 0,
             sumsq: 0,
+            journal: DirtyJournal::new(),
         })
     }
 
@@ -93,6 +114,7 @@ impl FrequencyDist {
             n_distinct,
             total,
             sumsq,
+            journal: DirtyJournal::new(),
         })
     }
 
@@ -137,6 +159,7 @@ impl FrequencyDist {
             max: self.max,
         })?;
         let f = self.counts[idx];
+        self.journal.mark(idx, f);
         if f == 0 {
             self.n_distinct += 1;
         }
@@ -169,6 +192,7 @@ impl FrequencyDist {
                 op: "forget on zero count",
             });
         }
+        self.journal.mark(idx, f);
         // Xsumsq -= f² − (f−1)² = 2f − 1. Saturating like `observe`:
         // once any accumulator has pinned at its ceiling the moments are
         // no longer exact, so the inverse update must not trap either.
@@ -262,12 +286,61 @@ impl FrequencyDist {
         s
     }
 
-    /// Clears all counters and moments.
+    /// Clears all counters and moments (and re-bases the dirty journal:
+    /// a reset distribution has nothing to ship).
     pub fn reset(&mut self) {
         self.counts.fill(0);
         self.n_distinct = 0;
         self.total = 0;
         self.sumsq = 0;
+        self.journal.clear();
+    }
+}
+
+impl DeltaMergeable for FrequencyDist {
+    type Delta = FreqDelta;
+
+    fn take_delta(&mut self) -> FreqDelta {
+        let cells = self
+            .journal
+            .take()
+            .into_iter()
+            .map(|(idx, base)| (idx, base, self.counts[idx as usize]))
+            .collect();
+        FreqDelta { cells }
+    }
+
+    /// Applies the count increments cellwise and updates the moments
+    /// incrementally from the old/new cell values — exactly what the
+    /// full merge's recomputation yields, one touched cell at a time
+    /// (bit-identical absent accumulator saturation).
+    fn apply_delta(&mut self, delta: &FreqDelta) -> Stat4Result<()> {
+        for &(idx, base, cur) in &delta.cells {
+            let c = self
+                .counts
+                .get_mut(idx as usize)
+                .ok_or(Stat4Error::MergeMismatch {
+                    what: "frequency domains",
+                })?;
+            let old = *c;
+            let new = if cur >= base {
+                old.saturating_add(cur - base)
+            } else {
+                old.saturating_sub(base - cur)
+            };
+            *c = new;
+            if old == 0 && new != 0 {
+                self.n_distinct += 1;
+            } else if old != 0 && new == 0 {
+                self.n_distinct -= 1;
+            }
+            self.total = self.total.saturating_sub(old).saturating_add(new);
+            self.sumsq = self
+                .sumsq
+                .saturating_sub(u128::from(old) * u128::from(old))
+                .saturating_add(u128::from(new) * u128::from(new));
+        }
+        Ok(())
     }
 }
 

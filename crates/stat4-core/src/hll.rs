@@ -20,16 +20,31 @@
 //! sequential register file exactly, so sharded replay stays
 //! bit-identical at every shard count.
 
+use crate::delta::{DeltaMergeable, DirtyJournal, HllDelta};
 use crate::error::{Stat4Error, Stat4Result};
 use crate::merge::Mergeable;
 use serde::{Deserialize, Serialize};
 
 /// A HyperLogLog sketch with `2^precision` one-byte registers.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HyperLogLog {
     precision: u32,
     registers: Vec<u8>,
+    /// Registers that rose since the last `take_delta`; not part of the
+    /// sketch's identity (excluded from eq and serde).
+    #[serde(skip, default)]
+    journal: DirtyJournal,
 }
+
+/// Equality is over the register file only — the dirty journal is
+/// bookkeeping, not identity.
+impl PartialEq for HyperLogLog {
+    fn eq(&self, other: &Self) -> bool {
+        self.precision == other.precision && self.registers == other.registers
+    }
+}
+
+impl Eq for HyperLogLog {}
 
 /// SplitMix64 finalizer: a full-avalanche 64-bit mix so that raw keys
 /// (IPv4 addresses, flow hashes) spread uniformly over registers.
@@ -86,6 +101,7 @@ impl HyperLogLog {
         Ok(Self {
             precision,
             registers: vec![0; 1 << precision],
+            journal: DirtyJournal::new(),
         })
     }
 
@@ -110,6 +126,7 @@ impl HyperLogLog {
         Ok(Self {
             precision,
             registers,
+            journal: DirtyJournal::new(),
         })
     }
 
@@ -140,6 +157,7 @@ impl HyperLogLog {
             (rest.leading_zeros() + 1) as u8
         };
         if rank > self.registers[idx] {
+            self.journal.mark(idx, u64::from(self.registers[idx]));
             self.registers[idx] = rank;
         }
     }
@@ -196,9 +214,42 @@ impl HyperLogLog {
     }
 
     /// Clears every register, as the switch does when the controller
-    /// rebinds the register block at an interval boundary.
+    /// rebinds the register block at an interval boundary (and re-bases
+    /// the dirty journal: a reset sketch has nothing to ship).
     pub fn reset(&mut self) {
         self.registers.fill(0);
+        self.journal.clear();
+    }
+}
+
+impl DeltaMergeable for HyperLogLog {
+    type Delta = HllDelta;
+
+    fn take_delta(&mut self) -> HllDelta {
+        let regs = self
+            .journal
+            .take()
+            .into_iter()
+            // Registers only rise between resets, so the current rank
+            // alone is the delta: max-merge needs no base.
+            .map(|(idx, _base)| (idx, self.registers[idx as usize]))
+            .collect();
+        HllDelta { regs }
+    }
+
+    /// Maxes the risen registers in — commutative, associative and
+    /// idempotent like the full merge, hence exact unconditionally.
+    fn apply_delta(&mut self, delta: &HllDelta) -> Stat4Result<()> {
+        for &(idx, rank) in &delta.regs {
+            let r = self
+                .registers
+                .get_mut(idx as usize)
+                .ok_or(Stat4Error::MergeMismatch {
+                    what: "hyperloglog precisions",
+                })?;
+            *r = (*r).max(rank);
+        }
+        Ok(())
     }
 }
 

@@ -53,6 +53,7 @@
 
 pub mod check;
 pub mod cusum;
+pub mod delta;
 pub mod error;
 pub mod ewma;
 pub mod freq;
@@ -70,6 +71,10 @@ pub mod window;
 
 pub use check::{OutlierCheck, RateCheck, Verdict};
 pub use cusum::{CusumDetector, TwoSidedCusum};
+pub use delta::{
+    DeltaMergeable, DirtyJournal, FreqDelta, HllDelta, PercentileDelta, RunningDelta,
+    SketchDelta,
+};
 pub use ewma::Ewma;
 pub use error::{Stat4Error, Stat4Result};
 pub use freq::FrequencyDist;

@@ -39,6 +39,14 @@
 //! depend on *how* the traffic was split — exactly what the conformance
 //! suite forbids. The marker-work anomaly signal remains available on
 //! the live per-shard trackers, which never merge in place.
+//!
+//! Full-state merges are O(state size) however sparse the interval's
+//! traffic was. The [`crate::delta`] module layers sparse merging on
+//! top of this trait ([`crate::delta::DeltaMergeable`]): trackers
+//! journal the cells they touch, and a coordinator that already holds
+//! the previous fold applies only those cells — same results (the table
+//! above is preserved entry for entry), per-merge work proportional to
+//! the traffic actually observed.
 
 use crate::error::Stat4Result;
 

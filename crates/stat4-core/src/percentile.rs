@@ -23,6 +23,7 @@
 //! the lag ablation (what an unconstrained, loop-capable tracker would
 //! do).
 
+use crate::delta::{DeltaMergeable, DirtyJournal, PercentileDelta};
 use crate::error::{Stat4Error, Stat4Result};
 use serde::{Deserialize, Serialize};
 
@@ -238,14 +239,35 @@ pub struct MarkerRaw {
 /// A frequency-counter array with any number of percentile markers
 /// tracked over it — the register layout a Stat4 switch allocates per
 /// monitored distribution.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PercentileSet {
     min: i64,
     max: i64,
     counts: Vec<u64>,
     total: u64,
     markers: Vec<Marker>,
+    /// Cells touched since the last `take_delta`; not part of the
+    /// tracker's identity (excluded from eq and serde).
+    #[serde(skip, default)]
+    journal: DirtyJournal,
+    /// `total` at the last `take_delta` — the delta's total baseline.
+    #[serde(skip, default)]
+    taken_total: u64,
 }
+
+/// Equality is over counters, total and markers only — the dirty
+/// journal is bookkeeping, not identity.
+impl PartialEq for PercentileSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.min == other.min
+            && self.max == other.max
+            && self.counts == other.counts
+            && self.total == other.total
+            && self.markers == other.markers
+    }
+}
+
+impl Eq for PercentileSet {}
 
 impl PercentileSet {
     /// Creates an empty tracker over the inclusive domain `[min, max]`
@@ -268,6 +290,8 @@ impl PercentileSet {
             counts: vec![0; size as usize],
             total: 0,
             markers: quantiles.iter().copied().map(Marker::new).collect(),
+            journal: DirtyJournal::new(),
+            taken_total: 0,
         })
     }
 
@@ -320,6 +344,9 @@ impl PercentileSet {
             counts,
             total,
             markers,
+            journal: DirtyJournal::new(),
+            // Restored state ships nothing until the next rebuild.
+            taken_total: total,
         })
     }
 
@@ -364,6 +391,7 @@ impl PercentileSet {
         for m in &mut self.markers {
             m.record(idx);
         }
+        self.journal.mark(idx, self.counts[idx]);
         self.counts[idx] += 1;
         self.total += 1;
         for m in &mut self.markers {
@@ -446,7 +474,8 @@ impl PercentileSet {
         })
     }
 
-    /// Clears all counters and markers.
+    /// Clears all counters and markers (and re-bases the dirty journal:
+    /// a reset tracker has nothing to ship).
     pub fn reset(&mut self) {
         self.counts.fill(0);
         self.total = 0;
@@ -454,6 +483,60 @@ impl PercentileSet {
             let q = m.q;
             *m = Marker::new(q);
         }
+        self.journal.clear();
+        self.taken_total = 0;
+    }
+}
+
+impl DeltaMergeable for PercentileSet {
+    type Delta = PercentileDelta;
+
+    fn take_delta(&mut self) -> PercentileDelta {
+        let cells = self
+            .journal
+            .take()
+            .into_iter()
+            .map(|(idx, base)| (idx, base, self.counts[idx as usize]))
+            .collect();
+        let total_base = self.taken_total;
+        self.taken_total = self.total;
+        PercentileDelta {
+            cells,
+            total_base,
+            total_cur: self.total,
+        }
+    }
+
+    /// Applies the count increments cellwise, then **rebuilds every
+    /// marker** from the merged counters — the same canonicalisation
+    /// [`crate::merge::Mergeable::merge_from`] performs. Because the
+    /// rebuilt marker is a pure function of `(counts, total)`, the
+    /// delta-applied tracker is bit-identical to a full merge no matter
+    /// how many delta windows it absorbed.
+    fn apply_delta(&mut self, delta: &PercentileDelta) -> Stat4Result<()> {
+        for &(idx, base, cur) in &delta.cells {
+            let c = self
+                .counts
+                .get_mut(idx as usize)
+                .ok_or(Stat4Error::MergeMismatch {
+                    what: "percentile domains",
+                })?;
+            *c = if cur >= base {
+                c.saturating_add(cur - base)
+            } else {
+                c.saturating_sub(base - cur)
+            };
+        }
+        let (tb, tc) = (delta.total_base, delta.total_cur);
+        self.total = if tc >= tb {
+            self.total.saturating_add(tc - tb)
+        } else {
+            self.total.saturating_sub(tb - tc)
+        };
+        for m in &mut self.markers {
+            m.rebuild(&self.counts, self.total);
+        }
+        Ok(())
     }
 }
 

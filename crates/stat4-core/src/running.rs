@@ -23,6 +23,7 @@
 //! accessor memoises the last computed value for the eager-vs-lazy
 //! ablation benchmark.
 
+use crate::delta::{DeltaMergeable, RunningDelta};
 use crate::isqrt::approx_isqrt;
 use serde::{Deserialize, Serialize};
 
@@ -39,7 +40,7 @@ use serde::{Deserialize, Serialize};
 /// itself is checked in debug builds and saturates in release builds —
 /// matching how a fixed-width P4 register would wrap-or-clamp rather than
 /// trap.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RunningStats {
     n: u64,
     sum: i64,
@@ -47,7 +48,26 @@ pub struct RunningStats {
     /// Memoised standard deviation, invalidated on every push.
     #[serde(skip)]
     sd_cache: Option<u64>,
+    /// Accumulator values at the last `take_delta` — the baseline the
+    /// next delta is computed against. Like `sd_cache`, derived
+    /// bookkeeping: excluded from eq and serde.
+    #[serde(skip)]
+    taken_n: u64,
+    #[serde(skip)]
+    taken_sum: i64,
+    #[serde(skip)]
+    taken_sumsq: i64,
 }
+
+/// Equality is over the three accumulators only — the σ memo and the
+/// delta baseline are derived bookkeeping, not identity.
+impl PartialEq for RunningStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.sum == other.sum && self.sumsq == other.sumsq
+    }
+}
+
+impl Eq for RunningStats {}
 
 impl RunningStats {
     /// Creates an empty tracker (`N = 0`).
@@ -68,6 +88,10 @@ impl RunningStats {
             sum: xsum,
             sumsq: xsumsq,
             sd_cache: None,
+            // Restored state ships nothing until the next rebuild.
+            taken_n: n,
+            taken_sum: xsum,
+            taken_sumsq: xsumsq,
         }
     }
 
@@ -261,6 +285,38 @@ impl crate::merge::Mergeable for RunningStats {
     /// sequential state. Infallible (no configuration to mismatch).
     fn merge_from(&mut self, other: &Self) -> crate::error::Stat4Result<()> {
         self.absorb(other);
+        Ok(())
+    }
+}
+
+impl DeltaMergeable for RunningStats {
+    type Delta = RunningDelta;
+
+    fn take_delta(&mut self) -> RunningDelta {
+        let d = RunningDelta {
+            dn: i128::from(self.n) - i128::from(self.taken_n),
+            dsum: i128::from(self.sum) - i128::from(self.taken_sum),
+            dsumsq: i128::from(self.sumsq) - i128::from(self.taken_sumsq),
+        };
+        self.taken_n = self.n;
+        self.taken_sum = self.sum;
+        self.taken_sumsq = self.sumsq;
+        d
+    }
+
+    /// Adds the accumulator changes, clamping at the register bounds
+    /// exactly as `absorb`'s saturating adds do. Infallible, like the
+    /// full merge.
+    fn apply_delta(&mut self, delta: &RunningDelta) -> crate::error::Stat4Result<()> {
+        let n = i128::from(self.n) + delta.dn;
+        self.n = u64::try_from(n.clamp(0, i128::from(u64::MAX))).expect("clamped into range");
+        let sum = i128::from(self.sum) + delta.dsum;
+        self.sum = i64::try_from(sum.clamp(i128::from(i64::MIN), i128::from(i64::MAX)))
+            .expect("clamped into range");
+        let sumsq = i128::from(self.sumsq) + delta.dsumsq;
+        self.sumsq = i64::try_from(sumsq.clamp(i128::from(i64::MIN), i128::from(i64::MAX)))
+            .expect("clamped into range");
+        self.sd_cache = None;
         Ok(())
     }
 }

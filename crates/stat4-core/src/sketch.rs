@@ -21,6 +21,7 @@
 //!   count is a compile-time constant). The `sketch` bench quantifies
 //!   the accuracy gap.
 
+use crate::delta::{DeltaMergeable, DirtyJournal, SketchDelta};
 use serde::{Deserialize, Serialize};
 
 /// Per-row multiply-shift hash constants (odd, from the golden-ratio
@@ -50,7 +51,7 @@ pub fn row_hash(salt: u64, width_log2: u32, key: u64) -> u64 {
 }
 
 /// A count-min sketch over `u64` keys.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CountMinSketch {
     rows: usize,
     /// Column mask (`width − 1`; width is a power of two so indexing is
@@ -60,7 +61,28 @@ pub struct CountMinSketch {
     cells: Vec<u64>,
     /// Total increments (the stream length `N` in the error bound).
     total: u64,
+    /// Cells touched since the last `take_delta` (dirty state is not
+    /// part of the sketch's identity: excluded from eq and serde).
+    #[serde(skip, default)]
+    journal: DirtyJournal,
+    /// `total` at the last `take_delta` — the delta's total baseline.
+    #[serde(skip, default)]
+    taken_total: u64,
 }
+
+/// Equality is over register state only — the dirty journal is
+/// bookkeeping, not identity.
+impl PartialEq for CountMinSketch {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.mask == other.mask
+            && self.width_log2 == other.width_log2
+            && self.cells == other.cells
+            && self.total == other.total
+    }
+}
+
+impl Eq for CountMinSketch {}
 
 impl CountMinSketch {
     /// Creates a sketch of `rows × 2^width_log2` counters.
@@ -80,6 +102,8 @@ impl CountMinSketch {
             width_log2,
             cells: vec![0; rows * width],
             total: 0,
+            journal: DirtyJournal::new(),
+            taken_total: 0,
         }
     }
 
@@ -106,6 +130,9 @@ impl CountMinSketch {
             width_log2,
             cells,
             total,
+            journal: DirtyJournal::new(),
+            // Restored state ships nothing until the next rebuild.
+            taken_total: total,
         }
     }
 
@@ -127,6 +154,7 @@ impl CountMinSketch {
     pub fn update(&mut self, key: u64, amount: u64) {
         for r in 0..self.rows {
             let i = self.index(r, key);
+            self.journal.mark(i, self.cells[i]);
             self.cells[i] = self.cells[i].saturating_add(amount);
         }
         self.total += amount;
@@ -139,6 +167,7 @@ impl CountMinSketch {
         for r in 0..self.rows {
             let i = self.index(r, key);
             if self.cells[i] < new_min {
+                self.journal.mark(i, self.cells[i]);
                 self.cells[i] = new_min;
             }
         }
@@ -188,10 +217,55 @@ impl CountMinSketch {
         (est << shift.min(63)) > self.total
     }
 
-    /// Clears the sketch.
+    /// Clears the sketch (and re-bases the dirty journal: a reset
+    /// sketch has nothing to ship).
     pub fn reset(&mut self) {
         self.cells.fill(0);
         self.total = 0;
+        self.journal.clear();
+        self.taken_total = 0;
+    }
+}
+
+impl DeltaMergeable for CountMinSketch {
+    type Delta = SketchDelta;
+
+    fn take_delta(&mut self) -> SketchDelta {
+        let cells = self
+            .journal
+            .take()
+            .into_iter()
+            .map(|(idx, base)| (idx, base, self.cells[idx as usize]))
+            .collect();
+        let total_base = self.taken_total;
+        self.taken_total = self.total;
+        SketchDelta {
+            cells,
+            total_base,
+            total_cur: self.total,
+        }
+    }
+
+    fn apply_delta(&mut self, delta: &SketchDelta) -> crate::error::Stat4Result<()> {
+        for &(idx, base, cur) in &delta.cells {
+            let c = self.cells.get_mut(idx as usize).ok_or(
+                crate::error::Stat4Error::MergeMismatch {
+                    what: "sketch geometries",
+                },
+            )?;
+            // Same saturating cellwise addition a full merge performs,
+            // fed the window's increment. `forget`-style decrements do
+            // not exist for sketches, but the signed form keeps the
+            // apply total-ordering-free.
+            *c = if cur >= base {
+                c.saturating_add(cur - base)
+            } else {
+                c.saturating_sub(base - cur)
+            };
+        }
+        // Plain add, mirroring `merge_from`'s `self.total += other.total`.
+        self.total += delta.total_cur - delta.total_base;
+        Ok(())
     }
 }
 
